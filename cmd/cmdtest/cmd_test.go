@@ -1,0 +1,198 @@
+// Package cmdtest builds the CLI binaries and exercises them end to end —
+// the integration layer the per-package unit tests cannot cover.
+package cmdtest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// binaries are built once per test run.
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "ijoin-bins")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	for _, tool := range []string{"ijoin", "genintervals", "packettrace", "experiments"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "intervaljoin/cmd/"+tool)
+		cmd.Dir = repoRoot()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			panic("build " + tool + ": " + err.Error() + "\n" + string(out))
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func repoRoot() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Dir(filepath.Dir(wd)) // cmd/cmdtest -> repo root
+}
+
+func run(t *testing.T, tool string, args ...string) (string, string, error) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	return stdout.String(), stderr.String(), err
+}
+
+func mustRun(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	out, errOut, err := run(t, tool, args...)
+	if err != nil {
+		t.Fatalf("%s %v: %v\nstderr: %s", tool, args, err, errOut)
+	}
+	return out
+}
+
+func TestGenIntervalsAndIjoinPipeline(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.txt")
+	b := filepath.Join(dir, "b.txt")
+	mustRun(t, "genintervals", "-n", "200", "-tmax", "1000", "-imax", "50", "-seed", "1", "-o", a)
+	mustRun(t, "genintervals", "-n", "200", "-tmax", "1000", "-imax", "50", "-seed", "2", "-o", b)
+
+	out := mustRun(t, "ijoin",
+		"-query", "R1 overlaps R2",
+		"-rel", "R1="+a, "-rel", "R2="+b,
+		"-partitions", "8")
+	lines := nonEmptyLines(out)
+	if len(lines) == 0 {
+		t.Fatal("join produced no output")
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, ",") {
+			t.Fatalf("malformed output line %q", l)
+		}
+	}
+
+	// The same join through an explicit baseline algorithm must agree.
+	out2 := mustRun(t, "ijoin",
+		"-query", "R1 overlaps R2",
+		"-rel", "R1="+a, "-rel", "R2="+b,
+		"-algorithm", "all-rep", "-partitions", "8")
+	if len(nonEmptyLines(out2)) != len(lines) {
+		t.Fatalf("two-way found %d pairs, all-rep %d", len(lines), len(nonEmptyLines(out2)))
+	}
+}
+
+func TestIjoinEmitTuples(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.txt")
+	b := filepath.Join(dir, "b.txt")
+	os.WriteFile(a, []byte("0,10\n"), 0o644)
+	os.WriteFile(b, []byte("5,20\n100,110\n"), 0o644)
+	out := mustRun(t, "ijoin",
+		"-query", "R1 overlaps R2",
+		"-rel", "R1="+a, "-rel", "R2="+b,
+		"-emit", "tuples")
+	lines := nonEmptyLines(out)
+	if len(lines) != 1 || !strings.Contains(lines[0], "R1[0]=[0,10]") || !strings.Contains(lines[0], "R2[0]=[5,20]") {
+		t.Fatalf("tuples output = %q", out)
+	}
+	if _, _, err := run(t, "ijoin", "-query", "R1 overlaps R2",
+		"-rel", "R1="+a, "-rel", "R2="+b, "-emit", "nonsense"); err == nil {
+		t.Error("unknown -emit accepted")
+	}
+}
+
+func TestIjoinAdvise(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.txt")
+	mustRun(t, "genintervals", "-n", "100", "-tmax", "1000", "-imax", "20", "-o", a)
+	out := mustRun(t, "ijoin",
+		"-query", "R1 overlaps R2 and R2 overlaps R3",
+		"-rel", "R1="+a, "-rel", "R2="+a, "-rel", "R3="+a,
+		"-advise")
+	if !strings.Contains(out, "rccis") || !strings.Contains(out, "est_pairs") {
+		t.Fatalf("advice output missing content:\n%s", out)
+	}
+}
+
+func TestIjoinProvablyEmptyShortCircuits(t *testing.T) {
+	_, errOut, err := run(t, "ijoin", "-query", "A before B and B before A")
+	if err != nil {
+		t.Fatalf("provably empty query should exit 0: %v", err)
+	}
+	if !strings.Contains(errOut, "provably empty") {
+		t.Fatalf("stderr = %q", errOut)
+	}
+}
+
+func TestIjoinErrors(t *testing.T) {
+	if _, _, err := run(t, "ijoin"); err == nil {
+		t.Error("missing -query accepted")
+	}
+	if _, _, err := run(t, "ijoin", "-query", "A sideways B"); err == nil {
+		t.Error("bad predicate accepted")
+	}
+	if _, _, err := run(t, "ijoin", "-query", "A overlaps B", "-rel", "A=/nonexistent"); err == nil {
+		t.Error("missing relation binding accepted")
+	}
+	out := mustRun(t, "ijoin", "-list-algorithms")
+	if !strings.Contains(out, "rccis") || !strings.Contains(out, "gen-matrix") {
+		t.Fatalf("algorithm list incomplete:\n%s", out)
+	}
+}
+
+func TestPackettraceTrains(t *testing.T) {
+	out := mustRun(t, "packettrace", "-profile", "P04", "-scale", "0.005", "-emit", "trains")
+	lines := nonEmptyLines(out)
+	if len(lines) < 5 {
+		t.Fatalf("only %d trains", len(lines))
+	}
+	for _, l := range lines[:5] {
+		if !strings.Contains(l, ",") {
+			t.Fatalf("malformed train %q", l)
+		}
+	}
+	out2 := mustRun(t, "packettrace", "-profile", "P04", "-scale", "0.005", "-emit", "packets")
+	if len(nonEmptyLines(out2)) <= len(lines) {
+		t.Fatal("packets output should exceed trains output")
+	}
+	if _, _, err := run(t, "packettrace", "-profile", "P99"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if _, _, err := run(t, "packettrace", "-emit", "nonsense"); err == nil {
+		t.Error("unknown -emit accepted")
+	}
+}
+
+func TestExperimentsListAndJSON(t *testing.T) {
+	out := mustRun(t, "experiments", "-exp", "list")
+	for _, id := range []string{"table1", "table2", "figure4", "figure5a", "figure5b", "table3", "table4"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("experiment %s missing from list:\n%s", id, out)
+		}
+	}
+	jsonOut := mustRun(t, "experiments", "-exp", "figure4", "-scale", "0.0005", "-json")
+	if !strings.Contains(jsonOut, `"id": "figure4"`) || !strings.Contains(jsonOut, `"rows"`) {
+		t.Fatalf("JSON output malformed:\n%s", jsonOut)
+	}
+	if _, _, err := run(t, "experiments", "-exp", "table99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func nonEmptyLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.TrimSpace(l) != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+// Command experiments regenerates the paper's tables and figures on the
+// built-in MapReduce engine.
+//
+// Usage:
+//
+//	experiments [-exp table1|table2|figure4|figure5a|figure5b|table3|table4|all|list] \
+//	            [-scale 0.002] [-seed 1] [-workers N] [-verify]
+//
+// Scale multiplies the paper's dataset sizes; the default keeps every
+// experiment in seconds. -verify additionally checks every algorithm's
+// output against the in-memory oracle (slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"intervaljoin/internal/exp"
+)
+
+func main() {
+	var (
+		id      = flag.String("exp", "all", "experiment id, 'all', or 'list'")
+		scale   = flag.Float64("scale", 0, "fraction of the paper's dataset sizes (default 0.002)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		workers = flag.Int("workers", 0, "engine parallelism (0 = GOMAXPROCS)")
+		verify  = flag.Bool("verify", false, "cross-check every run against the oracle")
+		asJSON  = flag.Bool("json", false, "emit JSON instead of aligned text")
+	)
+	flag.Parse()
+
+	if *id == "list" {
+		for _, e := range exp.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	cfg := exp.Config{Scale: *scale, Seed: *seed, Workers: *workers, Verify: *verify}
+	var exps []exp.Experiment
+	if *id == "all" {
+		exps = exp.All()
+	} else {
+		e, err := exp.ByID(*id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		exps = []exp.Experiment{e}
+	}
+	for _, e := range exps {
+		table, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			b, err := table.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiment %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(b)
+			fmt.Println()
+			continue
+		}
+		table.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,67 @@
+package intervaljoin_test
+
+import (
+	"fmt"
+
+	"intervaljoin"
+)
+
+// The basic flow: parse a query, bind relations by name, run, read tuples.
+func Example() {
+	eng := intervaljoin.MustNewEngine(intervaljoin.EngineOptions{Workers: 2})
+	q, _ := intervaljoin.ParseQuery("calls overlaps outages")
+
+	calls := intervaljoin.FromIntervals("calls", []intervaljoin.Interval{
+		intervaljoin.NewInterval(100, 130), // call 0
+		intervaljoin.NewInterval(500, 520), // call 1
+	})
+	outages := intervaljoin.FromIntervals("outages", []intervaljoin.Interval{
+		intervaljoin.NewInterval(120, 200), // outage 0 overlaps call 0
+	})
+
+	res, _ := eng.Run(q, []*intervaljoin.Relation{calls, outages}, intervaljoin.RunOptions{Partitions: 4})
+	for _, t := range res.Tuples {
+		fmt.Printf("call %d overlapped outage %d\n", t[0], t[1])
+	}
+	// Output: call 0 overlapped outage 0
+}
+
+// Multi-way colocation queries run on RCCIS; the result carries the paper's
+// cost metrics.
+func ExampleEngine_Run() {
+	eng := intervaljoin.MustNewEngine(intervaljoin.EngineOptions{Workers: 2})
+	q, _ := intervaljoin.ParseQuery("R1 overlaps R2 and R2 contains R3")
+
+	r1 := intervaljoin.FromIntervals("R1", []intervaljoin.Interval{intervaljoin.NewInterval(0, 50)})
+	r2 := intervaljoin.FromIntervals("R2", []intervaljoin.Interval{intervaljoin.NewInterval(10, 100)})
+	r3 := intervaljoin.FromIntervals("R3", []intervaljoin.Interval{intervaljoin.NewInterval(20, 60)})
+
+	res, _ := eng.Run(q, []*intervaljoin.Relation{r1, r2, r3}, intervaljoin.RunOptions{Partitions: 4})
+	fmt.Println("tuples:", len(res.Tuples), "cycles:", res.Metrics.Cycles)
+	// Output: tuples: 1 cycles: 2
+}
+
+// The planner classifies queries into the paper's four classes.
+func ExamplePlan() {
+	for _, qs := range []string{
+		"A overlaps B and B overlaps C",
+		"A before B and B before C",
+		"A before B and A overlaps C",
+		"A.x overlaps B.x and A.y overlaps B.y",
+	} {
+		q, _ := intervaljoin.ParseQuery(qs)
+		fmt.Println(intervaljoin.Plan(q).Name())
+	}
+	// Output:
+	// rccis
+	// all-matrix
+	// all-seq-matrix
+	// gen-matrix
+}
+
+// Contradictory Allen conditions are detected before any data is read.
+func ExampleProvablyEmpty() {
+	q, _ := intervaljoin.ParseQuery("A before B and B before C and C before A")
+	fmt.Println(intervaljoin.ProvablyEmpty(q))
+	// Output: true
+}

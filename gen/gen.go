@@ -1,0 +1,53 @@
+// Package gen exposes the synthetic interval workload generator — the
+// paper's data-generation script (Section 6.2) — as public API. It is a
+// thin facade over the internal implementation so that library users can
+// produce the same workloads the experiments and benchmarks use.
+package gen
+
+import "intervaljoin/internal/workload"
+
+// Distribution selects how starts or lengths are drawn: Uniform, Normal,
+// Zipf or Exponential.
+type Distribution = workload.Distribution
+
+// The supported distributions.
+const (
+	Uniform     = workload.Uniform
+	Normal      = workload.Normal
+	Zipf        = workload.Zipf
+	Exponential = workload.Exponential
+)
+
+// ParseDistribution maps a name ("uniform", "zipf", ...) to a Distribution.
+func ParseDistribution(s string) (Distribution, error) { return workload.ParseDistribution(s) }
+
+// Spec is one synthetic relation's recipe: the number of intervals nI, the
+// start and length distributions dS and dI, the time range [TMin, TMax] and
+// the length bounds [IMin, IMax], plus a determinism seed.
+type Spec = workload.Spec
+
+// MultiSpec generates a multi-attribute relation; AttrSpec is its
+// per-attribute recipe.
+type (
+	MultiSpec = workload.MultiSpec
+	AttrSpec  = workload.AttrSpec
+)
+
+// Generate builds the relation described by the spec, deterministically in
+// its seed.
+var Generate = workload.Generate
+
+// GenerateMulti builds a multi-attribute relation.
+var GenerateMulti = workload.GenerateMulti
+
+// Paper-experiment parameter helpers.
+var (
+	// Table1Spec: dS,dI uniform, range [0,100K], lengths [1,100].
+	Table1Spec = workload.Table1Spec
+	// Figure5Spec: range [0,1000], lengths [1,100].
+	Figure5Spec = workload.Figure5Spec
+	// Table3Spec: range [0,200K], max length as a parameter.
+	Table3Spec = workload.Table3Spec
+	// Table4Specs: Q5's three multi-attribute relations.
+	Table4Specs = workload.Table4Specs
+)

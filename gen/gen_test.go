@@ -1,0 +1,40 @@
+package gen_test
+
+import (
+	"testing"
+
+	"intervaljoin/gen"
+)
+
+func TestPublicGenerate(t *testing.T) {
+	r, err := gen.Generate(gen.Spec{
+		Name: "R", NumIntervals: 100,
+		StartDist: gen.Uniform, LengthDist: gen.Zipf,
+		TMin: 0, TMax: 1000, IMin: 1, IMax: 50, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 100 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if _, err := gen.ParseDistribution("normal"); err != nil {
+		t.Fatal(err)
+	}
+	if gen.Table1Spec("R1", 10, 1).TMax != 100_000 {
+		t.Fatal("paper helper wrong")
+	}
+}
+
+func TestPublicGenerateMulti(t *testing.T) {
+	specs := gen.Table4Specs(10, 5, 10, 8, 1)
+	for _, s := range specs {
+		r, err := gen.GenerateMulti(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Len() == 0 {
+			t.Fatal("empty relation")
+		}
+	}
+}

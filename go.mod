@@ -1,0 +1,3 @@
+module intervaljoin
+
+go 1.22

@@ -1,0 +1,136 @@
+// Package cluster converts the engine's measured communication metrics into
+// an estimated wall-clock time on a distributed cluster, so local runs can
+// be compared with the paper's hh:mm numbers in shape *and* rough scale.
+//
+// The model is deliberately simple — the same level of detail as the cost
+// model in Zhang et al. that the paper builds on: a job's time is its map
+// scan, plus shuffling every intermediate pair across the network, plus the
+// straggler reduce task (each reduce task runs on its own slot until slots
+// run out), plus a fixed per-cycle scheduling overhead. All constants are
+// parameters, with defaults loosely calibrated to the paper's 2008-era
+// 16-core Hadoop cluster.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"intervaljoin/internal/mr"
+)
+
+// Params describes the modelled cluster.
+type Params struct {
+	// Slots is the number of reduce tasks that can run concurrently
+	// (the paper runs 16 reduce processes).
+	Slots int
+	// MapRecordsPerSec is the scan+map throughput of the whole cluster.
+	MapRecordsPerSec float64
+	// ShufflePairsPerSec is the map→reduce network throughput in
+	// key-value pairs for the whole cluster.
+	ShufflePairsPerSec float64
+	// ReducePairsPerSec is one reduce task's processing rate over its
+	// received pairs (join compute is accounted separately by callers who
+	// know their output size; this rate covers deserialisation and
+	// grouping).
+	ReducePairsPerSec float64
+	// CycleOverhead is the fixed scheduling/startup cost per MR cycle
+	// (job setup, task launch, commit).
+	CycleOverhead time.Duration
+}
+
+// Paper2014 returns parameters loosely calibrated to the paper's testbed:
+// a 16-core blade cluster running Hadoop 0.20 — tens of seconds of job
+// overhead and single-digit-MB/s effective shuffle rates.
+func Paper2014() Params {
+	return Params{
+		Slots:              16,
+		MapRecordsPerSec:   200_000,
+		ShufflePairsPerSec: 150_000,
+		ReducePairsPerSec:  100_000,
+		CycleOverhead:      20 * time.Second,
+	}
+}
+
+// Validate reports the first nonsensical parameter.
+func (p Params) Validate() error {
+	if p.Slots < 1 {
+		return fmt.Errorf("cluster: slots = %d", p.Slots)
+	}
+	if p.MapRecordsPerSec <= 0 || p.ShufflePairsPerSec <= 0 || p.ReducePairsPerSec <= 0 {
+		return fmt.Errorf("cluster: rates must be positive")
+	}
+	if p.CycleOverhead < 0 {
+		return fmt.Errorf("cluster: negative cycle overhead")
+	}
+	return nil
+}
+
+// Estimate predicts the cluster wall-clock time of a run described by the
+// aggregated metrics of its MR cycles.
+func Estimate(p Params, m *mr.Metrics) (time.Duration, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	cycles := m.Cycles
+	if cycles < 1 {
+		cycles = 1
+	}
+	mapTime := float64(m.MapInputRecords) / p.MapRecordsPerSec
+	shuffleTime := float64(m.IntermediatePairs) / p.ShufflePairsPerSec
+
+	// Reduce: schedule the per-reducer loads onto the slots (longest
+	// processing time first would be optimal; Hadoop schedules greedily,
+	// modelled here as LPT which is within 4/3 of optimal).
+	loads := m.ReducerLoadVector()
+	makespanPairs := lptMakespan(loads, p.Slots)
+	reduceTime := float64(makespanPairs) / p.ReducePairsPerSec
+
+	total := time.Duration((mapTime + shuffleTime + reduceTime) * float64(time.Second))
+	total += time.Duration(cycles) * p.CycleOverhead
+	return total, nil
+}
+
+// lptMakespan schedules loads onto slots with longest-processing-time-first
+// and returns the busiest slot's total.
+func lptMakespan(loads []int64, slots int) int64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	// Sort descending (insertion into a copy; load vectors are small).
+	sorted := make([]int64, len(loads))
+	copy(sorted, loads)
+	for i := 1; i < len(sorted); i++ {
+		v := sorted[i]
+		j := i - 1
+		for j >= 0 && sorted[j] < v {
+			sorted[j+1] = sorted[j]
+			j--
+		}
+		sorted[j+1] = v
+	}
+	slotLoad := make([]int64, slots)
+	for _, v := range sorted {
+		min := 0
+		for s := 1; s < slots; s++ {
+			if slotLoad[s] < slotLoad[min] {
+				min = s
+			}
+		}
+		slotLoad[min] += v
+	}
+	var max int64
+	for _, v := range slotLoad {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// FormatHHMM renders a duration the way the paper's tables do.
+func FormatHHMM(d time.Duration) string {
+	d = d.Round(time.Minute)
+	h := d / time.Hour
+	m := (d % time.Hour) / time.Minute
+	return fmt.Sprintf("%02d:%02d", h, m)
+}

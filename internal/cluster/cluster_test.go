@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"intervaljoin/internal/mr"
+)
+
+func metricsWith(records, pairs int64, loads []int64, cycles int) *mr.Metrics {
+	m := mr.NewMetrics("test")
+	m.Cycles = cycles
+	m.MapInputRecords = records
+	m.IntermediatePairs = pairs
+	for i, l := range loads {
+		m.ReducerPairs[int64(i)] = l
+	}
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	if err := Paper2014().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Paper2014()
+	bad.Slots = 0
+	if bad.Validate() == nil {
+		t.Error("0 slots accepted")
+	}
+	bad = Paper2014()
+	bad.ShufflePairsPerSec = 0
+	if bad.Validate() == nil {
+		t.Error("0 shuffle rate accepted")
+	}
+	bad = Paper2014()
+	bad.CycleOverhead = -time.Second
+	if bad.Validate() == nil {
+		t.Error("negative overhead accepted")
+	}
+}
+
+func TestEstimateMonotonicInPairs(t *testing.T) {
+	p := Paper2014()
+	small, err := Estimate(p, metricsWith(1000, 10_000, []int64{100, 100}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Estimate(p, metricsWith(1000, 10_000_000, []int64{100, 100}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big <= small {
+		t.Fatalf("more pairs did not cost more: %v vs %v", big, small)
+	}
+}
+
+func TestEstimateStragglerDominates(t *testing.T) {
+	p := Paper2014()
+	balanced := metricsWith(0, 0, []int64{100, 100, 100, 100}, 1)
+	skewed := metricsWith(0, 0, []int64{397, 1, 1, 1}, 1)
+	tb, err := Estimate(p, balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := Estimate(p, skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same total pairs (400); the skewed run waits on its straggler.
+	if ts <= tb {
+		t.Fatalf("skewed %v not slower than balanced %v", ts, tb)
+	}
+}
+
+func TestEstimateCycleOverhead(t *testing.T) {
+	p := Paper2014()
+	one, _ := Estimate(p, metricsWith(0, 0, nil, 1))
+	three, _ := Estimate(p, metricsWith(0, 0, nil, 3))
+	if three-one != 2*p.CycleOverhead {
+		t.Fatalf("cycle overhead accounting wrong: %v vs %v", one, three)
+	}
+	zero, _ := Estimate(p, metricsWith(0, 0, nil, 0))
+	if zero != one {
+		t.Fatal("0 cycles must be treated as 1")
+	}
+}
+
+func TestLPTMakespan(t *testing.T) {
+	if got := lptMakespan(nil, 4); got != 0 {
+		t.Fatalf("empty makespan = %d", got)
+	}
+	// 6 loads of 10 on 3 slots: 20 each.
+	if got := lptMakespan([]int64{10, 10, 10, 10, 10, 10}, 3); got != 20 {
+		t.Fatalf("makespan = %d, want 20", got)
+	}
+	// A giant load dominates regardless of slots.
+	if got := lptMakespan([]int64{100, 1, 1, 1}, 8); got != 100 {
+		t.Fatalf("makespan = %d, want 100", got)
+	}
+	// More loads than slots pack greedily: {5,4,3,3,3} on 2 slots ->
+	// LPT: 5+3, 4+3+3 -> max 10.
+	if got := lptMakespan([]int64{3, 5, 3, 4, 3}, 2); got != 10 {
+		t.Fatalf("makespan = %d, want 10", got)
+	}
+}
+
+func TestFormatHHMM(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want string
+	}{
+		{90 * time.Minute, "01:30"},
+		{29 * time.Second, "00:00"},
+		{31 * time.Second, "00:01"},
+		{3 * time.Hour, "03:00"},
+	} {
+		if got := FormatHHMM(tc.d); got != tc.want {
+			t.Errorf("FormatHHMM(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
+
+// TestEstimateShapeMatchesPaperTable1: plugging the measured metric ratios
+// of Table 1 into the model must preserve the paper's ordering
+// rccis < all-rep at every size.
+func TestEstimateShapeMatchesPaperTable1(t *testing.T) {
+	p := Paper2014()
+	// Ratios from EXPERIMENTS.md at nI=2000 scaled up 500x to paper size:
+	// rccis ~12.5K pairs balanced; all-rep 36.6K pairs, right-most reducer
+	// holding ~1/3 of everything.
+	rccis := metricsWith(3_000_000, 6_250_000, balancedLoads(6_250_000, 16), 2)
+	allrepLoads := balancedLoads(12_000_000, 16)
+	allrepLoads[15] = 6_000_000 // straggler
+	allrep := metricsWith(3_000_000, 18_300_000, allrepLoads, 1)
+	tr, err := Estimate(p, rccis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := Estimate(p, allrep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr >= ta {
+		t.Fatalf("model ranks rccis (%v) above all-rep (%v)", tr, ta)
+	}
+}
+
+func balancedLoads(total int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = total / int64(n)
+	}
+	return out
+}

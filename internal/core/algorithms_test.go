@@ -1,0 +1,480 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"intervaljoin/internal/dfs"
+	"intervaljoin/internal/interval"
+	"intervaljoin/internal/mr"
+	"intervaljoin/internal/query"
+	"intervaljoin/internal/relation"
+)
+
+// randomRelation builds a single-attribute relation with n tuples over
+// [0, domain) with lengths in [0, maxLen].
+func randomRelation(rng *rand.Rand, name string, n int, domain, maxLen int64) *relation.Relation {
+	ivs := make([]interval.Interval, n)
+	for i := range ivs {
+		s := rng.Int63n(domain)
+		ivs[i] = interval.New(s, s+rng.Int63n(maxLen+1))
+	}
+	return relation.FromIntervals(name, ivs)
+}
+
+// crossValidate runs every algorithm against the oracle on the given query
+// and relations and fails on any output-set difference or duplicate.
+func crossValidate(t *testing.T, q *query.Query, rels []*relation.Relation, opts Options, algs ...Algorithm) {
+	t.Helper()
+	engine := mr.NewEngine(mr.Config{Store: dfs.NewMem(), Workers: 4})
+	refCtx, err := NewContext(engine, q, rels, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Reference{}.Run(refCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSet := want.TupleSet()
+	for _, alg := range algs {
+		o := opts
+		o.Scratch = "" // per-algorithm default scratch
+		ctx, err := NewContext(engine, q, rels, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := alg.Run(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		gotSet := got.TupleSet()
+		if len(got.Tuples) != len(gotSet) {
+			t.Errorf("%s: %d tuples but %d distinct — duplicates emitted (query %s)",
+				alg.Name(), len(got.Tuples), len(gotSet), q)
+		}
+		if len(gotSet) != len(wantSet) {
+			t.Errorf("%s: %d tuples, oracle has %d (query %s)", alg.Name(), len(gotSet), len(wantSet), q)
+		}
+		for k := range wantSet {
+			if _, ok := gotSet[k]; !ok {
+				t.Errorf("%s: missing output tuple %s (query %s)", alg.Name(), k, q)
+				break
+			}
+		}
+		for k := range gotSet {
+			if _, ok := wantSet[k]; !ok {
+				t.Errorf("%s: spurious output tuple %s (query %s)", alg.Name(), k, q)
+				break
+			}
+		}
+	}
+}
+
+func TestTwoWayAllPredicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for p := interval.Predicate(0); p < interval.NumPredicates; p++ {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			q := query.MustParse("R1 " + p.String() + " R2")
+			for trial := 0; trial < 3; trial++ {
+				rels := []*relation.Relation{
+					randomRelation(rng, "R1", 60, 150, 40),
+					randomRelation(rng, "R2", 60, 150, 40),
+				}
+				algs := []Algorithm{TwoWay{}, Cascade{}}
+				if p.IsColocation() {
+					algs = append(algs, RCCIS{}, SeqMatrix{}, PASM{}, FCTS{}, AllRep{})
+				} else {
+					algs = append(algs, AllMatrix{}, SeqMatrix{}, PASM{}, AllRep{}, Cascade{MatrixSteps: true})
+				}
+				crossValidate(t, q, rels, Options{Partitions: 7, PartitionsPerDim: 5}, algs...)
+			}
+		})
+	}
+}
+
+func TestColocationChainQ1(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := query.MustParse("R1 overlaps R2 and R2 overlaps R3")
+	for trial := 0; trial < 5; trial++ {
+		rels := []*relation.Relation{
+			randomRelation(rng, "R1", 50, 200, 30),
+			randomRelation(rng, "R2", 50, 200, 30),
+			randomRelation(rng, "R3", 50, 200, 30),
+		}
+		crossValidate(t, q, rels, Options{Partitions: 8, PartitionsPerDim: 4},
+			RCCIS{}, AllRep{}, Cascade{}, SeqMatrix{}, PASM{}, FCTS{})
+	}
+}
+
+func TestColocationQ0(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	q := query.MustParse("R1 overlaps R2 and R2 contains R3 and R3 overlaps R4")
+	for trial := 0; trial < 4; trial++ {
+		rels := []*relation.Relation{
+			randomRelation(rng, "R1", 40, 160, 40),
+			randomRelation(rng, "R2", 40, 160, 40),
+			randomRelation(rng, "R3", 40, 160, 15),
+			randomRelation(rng, "R4", 40, 160, 40),
+		}
+		crossValidate(t, q, rels, Options{Partitions: 6, PartitionsPerDim: 4},
+			RCCIS{}, AllRep{}, Cascade{}, SeqMatrix{})
+	}
+}
+
+func TestColocationMixedPredicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	queries := []string{
+		"R1 meets R2 and R2 overlaps R3",
+		"R1 starts R2 and R2 contains R3",
+		"R1 finishes R2 and R2 overlaps R3",
+		"R2 containedby R1 and R2 equals R3",
+		"R1 overlappedby R2 and R2 metby R3",
+		"R1 finishedby R2 and R2 startedby R3",
+	}
+	for _, qs := range queries {
+		q := query.MustParse(qs)
+		for trial := 0; trial < 2; trial++ {
+			rels := make([]*relation.Relation, len(q.Relations))
+			for i, s := range q.Relations {
+				rels[i] = randomRelation(rng, s.Name, 45, 100, 20)
+			}
+			crossValidate(t, q, rels, Options{Partitions: 5, PartitionsPerDim: 4},
+				RCCIS{}, AllRep{}, Cascade{}, SeqMatrix{})
+		}
+	}
+}
+
+func TestSequenceChainQ2(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	q := query.MustParse("R1 before R2 and R2 before R3")
+	for trial := 0; trial < 4; trial++ {
+		rels := []*relation.Relation{
+			randomRelation(rng, "R1", 25, 200, 20),
+			randomRelation(rng, "R2", 25, 200, 20),
+			randomRelation(rng, "R3", 25, 200, 20),
+		}
+		crossValidate(t, q, rels, Options{Partitions: 6, PartitionsPerDim: 4},
+			AllMatrix{}, AllRep{}, Cascade{}, Cascade{MatrixSteps: true}, SeqMatrix{}, PASM{},
+			AllMatrix{DisableConsistencyFilter: true}, AllMatrix{BroadcastAllCells: true})
+	}
+}
+
+func TestSequenceWithAfter(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	q := query.MustParse("R2 after R1 and R3 after R2")
+	for trial := 0; trial < 3; trial++ {
+		rels := []*relation.Relation{
+			randomRelation(rng, "R2", 25, 180, 15),
+			randomRelation(rng, "R1", 25, 180, 15),
+			randomRelation(rng, "R3", 25, 180, 15),
+		}
+		crossValidate(t, q, rels, Options{Partitions: 5, PartitionsPerDim: 4},
+			AllMatrix{}, AllRep{}, Cascade{}, SeqMatrix{})
+	}
+}
+
+func TestHybridQ4(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	q := query.MustParse("R1 before R2 and R1 overlaps R3")
+	for trial := 0; trial < 5; trial++ {
+		rels := []*relation.Relation{
+			randomRelation(rng, "R1", 40, 200, 30),
+			randomRelation(rng, "R2", 40, 200, 30),
+			randomRelation(rng, "R3", 40, 200, 30),
+		}
+		crossValidate(t, q, rels, Options{Partitions: 6, PartitionsPerDim: 4},
+			SeqMatrix{}, PASM{}, FCTS{}, FSTC{}, AllRep{}, Cascade{}, Cascade{MatrixSteps: true})
+	}
+}
+
+func TestHybridQ3(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	q := query.MustParse("R1 overlaps R2 and R2 overlaps R3 and R2 before R4 and R4 overlaps R5")
+	for trial := 0; trial < 3; trial++ {
+		rels := make([]*relation.Relation, 5)
+		for i, s := range q.Relations {
+			rels[i] = randomRelation(rng, s.Name, 25, 150, 25)
+		}
+		crossValidate(t, q, rels, Options{Partitions: 5, PartitionsPerDim: 3},
+			SeqMatrix{}, PASM{}, FCTS{}, FSTC{}, AllRep{}, Cascade{})
+	}
+}
+
+// TestHybridUnsoundConstraintScenario exercises the query shape for which
+// the paper's component-order cell pruning would lose output: a colocation
+// member two hops from the sequence operand can start after the other
+// component's intervals. Our sound analysis must keep such outputs.
+func TestHybridUnsoundConstraintScenario(t *testing.T) {
+	q := query.MustParse("A overlaps B and B overlaps B2 and A before D")
+	relA := relation.FromIntervals("A", []interval.Interval{{Start: 0, End: 5}})
+	relB := relation.FromIntervals("B", []interval.Interval{{Start: 3, End: 100}})
+	relB2 := relation.FromIntervals("B2", []interval.Interval{{Start: 50, End: 200}})
+	relD := relation.FromIntervals("D", []interval.Interval{{Start: 10, End: 20}})
+	// A o B (0<3<5<100), B o B2 (3<50<100<200), A before D (5<10): exactly
+	// one output tuple, whose component C{A,B,B2} right-most member (B2,
+	// start 50) starts AFTER component C{D}'s member (start 10).
+	rels := []*relation.Relation{relA, relB, relB2, relD}
+	crossValidate(t, q, rels, Options{Partitions: 6, PartitionsPerDim: 6},
+		SeqMatrix{}, PASM{}, FCTS{}, AllRep{}, Cascade{})
+	// And with random data around the same shape.
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 3; trial++ {
+		rels := []*relation.Relation{
+			randomRelation(rng, "A", 30, 150, 20),
+			randomRelation(rng, "B", 30, 150, 60),
+			randomRelation(rng, "B2", 30, 150, 60),
+			randomRelation(rng, "D", 30, 150, 20),
+		}
+		crossValidate(t, q, rels, Options{Partitions: 5, PartitionsPerDim: 4},
+			SeqMatrix{}, PASM{}, FCTS{})
+	}
+}
+
+func TestGeneralQ5(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	q := query.MustParse("R1.I before R2.I and R1.I overlaps R3.I and R1.A = R3.A and R2.B = R3.B")
+	for trial := 0; trial < 4; trial++ {
+		mkRel := func(name string, attrs []string, n int) *relation.Relation {
+			r := relation.New(relation.NewSchema(name, attrs...))
+			for i := 0; i < n; i++ {
+				vals := make([]interval.Interval, len(attrs))
+				for j, a := range attrs {
+					if a == "I" {
+						s := rng.Int63n(150)
+						vals[j] = interval.New(s, s+rng.Int63n(40))
+					} else {
+						vals[j] = interval.PointInterval(rng.Int63n(4)) // few values -> matches
+					}
+				}
+				r.Append(vals...)
+			}
+			return r
+		}
+		rels := []*relation.Relation{
+			mkRel("R1", []string{"I", "A"}, 35),
+			mkRel("R2", []string{"I", "B"}, 35),
+			mkRel("R3", []string{"I", "A", "B"}, 35),
+		}
+		crossValidate(t, q, rels, Options{Partitions: 5, PartitionsPerDim: 4}, GenMatrix{})
+	}
+}
+
+func TestGenMatrixOnSingleAttributeQueries(t *testing.T) {
+	// Gen-Matrix generalises the others; on single-attribute queries it
+	// must agree with them.
+	rng := rand.New(rand.NewSource(16))
+	for _, qs := range []string{
+		"R1 overlaps R2 and R2 overlaps R3",
+		"R1 before R2 and R1 overlaps R3",
+		"R1 before R2 and R2 before R3",
+	} {
+		q := query.MustParse(qs)
+		rels := make([]*relation.Relation, len(q.Relations))
+		for i, s := range q.Relations {
+			rels[i] = randomRelation(rng, s.Name, 35, 150, 25)
+		}
+		crossValidate(t, q, rels, Options{Partitions: 5, PartitionsPerDim: 4}, GenMatrix{})
+	}
+}
+
+func TestGenMatrixPureEquiJoin(t *testing.T) {
+	// Real-valued equality joins are the degenerate case: length-zero
+	// intervals, no replication, pure hash partitioning.
+	rng := rand.New(rand.NewSource(17))
+	q := query.MustParse("R1.A = R2.A and R2.B = R3.B")
+	mk := func(name, attr string) *relation.Relation {
+		r := relation.New(relation.NewSchema(name, attr))
+		for i := 0; i < 50; i++ {
+			r.Append(interval.PointInterval(rng.Int63n(8)))
+		}
+		return r
+	}
+	rels := []*relation.Relation{mk("R1", "A"), mk("R2", "A"), mk("R3", "B")}
+	// R2 needs both A and B: rebuild with two attrs.
+	r2 := relation.New(relation.NewSchema("R2", "A", "B"))
+	for i := 0; i < 50; i++ {
+		r2.Append(interval.PointInterval(rng.Int63n(8)), interval.PointInterval(rng.Int63n(8)))
+	}
+	rels[1] = r2
+	res := func() *Result {
+		engine := mr.NewEngine(mr.Config{Store: dfs.NewMem(), Workers: 4})
+		ctx, err := NewContext(engine, q, rels, Options{Partitions: 4, PartitionsPerDim: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := (GenMatrix{}).Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}()
+	if res.ReplicatedIntervals != 0 {
+		t.Errorf("equi-join replicated %d tuples, want 0", res.ReplicatedIntervals)
+	}
+	crossValidate(t, q, rels, Options{Partitions: 4, PartitionsPerDim: 4}, GenMatrix{})
+}
+
+func TestContradictoryQueryEmpty(t *testing.T) {
+	q := query.MustParse("R1 before R2 and R2 before R1x and R1x overlaps R1")
+	rng := rand.New(rand.NewSource(18))
+	rels := make([]*relation.Relation, len(q.Relations))
+	for i, s := range q.Relations {
+		rels[i] = randomRelation(rng, s.Name, 20, 100, 20)
+	}
+	crossValidate(t, q, rels, Options{Partitions: 4, PartitionsPerDim: 3}, SeqMatrix{}, PASM{}, FCTS{})
+}
+
+func TestEmptyRelations(t *testing.T) {
+	q := query.MustParse("R1 overlaps R2 and R2 overlaps R3")
+	rels := []*relation.Relation{
+		relation.FromIntervals("R1", nil),
+		relation.FromIntervals("R2", []interval.Interval{{Start: 0, End: 5}}),
+		relation.FromIntervals("R3", nil),
+	}
+	crossValidate(t, q, rels, Options{Partitions: 4, PartitionsPerDim: 3},
+		RCCIS{}, AllRep{}, Cascade{}, SeqMatrix{}, PASM{}, GenMatrix{})
+}
+
+func TestSinglePartition(t *testing.T) {
+	// With one partition every algorithm degenerates to a local join.
+	rng := rand.New(rand.NewSource(19))
+	q := query.MustParse("R1 overlaps R2 and R2 overlaps R3")
+	rels := make([]*relation.Relation, 3)
+	for i, s := range q.Relations {
+		rels[i] = randomRelation(rng, s.Name, 30, 80, 20)
+	}
+	crossValidate(t, q, rels, Options{Partitions: 1, PartitionsPerDim: 1},
+		RCCIS{}, AllRep{}, Cascade{}, SeqMatrix{}, PASM{}, FCTS{}, GenMatrix{})
+}
+
+func TestManyPartitions(t *testing.T) {
+	// More partitions than distinct points stress boundary handling.
+	rng := rand.New(rand.NewSource(20))
+	q := query.MustParse("R1 overlaps R2")
+	rels := []*relation.Relation{
+		randomRelation(rng, "R1", 25, 30, 10),
+		randomRelation(rng, "R2", 25, 30, 10),
+	}
+	crossValidate(t, q, rels, Options{Partitions: 64, PartitionsPerDim: 16},
+		TwoWay{}, RCCIS{}, AllRep{}, SeqMatrix{})
+}
+
+func TestPointIntervalData(t *testing.T) {
+	// Length-zero intervals (real-valued points) through the interval
+	// algorithms: colocation reduces to equality, sequence to inequality.
+	rng := rand.New(rand.NewSource(21))
+	mk := func(name string) *relation.Relation {
+		ivs := make([]interval.Interval, 40)
+		for i := range ivs {
+			ivs[i] = interval.PointInterval(rng.Int63n(25))
+		}
+		return relation.FromIntervals(name, ivs)
+	}
+	q := query.MustParse("R1 equals R2 and R2 equals R3")
+	rels := []*relation.Relation{mk("R1"), mk("R2"), mk("R3")}
+	crossValidate(t, q, rels, Options{Partitions: 5, PartitionsPerDim: 4},
+		RCCIS{}, AllRep{}, Cascade{}, SeqMatrix{})
+
+	qs := query.MustParse("R1 before R2 and R2 before R3")
+	crossValidate(t, qs, rels, Options{Partitions: 5, PartitionsPerDim: 4},
+		AllMatrix{}, AllRep{}, Cascade{})
+}
+
+func TestRandomQueriesPropertyStyle(t *testing.T) {
+	// Random chain queries over random predicates: the broad net.
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 10; trial++ {
+		m := 2 + rng.Intn(3)
+		qs := ""
+		for i := 1; i < m; i++ {
+			p := interval.Predicate(rng.Intn(int(interval.NumPredicates)))
+			if qs != "" {
+				qs += " and "
+			}
+			qs += fmt.Sprintf("R%d %s R%d", i, p, i+1)
+		}
+		q := query.MustParse(qs)
+		rels := make([]*relation.Relation, len(q.Relations))
+		for i, s := range q.Relations {
+			rels[i] = randomRelation(rng, s.Name, 35, 120, 25)
+		}
+		algs := []Algorithm{SeqMatrix{}, PASM{}, AllRep{}, Cascade{}, GenMatrix{}}
+		switch q.Classify() {
+		case query.Colocation:
+			algs = append(algs, RCCIS{}, FCTS{})
+		case query.Sequence:
+			algs = append(algs, AllMatrix{})
+		case query.Hybrid:
+			algs = append(algs, FCTS{}, FSTC{})
+		}
+		crossValidate(t, q, rels, Options{Partitions: 5, PartitionsPerDim: 3}, algs...)
+	}
+}
+
+func TestPlanPicksByClass(t *testing.T) {
+	cases := []struct {
+		q    string
+		want string
+	}{
+		{"R1 overlaps R2", "two-way"},
+		{"R1 overlaps R2 and R2 overlaps R3", "rccis"},
+		{"R1 before R2 and R2 before R3", "all-matrix"},
+		{"R1 before R2 and R1 overlaps R3", "all-seq-matrix"},
+		{"R1.I before R2.I and R1.A = R2.A", "gen-matrix"},
+	}
+	for _, tc := range cases {
+		if got := Plan(query.MustParse(tc.q), false).Name(); got != tc.want {
+			t.Errorf("Plan(%q) = %s, want %s", tc.q, got, tc.want)
+		}
+	}
+	if got := Plan(query.MustParse("R1 before R2 and R1 overlaps R3"), true).Name(); got != "pasm" {
+		t.Errorf("Plan with pruning = %s, want pasm", got)
+	}
+}
+
+func TestContextValidation(t *testing.T) {
+	engine := mr.NewEngine(mr.Config{Store: dfs.NewMem()})
+	q := query.MustParse("R1 overlaps R2")
+	r1 := relation.FromIntervals("R1", []interval.Interval{{Start: 0, End: 1}})
+	r2 := relation.FromIntervals("R2", []interval.Interval{{Start: 0, End: 1}})
+	rX := relation.FromIntervals("RX", []interval.Interval{{Start: 0, End: 1}})
+	if _, err := NewContext(engine, q, []*relation.Relation{r1, rX}, Options{}); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if _, err := NewContext(engine, q, []*relation.Relation{r1}, Options{}); err == nil {
+		t.Error("missing relation accepted")
+	}
+	if _, err := NewContext(engine, q, []*relation.Relation{r1, r1}, Options{}); err == nil {
+		t.Error("duplicate binding accepted")
+	}
+	if _, err := NewContext(engine, q, []*relation.Relation{r2, r1}, Options{}); err != nil {
+		t.Errorf("order-independent binding failed: %v", err)
+	}
+}
+
+func TestAlgorithmClassGuards(t *testing.T) {
+	engine := mr.NewEngine(mr.Config{Store: dfs.NewMem()})
+	seqQ := query.MustParse("R1 before R2 and R2 before R3")
+	rels := []*relation.Relation{
+		relation.FromIntervals("R1", []interval.Interval{{Start: 0, End: 1}}),
+		relation.FromIntervals("R2", []interval.Interval{{Start: 5, End: 6}}),
+		relation.FromIntervals("R3", []interval.Interval{{Start: 9, End: 10}}),
+	}
+	ctx, err := NewContext(engine, seqQ, rels, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (RCCIS{}).Run(ctx); err == nil {
+		t.Error("RCCIS accepted a sequence query")
+	}
+	colQ := query.MustParse("R1 overlaps R2 and R2 overlaps R3")
+	ctx2, err := NewContext(engine, colQ, rels, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (AllMatrix{}).Run(ctx2); err == nil {
+		t.Error("All-Matrix accepted a colocation query")
+	}
+}

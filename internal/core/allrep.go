@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"intervaljoin/internal/interval"
+	"intervaljoin/internal/mr"
+	"intervaljoin/internal/query"
+	"intervaljoin/internal/relation"
+)
+
+// AllRep is the All-Replicate baseline of Section 6: a single MR cycle that
+// replicates every relation (or, when the query's less-than order has a
+// unique right-most relation reachable from all others, projects that one
+// and replicates the rest — the optimisation the paper applies to chain
+// queries). It is correct for every single-interval-attribute query class
+// but pays a huge communication cost, and for sequence queries it piles the
+// whole load onto the right-most reducers (Figure 4).
+type AllRep struct{}
+
+// Name implements Algorithm.
+func (AllRep) Name() string { return "all-rep" }
+
+// Run implements Algorithm.
+func (a AllRep) Run(ctx *Context) (*Result, error) {
+	opts := ctx.Opts.withDefaults(a.Name())
+	if cls := ctx.Query.Classify(); cls == query.General {
+		return nil, fmt.Errorf("core: all-rep handles single-attribute queries only, got %v", cls)
+	}
+	if err := ctx.Stage(); err != nil {
+		return nil, err
+	}
+	part, err := ctx.makePartitioning(opts.Partitions)
+	if err != nil {
+		return nil, err
+	}
+
+	projectRel := projectableRightmost(ctx.Query)
+	m := len(ctx.Rels)
+
+	var replicated int64
+	inputs := make([]mr.Input, m)
+	for ri := range ctx.Rels {
+		inputs[ri] = mr.Input{File: ctx.inputFile(ri), Tag: ri}
+		if ri != projectRel {
+			replicated += int64(ctx.Rels[ri].Len())
+		}
+	}
+
+	job := mr.Job{
+		Name:   opts.Scratch + "/join",
+		Inputs: inputs,
+		Map: func(tag int, record string, emit mr.Emit) error {
+			t, err := relation.DecodeTuple(record)
+			if err != nil {
+				return err
+			}
+			op := interval.OpReplicate
+			if tag == projectRel {
+				op = interval.OpProject
+			}
+			first, last := part.Apply(op, t.Key())
+			enc := encodeTagged(tag, t)
+			for p := first; p <= last; p++ {
+				emit(int64(p), enc)
+			}
+			return nil
+		},
+		Reduce:     reduceJoinAtPartition(ctx, part),
+		Output:     opts.Scratch + "/output",
+		SortValues: opts.SortValues,
+	}
+	metrics, err := ctx.Engine.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Algorithm:           a.Name(),
+		Metrics:             metrics,
+		PerCycle:            []*mr.Metrics{metrics},
+		ReplicatedIntervals: replicated,
+	}
+	if err := readOutput(ctx, job.Output, res); err != nil {
+		return nil, err
+	}
+	res.SortTuples()
+	return res, nil
+}
+
+// projectableRightmost returns the index of the unique relation that is
+// maximal in the query's less-than order and reachable from every other
+// relation (so its interval always carries the assignment's maximal start
+// point), or -1 when no such relation exists and every relation must be
+// replicated.
+func projectableRightmost(q *query.Query) int {
+	m := len(q.Relations)
+	adj := make([][]bool, m)
+	for i := range adj {
+		adj[i] = make([]bool, m)
+	}
+	isLesser := make([]bool, m)
+	for _, p := range q.LessThanPairs() {
+		adj[p[0]][p[1]] = true
+		isLesser[p[0]] = true
+	}
+	candidate := -1
+	for r := 0; r < m; r++ {
+		if !isLesser[r] {
+			if candidate >= 0 {
+				return -1 // multiple right-most relations
+			}
+			candidate = r
+		}
+	}
+	if candidate < 0 {
+		return -1 // cyclic order; replicate everything
+	}
+	// Every other relation must reach the candidate.
+	reached := make([]bool, m)
+	var visit func(int)
+	visit = func(x int) {
+		if reached[x] {
+			return
+		}
+		reached[x] = true
+		for y := 0; y < m; y++ {
+			if adj[y][x] { // walk edges backwards from the candidate
+				visit(y)
+			}
+		}
+	}
+	visit(candidate)
+	for r := 0; r < m; r++ {
+		if !reached[r] {
+			return -1
+		}
+	}
+	return candidate
+}
+
+// reduceJoinAtPartition returns the reduce function shared by All-Rep and
+// RCCIS cycle 2: group the received tagged tuples by relation, enumerate
+// satisfying assignments, and emit exactly those whose right-most interval
+// (maximal start point) lies in this reducer's partition — the paper's
+// "computing output tuple" rule, which guarantees exactly-once output.
+func reduceJoinAtPartition(ctx *Context, part interval.Partitioning) mr.ReduceFunc {
+	m := len(ctx.Rels)
+	return func(key int64, values []string, write func(string) error) error {
+		cands := make([][]relation.Tuple, m)
+		for _, v := range values {
+			rel, t, err := decodeTagged(v)
+			if err != nil {
+				return err
+			}
+			cands[rel] = append(cands[rel], t)
+		}
+		rels := make([]int, m)
+		for i := range rels {
+			rels[i] = i
+		}
+		e := newEnumerator(ctx.Query.Conds, rels)
+		p := int(key)
+		var outErr error
+		e.run(cands, func(asg []relation.Tuple) {
+			if outErr != nil {
+				return
+			}
+			maxStart := asg[0].Key().Start
+			for _, t := range asg[1:] {
+				if s := t.Key().Start; s > maxStart {
+					maxStart = s
+				}
+			}
+			if part.IndexOf(maxStart) != p {
+				return
+			}
+			out := make(OutputTuple, len(asg))
+			for i, t := range asg {
+				out[i] = t.ID
+			}
+			outErr = write(out.Key())
+		})
+		return outErr
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"intervaljoin/internal/interval"
+	"intervaljoin/internal/query"
+	"intervaljoin/internal/relation"
+)
+
+func benchCands(n int) [][]relation.Tuple {
+	rng := rand.New(rand.NewSource(1))
+	mk := func() []relation.Tuple {
+		out := make([]relation.Tuple, n)
+		for i := range out {
+			s := rng.Int63n(100_000)
+			out[i] = mkTuple(int64(i), interval.New(s, s+rng.Int63n(100)))
+		}
+		return out
+	}
+	return [][]relation.Tuple{mk(), mk(), mk()}
+}
+
+// BenchmarkEnumeratorChain measures the reduce-side join core: a 3-way
+// overlaps chain over sorted range-pruned candidate lists.
+func BenchmarkEnumeratorChain(b *testing.B) {
+	q := query.MustParse("R1 overlaps R2 and R2 overlaps R3")
+	cands := benchCands(2_000)
+	e := newEnumerator(q.Conds, []int{0, 1, 2})
+	b.ResetTimer()
+	count := 0
+	for i := 0; i < b.N; i++ {
+		e.run(cands, func([]relation.Tuple) { count++ })
+	}
+	_ = count
+}
+
+// BenchmarkEnumeratorSequence: a before-chain, whose output is much denser.
+func BenchmarkEnumeratorSequence(b *testing.B) {
+	q := query.MustParse("R1 before R2 and R2 before R3")
+	cands := benchCands(60)
+	e := newEnumerator(q.Conds, []int{0, 1, 2})
+	b.ResetTimer()
+	count := 0
+	for i := 0; i < b.N; i++ {
+		e.run(cands, func([]relation.Tuple) { count++ })
+	}
+	_ = count
+}
+
+// BenchmarkSemijoinReduce measures the RCCIS marking primitive.
+func BenchmarkSemijoinReduce(b *testing.B) {
+	q := query.MustParse("R1 overlaps R2 and R2 overlaps R3")
+	cands := benchCands(2_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		semijoinReduce(q.Conds, []int{0, 1, 2}, cands)
+	}
+}
+
+// BenchmarkMarkCrossingParticipants measures RCCIS cycle-1 decision making
+// for one partition.
+func BenchmarkMarkCrossingParticipants(b *testing.B) {
+	q := query.MustParse("R1 overlaps R2 and R2 overlaps R3")
+	lists := benchCands(2_000)
+	cands := map[int][]relation.Tuple{0: lists[0], 1: lists[1], 2: lists[2]}
+	part := interval.NewUniform(0, 100_100, 16)
+	rels := []int{0, 1, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		markCrossingParticipants(q.Conds, part, 4, rels, uniformAttr0(rels), cands)
+	}
+}

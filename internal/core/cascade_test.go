@@ -1,0 +1,114 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"intervaljoin/internal/dfs"
+	"intervaljoin/internal/interval"
+	"intervaljoin/internal/mr"
+	"intervaljoin/internal/query"
+	"intervaljoin/internal/relation"
+)
+
+func TestPlanCascadeChain(t *testing.T) {
+	q := query.MustParse("R1 overlaps R2 and R2 contains R3 and R3 overlaps R4")
+	steps, err := planCascade(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 {
+		t.Fatalf("steps = %d, want 3", len(steps))
+	}
+	// Chain binds left to right.
+	wantNovel := []int{1, 2, 3}
+	for i, s := range steps {
+		if s.novel != wantNovel[i] {
+			t.Fatalf("step %d binds %d, want %d", i, s.novel, wantNovel[i])
+		}
+		if len(s.checkConds) == 0 {
+			t.Fatalf("step %d has no conditions to check", i)
+		}
+	}
+}
+
+func TestPlanCascadeStar(t *testing.T) {
+	q := query.MustParse("R2 contains R1 and R2 overlaps R3 and R2 overlaps R4")
+	steps, err := planCascade(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 {
+		t.Fatalf("steps = %d, want 3", len(steps))
+	}
+	// The hub R2 is bound first (left operand of the first condition).
+	if steps[0].existing != 0 && steps[0].existing != 1 {
+		t.Fatalf("first step existing = %d", steps[0].existing)
+	}
+}
+
+func TestPlanCascadeTriangleChecksAllConditions(t *testing.T) {
+	// A cycle: the third condition closes the triangle and must be checked
+	// when its later relation binds, not dropped.
+	q := query.MustParse("R1 overlaps R2 and R2 overlaps R3 and R1 contains R3")
+	steps, err := planCascade(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 2 {
+		t.Fatalf("steps = %d, want 2 (3 relations)", len(steps))
+	}
+	last := steps[len(steps)-1]
+	if len(last.checkConds) != 2 {
+		t.Fatalf("final step checks %d conditions, want 2 (driving + triangle closure)", len(last.checkConds))
+	}
+}
+
+func TestPlanCascadeDisconnected(t *testing.T) {
+	q := query.MustParse("R1 overlaps R2 and R3 overlaps R4")
+	if _, err := planCascade(q); err == nil || !strings.Contains(err.Error(), "connected") {
+		t.Fatalf("disconnected query accepted: %v", err)
+	}
+}
+
+func TestCascadeNames(t *testing.T) {
+	if (Cascade{}).Name() != "2way-cascade" || (Cascade{MatrixSteps: true}).Name() != "2way-cascade-matrix" {
+		t.Fatal("cascade names wrong")
+	}
+}
+
+func TestCascadeRejectsGeneral(t *testing.T) {
+	q := query.MustParse("R1.I overlaps R2.I and R1.A = R2.A")
+	engine := mr.NewEngine(mr.Config{Store: dfs.NewMem()})
+	rels := genMultiRels(t, q)
+	ctx, err := NewContext(engine, q, rels, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Cascade{}).Run(ctx); err == nil {
+		t.Fatal("cascade accepted a general query")
+	}
+	if _, err := (AllRep{}).Run(ctx); err == nil {
+		t.Fatal("all-rep accepted a general query")
+	}
+	if _, err := (SeqMatrix{}).Run(ctx); err == nil {
+		t.Fatal("all-seq-matrix accepted a general query")
+	}
+	if _, err := (PASM{}).Run(ctx); err == nil {
+		t.Fatal("pasm accepted a general query")
+	}
+	if _, err := (FCTS{}).Run(ctx); err == nil {
+		t.Fatal("fcts accepted a general query")
+	}
+}
+
+func genMultiRels(t *testing.T, q *query.Query) []*relation.Relation {
+	t.Helper()
+	rels := make([]*relation.Relation, len(q.Relations))
+	for i, s := range q.Relations {
+		r := relation.New(s)
+		r.Append(interval.New(0, 10), interval.PointInterval(1))
+		rels[i] = r
+	}
+	return rels
+}

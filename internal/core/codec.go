@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"intervaljoin/internal/relation"
+)
+
+// The intermediate record formats the algorithms ship between map and reduce
+// and across cycle boundaries. All are line records on the dfs store:
+//
+//	tagged tuple:  "<rel>;<tuple>"
+//	flagged tuple: "<rel>;<flag>;<tuple>"         (RCCIS cycle-1 output)
+//	vector tuple:  "<rel>;<f0f1...>;<tuple>"      (Gen-Matrix flag vector)
+//
+// where <tuple> is relation.EncodeTuple's "id|s,e|s,e|..." form and flags
+// are '0'/'1' runes. The tag is the relation's index in the query.
+
+// encodeTagged prefixes a tuple with its relation index.
+func encodeTagged(rel int, t relation.Tuple) string {
+	return strconv.Itoa(rel) + ";" + relation.EncodeTuple(t)
+}
+
+// decodeTagged parses encodeTagged's output.
+func decodeTagged(s string) (rel int, t relation.Tuple, err error) {
+	sep := strings.IndexByte(s, ';')
+	if sep < 0 {
+		return 0, relation.Tuple{}, fmt.Errorf("core: malformed tagged tuple %q", s)
+	}
+	rel, err = strconv.Atoi(s[:sep])
+	if err != nil {
+		return 0, relation.Tuple{}, fmt.Errorf("core: bad relation tag in %q: %v", s, err)
+	}
+	t, err = relation.DecodeTuple(s[sep+1:])
+	return rel, t, err
+}
+
+// encodeFlagged carries a single replicate flag (RCCIS cycle-1 output).
+func encodeFlagged(rel int, replicate bool, t relation.Tuple) string {
+	flag := "0"
+	if replicate {
+		flag = "1"
+	}
+	return strconv.Itoa(rel) + ";" + flag + ";" + relation.EncodeTuple(t)
+}
+
+// decodeFlagged parses encodeFlagged's output.
+func decodeFlagged(s string) (rel int, replicate bool, t relation.Tuple, err error) {
+	first := strings.IndexByte(s, ';')
+	if first < 0 {
+		return 0, false, relation.Tuple{}, fmt.Errorf("core: malformed flagged tuple %q", s)
+	}
+	second := strings.IndexByte(s[first+1:], ';')
+	if second < 0 {
+		return 0, false, relation.Tuple{}, fmt.Errorf("core: malformed flagged tuple %q", s)
+	}
+	second += first + 1
+	rel, err = strconv.Atoi(s[:first])
+	if err != nil {
+		return 0, false, relation.Tuple{}, fmt.Errorf("core: bad relation tag in %q: %v", s, err)
+	}
+	switch s[first+1 : second] {
+	case "0":
+		replicate = false
+	case "1":
+		replicate = true
+	default:
+		return 0, false, relation.Tuple{}, fmt.Errorf("core: bad flag in %q", s)
+	}
+	t, err = relation.DecodeTuple(s[second+1:])
+	return rel, replicate, t, err
+}
+
+// encodeVertexFlagged carries a replicate flag for one (relation, attribute)
+// vertex of a tuple — the Gen-Matrix cycle-1 output, one record per vertex.
+func encodeVertexFlagged(rel, attr int, replicate bool, t relation.Tuple) string {
+	flag := "0"
+	if replicate {
+		flag = "1"
+	}
+	return strconv.Itoa(rel) + ";" + strconv.Itoa(attr) + ";" + flag + ";" + relation.EncodeTuple(t)
+}
+
+// decodeVertexFlagged parses encodeVertexFlagged's output.
+func decodeVertexFlagged(s string) (rel, attr int, replicate bool, t relation.Tuple, err error) {
+	parts := strings.SplitN(s, ";", 4)
+	if len(parts) != 4 {
+		return 0, 0, false, relation.Tuple{}, fmt.Errorf("core: malformed vertex-flagged tuple %q", s)
+	}
+	rel, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, false, relation.Tuple{}, fmt.Errorf("core: bad relation tag in %q: %v", s, err)
+	}
+	attr, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, false, relation.Tuple{}, fmt.Errorf("core: bad attribute tag in %q: %v", s, err)
+	}
+	switch parts[2] {
+	case "0":
+	case "1":
+		replicate = true
+	default:
+		return 0, 0, false, relation.Tuple{}, fmt.Errorf("core: bad flag in %q", s)
+	}
+	t, err = relation.DecodeTuple(parts[3])
+	return rel, attr, replicate, t, err
+}
+
+// encodeVector carries one flag per vertex of the relation (Gen-Matrix).
+// The flag order is the relation's vertex order (sorted by component id then
+// attribute index).
+func encodeVector(rel int, flags []bool, t relation.Tuple) string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(rel))
+	b.WriteByte(';')
+	for _, f := range flags {
+		if f {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	b.WriteByte(';')
+	b.WriteString(relation.EncodeTuple(t))
+	return b.String()
+}
+
+// decodeVector parses encodeVector's output.
+func decodeVector(s string) (rel int, flags []bool, t relation.Tuple, err error) {
+	first := strings.IndexByte(s, ';')
+	if first < 0 {
+		return 0, nil, relation.Tuple{}, fmt.Errorf("core: malformed vector tuple %q", s)
+	}
+	second := strings.IndexByte(s[first+1:], ';')
+	if second < 0 {
+		return 0, nil, relation.Tuple{}, fmt.Errorf("core: malformed vector tuple %q", s)
+	}
+	second += first + 1
+	rel, err = strconv.Atoi(s[:first])
+	if err != nil {
+		return 0, nil, relation.Tuple{}, fmt.Errorf("core: bad relation tag in %q: %v", s, err)
+	}
+	raw := s[first+1 : second]
+	flags = make([]bool, len(raw))
+	for i := 0; i < len(raw); i++ {
+		switch raw[i] {
+		case '0':
+		case '1':
+			flags[i] = true
+		default:
+			return 0, nil, relation.Tuple{}, fmt.Errorf("core: bad flag vector in %q", s)
+		}
+	}
+	t, err = relation.DecodeTuple(s[second+1:])
+	return rel, flags, t, err
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"intervaljoin/internal/interval"
+	"intervaljoin/internal/relation"
+)
+
+func TestTaggedRoundTrip(t *testing.T) {
+	f := func(rel uint8, id int64, s, l uint16) bool {
+		tu := mkTuple(id, interval.New(int64(s), int64(s)+int64(l)))
+		r, got, err := decodeTagged(encodeTagged(int(rel), tu))
+		return err == nil && r == int(rel) && got.ID == id && got.Attrs[0] == tu.Attrs[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlaggedRoundTrip(t *testing.T) {
+	f := func(rel uint8, repl bool, id int64, s, l uint16) bool {
+		tu := mkTuple(id, interval.New(int64(s), int64(s)+int64(l)))
+		r, gotRepl, got, err := decodeFlagged(encodeFlagged(int(rel), repl, tu))
+		return err == nil && r == int(rel) && gotRepl == repl && got.ID == id && got.Attrs[0] == tu.Attrs[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVertexFlaggedRoundTrip(t *testing.T) {
+	f := func(rel, attr uint8, repl bool, id int64, s, l uint16) bool {
+		tu := mkTuple(id, interval.New(int64(s), int64(s)+int64(l)))
+		r, a, gotRepl, got, err := decodeVertexFlagged(encodeVertexFlagged(int(rel), int(attr), repl, tu))
+		return err == nil && r == int(rel) && a == int(attr) && gotRepl == repl && got.ID == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	tu := relation.Tuple{ID: 42, Attrs: []interval.Interval{
+		interval.New(0, 5), interval.New(7, 7),
+	}}
+	for _, flags := range [][]bool{{}, {true}, {false, true, false}} {
+		rel, gotFlags, got, err := decodeVector(encodeVector(3, flags, tu))
+		if err != nil || rel != 3 || got.ID != 42 || len(gotFlags) != len(flags) {
+			t.Fatalf("vector round trip failed: %v %v %v %v", rel, gotFlags, got, err)
+		}
+		for i := range flags {
+			if gotFlags[i] != flags[i] {
+				t.Fatalf("flag %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestDecodeTaggedErrors(t *testing.T) {
+	for _, s := range []string{"", "noseparator", "x;1|0,1", "1;garbage"} {
+		if _, _, err := decodeTagged(s); err == nil {
+			t.Errorf("decodeTagged(%q) succeeded", s)
+		}
+	}
+	for _, s := range []string{"", "1;2", "1;x;3|0,1", "y;0;3|0,1", "1;0;bad"} {
+		if _, _, _, err := decodeFlagged(s); err == nil {
+			t.Errorf("decodeFlagged(%q) succeeded", s)
+		}
+	}
+	for _, s := range []string{"", "1;01", "1;0x1;3|0,1", "z;01;3|0,1"} {
+		if _, _, _, err := decodeVector(s); err == nil {
+			t.Errorf("decodeVector(%q) succeeded", s)
+		}
+	}
+	for _, s := range []string{"", "1;2;3", "a;0;1;3|0,1", "1;b;1;3|0,1", "1;0;x;3|0,1"} {
+		if _, _, _, _, err := decodeVertexFlagged(s); err == nil {
+			t.Errorf("decodeVertexFlagged(%q) succeeded", s)
+		}
+	}
+}
+
+func TestPartialRoundTrip(t *testing.T) {
+	pa := partialAssignment{
+		{rel: 0, tuple: mkTuple(5, interval.New(0, 9))},
+		{rel: 2, tuple: mkTuple(7, interval.New(3, 4))},
+	}
+	got, err := decodePartial(encodePartial(pa))
+	if err != nil || len(got) != 2 || got[0].rel != 0 || got[1].tuple.ID != 7 {
+		t.Fatalf("partial round trip: %v %v", got, err)
+	}
+	if got.intervalOf(2) != interval.New(3, 4) {
+		t.Fatalf("intervalOf(2) = %v", got.intervalOf(2))
+	}
+}
+
+func TestOutputTupleRoundTrip(t *testing.T) {
+	o := OutputTuple{3, -1, 99}
+	got, err := ParseOutputTuple(o.Key())
+	if err != nil || len(got) != 3 || got[0] != 3 || got[1] != -1 || got[2] != 99 {
+		t.Fatalf("output tuple round trip: %v %v", got, err)
+	}
+	if _, err := ParseOutputTuple("1,x"); err == nil {
+		t.Error("bad output tuple accepted")
+	}
+}

@@ -1,0 +1,293 @@
+// Package core implements the paper's contribution: the map-reduce interval
+// join algorithms. It contains the 2-way strategies of Figure 1, the naive
+// baselines (2-way Cascade and All-Replicate), and the four main algorithms
+// RCCIS (Section 6), All-Matrix (Section 7), All-Seq-Matrix and
+// Pruned-All-Seq-Matrix (Section 8) and Gen-Matrix (Section 9), plus a
+// nested-loop reference join used as a correctness oracle.
+//
+// All algorithms implement the Algorithm interface and run on the mr.Engine
+// against relations staged on its dfs.Store, producing a Result: the decoded
+// output tuples plus the engine metrics the paper's evaluation compares
+// (intermediate pairs, replicated intervals, per-reducer load, cycles).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"intervaljoin/internal/interval"
+	"intervaljoin/internal/mr"
+	"intervaljoin/internal/query"
+	"intervaljoin/internal/relation"
+)
+
+// Options tune an algorithm run.
+type Options struct {
+	// Partitions is the number of partition-intervals (= reducers) for the
+	// one-dimensional algorithms and for each RCCIS sub-run. Defaults to
+	// 16, the paper's cluster size.
+	Partitions int
+	// PartitionsPerDim is o, the number of partitions per grid dimension
+	// for the matrix algorithms. Defaults to 6 (the paper's Section 7.1
+	// configuration).
+	PartitionsPerDim int
+	// Range optionally pins the time range [Range[0], Range[1]) used to
+	// build partitionings. When nil it is derived from the data.
+	Range *[2]interval.Point
+	// Scratch prefixes the intermediate and output file names on the
+	// store, so concurrent runs do not collide. Defaults to the
+	// algorithm name.
+	Scratch string
+	// SortValues makes every MR cycle deterministic; costs a sort.
+	SortValues bool
+	// EquiDepth derives partition boundaries from quantiles of the data's
+	// start points instead of splitting the range uniformly, so skewed
+	// data still loads reducers evenly (the skew handling the paper notes
+	// that "uniformly distributed data vs skewed data will need to be
+	// processed differently").
+	EquiDepth bool
+}
+
+// scratchSeq disambiguates the scratch namespaces of concurrent runs that
+// share one store.
+var scratchSeq atomic.Int64
+
+func (o Options) withDefaults(name string) Options {
+	if o.Partitions <= 0 {
+		o.Partitions = 16
+	}
+	if o.PartitionsPerDim <= 0 {
+		o.PartitionsPerDim = 6
+	}
+	if o.Scratch == "" {
+		o.Scratch = fmt.Sprintf("%s-%d", name, scratchSeq.Add(1))
+	}
+	return o
+}
+
+// Context is everything an algorithm needs: the engine, the validated
+// query, and the relations bound positionally to the query's relation list.
+type Context struct {
+	Engine *mr.Engine
+	Query  *query.Query
+	Rels   []*relation.Relation
+	Opts   Options
+}
+
+// NewContext validates and assembles a run context. Relations are matched to
+// the query's relation list by name.
+func NewContext(engine *mr.Engine, q *query.Query, rels []*relation.Relation, opts Options) (*Context, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	bound := make([]*relation.Relation, len(q.Relations))
+	for _, r := range rels {
+		i := q.RelIndex(r.Schema.Name)
+		if i < 0 {
+			return nil, fmt.Errorf("core: relation %s does not appear in the query", r.Schema.Name)
+		}
+		if bound[i] != nil {
+			return nil, fmt.Errorf("core: relation %s bound twice", r.Schema.Name)
+		}
+		if r.Schema.Arity() < q.Relations[i].Arity() {
+			return nil, fmt.Errorf("core: relation %s has arity %d, query needs %d",
+				r.Schema.Name, r.Schema.Arity(), q.Relations[i].Arity())
+		}
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		bound[i] = r
+	}
+	for i, r := range bound {
+		if r == nil {
+			return nil, fmt.Errorf("core: no relation bound for %s", q.Relations[i].Name)
+		}
+	}
+	return &Context{Engine: engine, Query: q, Rels: bound, Opts: opts}, nil
+}
+
+// inputFile is where relation ri is staged on the store.
+func (c *Context) inputFile(ri int) string {
+	return "input/" + c.Query.Relations[ri].Name
+}
+
+// Stage writes every relation to the store in the engine's record format.
+// It is idempotent per store; callers sharing a store across algorithm runs
+// stage once.
+func (c *Context) Stage() error {
+	for ri, r := range c.Rels {
+		w, err := c.Engine.Store().Create(c.inputFile(ri))
+		if err != nil {
+			return err
+		}
+		for _, t := range r.Tuples {
+			if err := w.Write(relation.EncodeTuple(t)); err != nil {
+				w.Close()
+				return err
+			}
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// timeRange returns the partitioning range: the explicit option if set,
+// otherwise the bounds of all staged relations (padded by one so every end
+// point falls strictly inside).
+func (c *Context) timeRange() (t0, tn interval.Point, err error) {
+	if c.Opts.Range != nil {
+		return c.Opts.Range[0], c.Opts.Range[1], nil
+	}
+	t0, tn, ok := relation.Bounds(c.Rels...)
+	if !ok {
+		return 0, 1, nil // all-empty inputs: any non-empty range works
+	}
+	return t0, tn, nil
+}
+
+// sampleBudget bounds the driver-side start-point sample used by equi-depth
+// partitioning.
+const sampleBudget = 8192
+
+// sampleStarts stride-samples the start points of every relation's first
+// attribute (the single-attribute algorithms' join column).
+func (c *Context) sampleStarts() []interval.Point {
+	total := 0
+	for _, r := range c.Rels {
+		total += r.Len()
+	}
+	if total == 0 {
+		return nil
+	}
+	stride := total/sampleBudget + 1
+	var sample []interval.Point
+	i := 0
+	for _, r := range c.Rels {
+		for _, t := range r.Tuples {
+			if i%stride == 0 {
+				sample = append(sample, t.Attrs[0].Start)
+			}
+			i++
+		}
+	}
+	return sample
+}
+
+// makePartitioning builds the shared 1-D partitioning of n partitions:
+// uniform-width by default, quantile-based under Options.EquiDepth. The
+// result may hold fewer than n partitions when quantiles collapse.
+func (c *Context) makePartitioning(n int) (interval.Partitioning, error) {
+	t0, tn, err := c.timeRange()
+	if err != nil {
+		return interval.Partitioning{}, err
+	}
+	if c.Opts.EquiDepth {
+		return interval.NewEquiDepth(t0, tn, n, c.sampleStarts())
+	}
+	return interval.MakeUniform(t0, tn, n)
+}
+
+// OutputTuple is one join result: the tuple id per relation, in query
+// relation order.
+type OutputTuple []int64
+
+// Key renders the canonical form used for set comparison.
+func (o OutputTuple) Key() string {
+	parts := make([]string, len(o))
+	for i, id := range o {
+		parts[i] = strconv.FormatInt(id, 10)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseOutputTuple parses the canonical form.
+func ParseOutputTuple(s string) (OutputTuple, error) {
+	parts := strings.Split(s, ",")
+	out := make(OutputTuple, len(parts))
+	for i, p := range parts {
+		id, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad output tuple %q: %v", s, err)
+		}
+		out[i] = id
+	}
+	return out, nil
+}
+
+// Result is what an algorithm run produces.
+type Result struct {
+	// Algorithm is the algorithm's name.
+	Algorithm string
+	// Tuples is the decoded join output.
+	Tuples []OutputTuple
+	// Metrics aggregates all MR cycles of the run.
+	Metrics *mr.Metrics
+	// PerCycle holds the metrics of each individual cycle.
+	PerCycle []*mr.Metrics
+	// ReplicatedIntervals counts the intervals selected for replication
+	// (the paper's Table 1 "# Intervals Replicated" column). Zero for
+	// algorithms that do not replicate.
+	ReplicatedIntervals int64
+	// PrunedIntervals maps relation index -> number of tuples PASM proved
+	// cannot appear in any output and dropped before the join cycle
+	// (the paper's Table 3 "% intervals pruned" column).
+	PrunedIntervals map[int]int64
+}
+
+// SortTuples orders the output canonically for comparison and display.
+func (r *Result) SortTuples() {
+	sort.Slice(r.Tuples, func(i, j int) bool {
+		a, b := r.Tuples[i], r.Tuples[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// TupleSet returns the output as a set of canonical keys.
+func (r *Result) TupleSet() map[string]struct{} {
+	set := make(map[string]struct{}, len(r.Tuples))
+	for _, t := range r.Tuples {
+		set[t.Key()] = struct{}{}
+	}
+	return set
+}
+
+// Algorithm is a runnable join algorithm.
+type Algorithm interface {
+	// Name identifies the algorithm ("rccis", "all-matrix", ...).
+	Name() string
+	// Run executes the algorithm and returns its result.
+	Run(ctx *Context) (*Result, error)
+}
+
+// readOutput decodes the final job output file into Result.Tuples.
+func readOutput(ctx *Context, file string, res *Result) error {
+	it, err := ctx.Engine.Store().Open(file)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	for {
+		rec, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		t, err := ParseOutputTuple(rec)
+		if err != nil {
+			return err
+		}
+		res.Tuples = append(res.Tuples, t)
+	}
+}

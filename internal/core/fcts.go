@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+
+	"intervaljoin/internal/grid"
+	"intervaljoin/internal/interval"
+	"intervaljoin/internal/mr"
+	"intervaljoin/internal/query"
+	"intervaljoin/internal/relation"
+)
+
+// FCTS — First Colocation Then Sequence — is the hybrid baseline of
+// Section 8: every colocation component's sub-query is computed first (via
+// RCCIS), materialising the component outputs as intermediate relations of
+// partial assignments; a final matrix cycle then joins the component outputs
+// on the sequence conditions. Like 2-way Cascade it pays for reading and
+// shuffling large intermediate results, which is what All-Seq-Matrix
+// removes. (FSTC, the mirror-image baseline, is strictly analogous and is
+// not evaluated in the paper's tables; it is not implemented.)
+//
+// Three MR cycles: component RCCIS marking; component joins (all components
+// in one job, keyed by component x partition); sequence grid join over the
+// materialised component outputs.
+type FCTS struct{}
+
+// Name implements Algorithm.
+func (FCTS) Name() string { return "fcts" }
+
+// Run implements Algorithm.
+func (a FCTS) Run(ctx *Context) (*Result, error) {
+	opts := ctx.Opts.withDefaults(a.Name())
+	if cls := ctx.Query.Classify(); cls == query.General {
+		return nil, fmt.Errorf("core: fcts handles single-attribute queries, got %v", cls)
+	}
+	if err := ctx.Stage(); err != nil {
+		return nil, err
+	}
+	d := query.Decompose(ctx.Query)
+	if d.Contradictory {
+		return &Result{Algorithm: a.Name(), Metrics: mr.NewMetrics(a.Name())}, nil
+	}
+	part, err := ctx.makePartitioning(opts.PartitionsPerDim)
+	if err != nil {
+		return nil, err
+	}
+
+	marked := opts.Scratch + "/marked"
+	compOut := opts.Scratch + "/components"
+	markJob := componentMarkJob(ctx, opts, part, d, marked)
+	compJob := a.componentOutputJob(ctx, opts, part, d, marked, compOut)
+	seqJob, err := a.sequenceJob(ctx, opts, part, d, compOut, opts.Scratch+"/output")
+	if err != nil {
+		return nil, err
+	}
+	perCycle, agg, err := ctx.Engine.RunChain(markJob, compJob, seqJob)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Algorithm: a.Name(), Metrics: agg, PerCycle: perCycle}
+	res.ReplicatedIntervals, err = countFlagged(ctx, marked)
+	if err != nil {
+		return nil, err
+	}
+	if err := readOutput(ctx, seqJob.Output, res); err != nil {
+		return nil, err
+	}
+	res.SortTuples()
+	return res, nil
+}
+
+// componentOutputJob materialises every component sub-query's output as
+// partial-assignment records (cycle 2). Keys are component*o + partition;
+// each reducer enumerates the component's satisfying assignments among the
+// tuples routed to it and emits those whose right-most member starts here.
+func (FCTS) componentOutputJob(ctx *Context, opts Options, part interval.Partitioning,
+	d *query.Decomposition, marked, output string) mr.Job {
+
+	comp := compOfRel(d)
+	o := int64(part.Len())
+	compRels := make([][]int, len(d.Components))
+	compConds := make([][]query.Condition, len(d.Components))
+	for ci := range d.Components {
+		for _, v := range d.Components[ci].Vertices {
+			compRels[ci] = append(compRels[ci], v.Rel)
+		}
+		compConds[ci] = d.SubQueryConds(ci)
+	}
+
+	return mr.Job{
+		Name:   opts.Scratch + "/component-join",
+		Inputs: []mr.Input{{File: marked}},
+		Map: func(_ int, record string, emit mr.Emit) error {
+			rel, replicate, t, err := decodeFlagged(record)
+			if err != nil {
+				return err
+			}
+			ci := comp[rel]
+			q := part.Project(t.Key())
+			last := q
+			if replicate {
+				last = int(o) - 1
+			}
+			enc := encodeTagged(rel, t)
+			for p := q; p <= last; p++ {
+				emit(int64(ci)*o+int64(p), enc)
+			}
+			return nil
+		},
+		Reduce: func(key int64, values []string, write func(string) error) error {
+			ci := int(key / o)
+			p := int(key % o)
+			rels := compRels[ci]
+			pos := make(map[int]int, len(rels))
+			for i, r := range rels {
+				pos[r] = i
+			}
+			cands := make([][]relation.Tuple, len(rels))
+			for _, v := range values {
+				rel, t, err := decodeTagged(v)
+				if err != nil {
+					return err
+				}
+				cands[pos[rel]] = append(cands[pos[rel]], t)
+			}
+			e := newEnumerator(compConds[ci], rels)
+			var outErr error
+			e.run(cands, func(asg []relation.Tuple) {
+				if outErr != nil {
+					return
+				}
+				maxStart := asg[0].Key().Start
+				for _, t := range asg[1:] {
+					if s := t.Key().Start; s > maxStart {
+						maxStart = s
+					}
+				}
+				if part.IndexOf(maxStart) != p {
+					return
+				}
+				pa := make(partialAssignment, len(asg))
+				for i, t := range asg {
+					pa[i] = boundTuple{rel: rels[i], tuple: t}
+				}
+				outErr = write(encodePartial(pa))
+			})
+			return outErr
+		},
+		Output:     output,
+		SortValues: opts.SortValues,
+	}
+}
+
+// sequenceJob joins the materialised component outputs on the sequence
+// conditions in an l-dimensional consistent-cell grid (cycle 3). Each
+// component record is pinned along its own dimension at the partition of its
+// right-most member's start; full assignments therefore form at exactly one
+// cell.
+func (FCTS) sequenceJob(ctx *Context, opts Options, part interval.Partitioning,
+	d *query.Decomposition, compOut, output string) (mr.Job, error) {
+
+	comp := compOfRel(d)
+	l := d.NumComponents()
+	g, err := grid.NewUniform(l, part.Len())
+	if err != nil {
+		return mr.Job{}, err
+	}
+	cons := soundComponentLess(d)
+	m := len(ctx.Rels)
+	seqConds := make([]query.Condition, 0, len(d.SeqCondIdx))
+	for _, i := range d.SeqCondIdx {
+		seqConds = append(seqConds, d.Query.Conds[i])
+	}
+
+	mapFn := func(_ int, record string, emit mr.Emit) error {
+		pa, err := decodePartial(record)
+		if err != nil {
+			return err
+		}
+		ci := comp[pa[0].rel]
+		maxStart := pa[0].tuple.Key().Start
+		for _, bt := range pa[1:] {
+			if s := bt.tuple.Key().Start; s > maxStart {
+				maxStart = s
+			}
+		}
+		q := part.IndexOf(maxStart)
+		bounds := g.FreeBounds()
+		bounds[ci] = grid.Bound{Min: q, Max: q}
+		g.Enumerate(bounds, cons, func(id int64, _ []int) { emit(id, record) })
+		return nil
+	}
+
+	reduceFn := func(key int64, values []string, write func(string) error) error {
+		byComp := make([][]partialAssignment, l)
+		for _, v := range values {
+			pa, err := decodePartial(v)
+			if err != nil {
+				return err
+			}
+			ci := comp[pa[0].rel]
+			byComp[ci] = append(byComp[ci], pa)
+		}
+		// Backtracking across components, checking sequence conditions as
+		// soon as both operand components are bound.
+		asg := make([]relation.Tuple, m)
+		var outErr error
+		var rec func(ci int)
+		rec = func(ci int) {
+			if outErr != nil {
+				return
+			}
+			if ci == l {
+				out := make(OutputTuple, m)
+				for i, t := range asg {
+					out[i] = t.ID
+				}
+				outErr = write(out.Key())
+				return
+			}
+		next:
+			for _, pa := range byComp[ci] {
+				for _, bt := range pa {
+					asg[bt.rel] = bt.tuple
+				}
+				for _, c := range seqConds {
+					lc, rc := comp[c.Left.Rel], comp[c.Right.Rel]
+					if lc > ci || rc > ci {
+						continue
+					}
+					if !c.Pred.Eval(asg[c.Left.Rel].Attrs[c.Left.Attr], asg[c.Right.Rel].Attrs[c.Right.Attr]) {
+						continue next
+					}
+				}
+				rec(ci + 1)
+			}
+		}
+		rec(0)
+		return outErr
+	}
+
+	return mr.Job{
+		Name:       opts.Scratch + "/sequence-join",
+		Inputs:     []mr.Input{{File: compOut}},
+		Map:        mapFn,
+		Reduce:     reduceFn,
+		Output:     output,
+		SortValues: opts.SortValues,
+	}, nil
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"intervaljoin/internal/interval"
+	"intervaljoin/internal/query"
+	"intervaljoin/internal/relation"
+)
+
+// enumerator performs a backtracking multi-way join over an arbitrary subset
+// of the query's relations. It is the work-horse of every reduce function
+// (each reducer joins the tuples it received) and of the reference oracle.
+//
+// Relations are bound in the order given at construction; each condition is
+// checked as soon as both of its operands are bound, pruning the search.
+type enumerator struct {
+	rels []int // relation indices, in binding order
+	pos  map[int]int
+	// condsAt[i] lists the conditions checkable once binding position i is
+	// filled.
+	condsAt [][]query.Condition
+}
+
+// newEnumerator prepares an enumerator over the given relation indices using
+// exactly those conditions whose operands both lie within rels.
+func newEnumerator(conds []query.Condition, rels []int) *enumerator {
+	e := &enumerator{
+		rels:    rels,
+		pos:     make(map[int]int, len(rels)),
+		condsAt: make([][]query.Condition, len(rels)),
+	}
+	for i, r := range rels {
+		e.pos[r] = i
+	}
+	for _, c := range conds {
+		li, lok := e.pos[c.Left.Rel]
+		ri, rok := e.pos[c.Right.Rel]
+		if !lok || !rok {
+			continue
+		}
+		later := li
+		if ri > later {
+			later = ri
+		}
+		e.condsAt[later] = append(e.condsAt[later], c)
+	}
+	return e
+}
+
+// run enumerates every assignment (one tuple per relation, from cands, which
+// is parallel to the constructor's rels) satisfying all applicable
+// conditions, invoking fn with the assignment parallel to rels. fn must not
+// retain asg.
+//
+// Each candidate list is sorted by the start point of the attribute its
+// first applicable condition constrains; at every level, the Allen
+// predicates against already-bound operands bound the legal start range, so
+// only the candidates inside the intersected range are visited (a binary
+// search plus a bounded scan rather than a full pass).
+func (e *enumerator) run(cands [][]relation.Tuple, fn func(asg []relation.Tuple)) {
+	if len(cands) != len(e.rels) {
+		panic("core: enumerator candidate arity mismatch")
+	}
+	// Sort level i's candidates by the attribute constrained at level i
+	// (the first applicable condition's operand attribute); levels with no
+	// condition stay unsorted.
+	sortAttr := make([]int, len(e.rels))
+	for i := range e.rels {
+		sortAttr[i] = -1
+		if len(e.condsAt[i]) > 0 {
+			c := e.condsAt[i][0]
+			if e.pos[c.Left.Rel] == i {
+				sortAttr[i] = c.Left.Attr
+			} else {
+				sortAttr[i] = c.Right.Attr
+			}
+		}
+	}
+	sorted := make([][]relation.Tuple, len(cands))
+	for i := range cands {
+		if sortAttr[i] < 0 {
+			sorted[i] = cands[i]
+			continue
+		}
+		cp := make([]relation.Tuple, len(cands[i]))
+		copy(cp, cands[i])
+		attr := sortAttr[i]
+		sort.Slice(cp, func(a, b int) bool { return cp[a].Attrs[attr].Start < cp[b].Attrs[attr].Start })
+		sorted[i] = cp
+	}
+
+	asg := make([]relation.Tuple, len(e.rels))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(e.rels) {
+			fn(asg)
+			return
+		}
+		list := sorted[i]
+		lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+		if sortAttr[i] >= 0 {
+			// Intersect the start ranges the conditions impose on this
+			// level's sort attribute.
+			for _, c := range e.condsAt[i] {
+				var l, h interval.Point
+				if e.pos[c.Left.Rel] == i {
+					if c.Left.Attr != sortAttr[i] {
+						continue
+					}
+					b := asg[e.pos[c.Right.Rel]].Attrs[c.Right.Attr]
+					l, h = startRange(c.Pred.Inverse(), b)
+				} else {
+					if c.Right.Attr != sortAttr[i] {
+						continue
+					}
+					b := asg[e.pos[c.Left.Rel]].Attrs[c.Left.Attr]
+					l, h = startRange(c.Pred, b)
+				}
+				if l > lo {
+					lo = l
+				}
+				if h < hi {
+					hi = h
+				}
+			}
+			if lo > hi {
+				return
+			}
+		}
+		start := 0
+		if sortAttr[i] >= 0 && lo > math.MinInt64 {
+			attr := sortAttr[i]
+			start = sort.Search(len(list), func(k int) bool { return list[k].Attrs[attr].Start >= lo })
+		}
+	next:
+		for k := start; k < len(list); k++ {
+			t := list[k]
+			if sortAttr[i] >= 0 && t.Attrs[sortAttr[i]].Start > hi {
+				break
+			}
+			asg[i] = t
+			for _, c := range e.condsAt[i] {
+				u := asg[e.pos[c.Left.Rel]].Attrs[c.Left.Attr]
+				v := asg[e.pos[c.Right.Rel]].Attrs[c.Right.Attr]
+				if !c.Pred.Eval(u, v) {
+					continue next
+				}
+			}
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// startRange bounds the start point of the unbound interval x for the
+// predicate application p(b, x) with b bound: p(b, x) can only hold when
+// lo <= x.Start <= hi. The residual conditions are still checked by Eval;
+// the range is a sound filter, exact on the start coordinate.
+func startRange(p interval.Predicate, b interval.Interval) (lo, hi interval.Point) {
+	const (
+		negInf = math.MinInt64
+		posInf = math.MaxInt64
+	)
+	switch p {
+	case interval.Before: // x starts after b ends
+		return satAdd(b.End, 1), posInf
+	case interval.After: // x ends before b starts
+		return negInf, satAdd(b.Start, -1)
+	case interval.Meets: // x starts exactly at b's end
+		return b.End, b.End
+	case interval.MetBy: // x ends at b's start
+		return negInf, b.Start
+	case interval.Overlaps: // b.s < x.s < b.e
+		return satAdd(b.Start, 1), satAdd(b.End, -1)
+	case interval.OverlappedBy: // x.s < b.s
+		return negInf, satAdd(b.Start, -1)
+	case interval.Contains: // b.s < x.s (and x.e < b.e)
+		return satAdd(b.Start, 1), satAdd(b.End, -1)
+	case interval.ContainedBy: // x.s < b.s
+		return negInf, satAdd(b.Start, -1)
+	case interval.Starts, interval.StartedBy, interval.Equals:
+		return b.Start, b.Start
+	case interval.Finishes: // x.s < b.s... Finishes(b,x): b.e==x.e, b.s > x.s
+		return negInf, satAdd(b.Start, -1)
+	case interval.FinishedBy: // x.s > b.s and x.e == b.e
+		return satAdd(b.Start, 1), b.End
+	}
+	return negInf, posInf
+}
+
+// satAdd adds with saturation at the int64 extremes.
+func satAdd(a interval.Point, d int64) interval.Point {
+	s := a + d
+	if d > 0 && s < a {
+		return math.MaxInt64
+	}
+	if d < 0 && s > a {
+		return math.MinInt64
+	}
+	return s
+}
+
+// semijoinReduce prunes each candidate list to tuples that have at least one
+// partner under every incident condition, iterating to a fixpoint. For an
+// acyclic condition graph the surviving tuples are exactly those that
+// participate in some satisfying assignment; for cyclic graphs the result is
+// a superset (safe for RCCIS: replicating extra intervals never loses
+// output, it only costs communication). All paper queries are acyclic.
+//
+// Partner search uses the same start-range bounds as the enumerator: the
+// partner list is kept sorted by the start of the condition's attribute, so
+// each existence check is a binary search plus a bounded scan.
+//
+// conds must only mention relations in rels. cands is parallel to rels and
+// is not modified; the pruned lists are returned. If any list empties, all
+// returned lists are empty (no assignment exists).
+func semijoinReduce(conds []query.Condition, rels []int, cands [][]relation.Tuple) [][]relation.Tuple {
+	pos := make(map[int]int, len(rels))
+	for i, r := range rels {
+		pos[r] = i
+	}
+	cur := make([][]relation.Tuple, len(cands))
+	for i := range cands {
+		cur[i] = cands[i]
+	}
+	// side prunes relPos against otherPos: a tuple u survives if some v in
+	// the other list satisfies the condition with u on side "uIsLeft".
+	type side struct {
+		relPos, attr        int
+		otherPos, otherAttr int
+		pred                interval.Predicate
+		uIsLeft             bool
+	}
+	var sides []side
+	for _, c := range conds {
+		li, lok := pos[c.Left.Rel]
+		ri, rok := pos[c.Right.Rel]
+		if !lok || !rok {
+			continue
+		}
+		sides = append(sides,
+			side{li, c.Left.Attr, ri, c.Right.Attr, c.Pred, true},
+			side{ri, c.Right.Attr, li, c.Left.Attr, c.Pred, false})
+	}
+	hasPartner := func(s side, u relation.Tuple, other []relation.Tuple) bool {
+		b := u.Attrs[s.attr]
+		// Range of the partner's start: partner is the opposite operand.
+		p := s.pred
+		if !s.uIsLeft {
+			p = p.Inverse() // partner is the left operand: p(x, b) == p'(b, x)
+		}
+		lo, hi := startRange(p, b)
+		start := 0
+		if lo > math.MinInt64 {
+			start = sort.Search(len(other), func(k int) bool {
+				return other[k].Attrs[s.otherAttr].Start >= lo
+			})
+		}
+		for k := start; k < len(other); k++ {
+			v := other[k]
+			if v.Attrs[s.otherAttr].Start > hi {
+				return false
+			}
+			var ok bool
+			if s.uIsLeft {
+				ok = s.pred.Eval(b, v.Attrs[s.otherAttr])
+			} else {
+				ok = s.pred.Eval(v.Attrs[s.otherAttr], b)
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+	// sortedByStart caches, per (relPos, attr), the current list sorted by
+	// that attribute's start; invalidated when the list shrinks.
+	sortCache := make(map[[2]int][]relation.Tuple)
+	sortedByStart := func(relPos, attr int) []relation.Tuple {
+		key := [2]int{relPos, attr}
+		if s, ok := sortCache[key]; ok {
+			return s
+		}
+		cp := make([]relation.Tuple, len(cur[relPos]))
+		copy(cp, cur[relPos])
+		sort.Slice(cp, func(a, b int) bool { return cp[a].Attrs[attr].Start < cp[b].Attrs[attr].Start })
+		sortCache[key] = cp
+		return cp
+	}
+	invalidate := func(relPos int) {
+		for key := range sortCache {
+			if key[0] == relPos {
+				delete(sortCache, key)
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range sides {
+			src := cur[s.relPos]
+			other := sortedByStart(s.otherPos, s.otherAttr)
+			kept := src[:0:0]
+			for _, u := range src {
+				if hasPartner(s, u, other) {
+					kept = append(kept, u)
+				}
+			}
+			if len(kept) != len(src) {
+				cur[s.relPos] = kept
+				invalidate(s.relPos)
+				changed = true
+			}
+		}
+	}
+	for i := range cur {
+		if len(cur[i]) == 0 {
+			empty := make([][]relation.Tuple, len(cur))
+			for j := range empty {
+				empty[j] = nil
+			}
+			return empty
+		}
+	}
+	return cur
+}

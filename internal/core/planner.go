@@ -1,0 +1,50 @@
+package core
+
+import "intervaljoin/internal/query"
+
+// Plan selects the paper's recommended algorithm for a query's class:
+// RCCIS for colocation queries, All-Matrix for sequence queries,
+// All-Seq-Matrix for hybrid queries (PASM when PreferPruning is set), and
+// Gen-Matrix for general multi-attribute queries. Two-relation
+// single-condition queries use the one-cycle 2-way strategy table directly.
+func Plan(q *query.Query, preferPruning bool) Algorithm {
+	if len(q.Conds) == 1 && len(q.Relations) == 2 && q.Classify() != query.General {
+		return TwoWay{}
+	}
+	switch q.Classify() {
+	case query.Colocation:
+		return RCCIS{}
+	case query.Sequence:
+		return AllMatrix{}
+	case query.Hybrid:
+		if preferPruning {
+			return PASM{}
+		}
+		return SeqMatrix{}
+	default:
+		return GenMatrix{}
+	}
+}
+
+// Algorithms returns every distributed algorithm applicable to the query,
+// the paper's recommended one first. The reference oracle is not included.
+func Algorithms(q *query.Query) []Algorithm {
+	switch q.Classify() {
+	case query.Colocation:
+		algs := []Algorithm{RCCIS{}}
+		if len(q.Conds) == 1 && len(q.Relations) == 2 {
+			algs = append(algs, TwoWay{})
+		}
+		return append(algs, SeqMatrix{}, PASM{}, FCTS{}, AllRep{}, Cascade{})
+	case query.Sequence:
+		algs := []Algorithm{AllMatrix{}}
+		if len(q.Conds) == 1 && len(q.Relations) == 2 {
+			algs = append(algs, TwoWay{})
+		}
+		return append(algs, SeqMatrix{}, PASM{}, AllRep{}, Cascade{}, Cascade{MatrixSteps: true})
+	case query.Hybrid:
+		return []Algorithm{SeqMatrix{}, PASM{}, FCTS{}, FSTC{}, AllRep{}, Cascade{}, Cascade{MatrixSteps: true}}
+	default:
+		return []Algorithm{GenMatrix{}}
+	}
+}

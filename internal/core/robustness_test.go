@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"intervaljoin/internal/dfs"
+	"intervaljoin/internal/interval"
+	"intervaljoin/internal/mr"
+	"intervaljoin/internal/query"
+	"intervaljoin/internal/relation"
+)
+
+// TestAlgorithmsUnderSpillAndRetry runs the main algorithms on an engine
+// configured with an external-spill shuffle, transient failure injection and
+// task retries, and checks the output still matches the oracle exactly —
+// the engine's fault-tolerance features must be invisible to the
+// algorithms.
+func TestAlgorithmsUnderSpillAndRetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	cases := []struct {
+		qs   string
+		algs []Algorithm
+	}{
+		{"R1 overlaps R2 and R2 overlaps R3", []Algorithm{RCCIS{}, AllRep{}, Cascade{}}},
+		{"R1 before R2 and R2 before R3", []Algorithm{AllMatrix{}, Cascade{MatrixSteps: true}}},
+		{"R1 before R2 and R1 overlaps R3", []Algorithm{SeqMatrix{}, PASM{}, FCTS{}}},
+		{"R1.I overlaps R2.I and R1.A = R2.A", []Algorithm{GenMatrix{}}},
+	}
+	for _, tc := range cases {
+		q := query.MustParse(tc.qs)
+		rels := make([]*relation.Relation, len(q.Relations))
+		for i, s := range q.Relations {
+			if s.Arity() == 1 {
+				rels[i] = randomRelation(rng, s.Name, 60, 150, 30)
+				continue
+			}
+			r := relation.New(s)
+			for j := 0; j < 60; j++ {
+				r.Append(randomAttrs(rng, s.Arity())...)
+			}
+			rels[i] = r
+		}
+
+		refCtx, err := NewContext(mr.NewEngine(mr.Config{Store: dfs.NewMem()}), q, rels,
+			Options{Partitions: 5, PartitionsPerDim: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Reference{}.Run(refCtx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range tc.algs {
+			// A fresh flaky injector per run: every task's first attempt
+			// fails transiently; plus a spilling shuffle and retries.
+			var mu sync.Mutex
+			seen := make(map[string]bool)
+			inject := func(phase mr.Phase, task, attempt int) error {
+				mu.Lock()
+				defer mu.Unlock()
+				key := fmt.Sprintf("%s/%d", phase, task)
+				if seen[key] {
+					return nil
+				}
+				seen[key] = true
+				return mr.ErrTransient
+			}
+			engine := mr.NewEngine(mr.Config{
+				Store:              dfs.NewMem(),
+				Workers:            4,
+				SpillPairThreshold: 64,
+				MaxTaskAttempts:    3,
+				FailureInjector:    inject,
+			})
+			ctx, err := NewContext(engine, q, rels, Options{Partitions: 5, PartitionsPerDim: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := alg.Run(ctx)
+			if err != nil {
+				t.Fatalf("%s on %q: %v", alg.Name(), tc.qs, err)
+			}
+			if got.Metrics.TaskRetries == 0 {
+				t.Errorf("%s on %q: injector never triggered a retry", alg.Name(), tc.qs)
+			}
+			gw, ww := got.TupleSet(), want.TupleSet()
+			if len(got.Tuples) != len(gw) {
+				t.Errorf("%s on %q: duplicates under retry", alg.Name(), tc.qs)
+			}
+			if len(gw) != len(ww) {
+				t.Errorf("%s on %q: %d tuples, oracle %d", alg.Name(), tc.qs, len(gw), len(ww))
+				continue
+			}
+			for k := range ww {
+				if _, ok := gw[k]; !ok {
+					t.Errorf("%s on %q: missing tuple %s", alg.Name(), tc.qs, k)
+					break
+				}
+			}
+		}
+	}
+}
+
+// randomAttrs builds arity random interval attributes; the second and later
+// attributes use a small point domain so equality predicates match.
+func randomAttrs(rng *rand.Rand, arity int) []interval.Interval {
+	out := make([]interval.Interval, arity)
+	for i := range out {
+		if i == 0 {
+			s := rng.Int63n(150)
+			out[i] = interval.New(s, s+rng.Int63n(30))
+			continue
+		}
+		p := rng.Int63n(4)
+		out[i] = interval.PointInterval(p)
+	}
+	return out
+}

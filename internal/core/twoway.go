@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"intervaljoin/internal/interval"
+	"intervaljoin/internal/mr"
+	"intervaljoin/internal/query"
+	"intervaljoin/internal/relation"
+)
+
+// TwoWay computes a single-condition 2-way interval join in one MR cycle
+// using the Figure 1 strategy table: depending on the Allen predicate, the
+// two relations are projected, split or replicated so that every satisfying
+// pair meets at exactly one reducer (Section 4).
+type TwoWay struct{}
+
+// Name implements Algorithm.
+func (TwoWay) Name() string { return "two-way" }
+
+// Run implements Algorithm.
+func (tw TwoWay) Run(ctx *Context) (*Result, error) {
+	opts := ctx.Opts.withDefaults(tw.Name())
+	if len(ctx.Query.Conds) != 1 || len(ctx.Rels) != 2 {
+		return nil, fmt.Errorf("core: two-way requires exactly one condition over two relations")
+	}
+	if cls := ctx.Query.Classify(); cls == query.General {
+		return nil, fmt.Errorf("core: two-way handles single-attribute queries only, got %v", cls)
+	}
+	if err := ctx.Stage(); err != nil {
+		return nil, err
+	}
+	part, err := ctx.makePartitioning(opts.Partitions)
+	if err != nil {
+		return nil, err
+	}
+
+	cond := ctx.Query.Conds[0]
+	strategy := interval.JoinStrategy(cond.Pred)
+	opOf := map[int]interval.Op{
+		cond.Left.Rel:  strategy.Left,
+		cond.Right.Rel: strategy.Right,
+	}
+
+	job := mr.Job{
+		Name: opts.Scratch + "/join",
+		Inputs: []mr.Input{
+			{File: ctx.inputFile(0), Tag: 0},
+			{File: ctx.inputFile(1), Tag: 1},
+		},
+		Map: func(tag int, record string, emit mr.Emit) error {
+			t, err := relation.DecodeTuple(record)
+			if err != nil {
+				return err
+			}
+			first, last := part.Apply(opOf[tag], t.Attrs[0])
+			enc := encodeTagged(tag, t)
+			for p := first; p <= last; p++ {
+				emit(int64(p), enc)
+			}
+			return nil
+		},
+		Reduce: func(key int64, values []string, write func(string) error) error {
+			var left, right []relation.Tuple
+			for _, v := range values {
+				rel, t, err := decodeTagged(v)
+				if err != nil {
+					return err
+				}
+				if rel == cond.Left.Rel {
+					left = append(left, t)
+				} else {
+					right = append(right, t)
+				}
+			}
+			// Exactly one reducer sees each satisfying pair: the strategy
+			// projects at least one side, so no dedup filter is needed.
+			for _, u := range left {
+				for _, v := range right {
+					if !cond.Pred.Eval(u.Attrs[cond.Left.Attr], v.Attrs[cond.Right.Attr]) {
+						continue
+					}
+					out := make(OutputTuple, 2)
+					out[cond.Left.Rel] = u.ID
+					out[cond.Right.Rel] = v.ID
+					if err := write(out.Key()); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+		Output:     opts.Scratch + "/output",
+		SortValues: opts.SortValues,
+	}
+	metrics, err := ctx.Engine.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Algorithm: tw.Name(), Metrics: metrics, PerCycle: []*mr.Metrics{metrics}}
+	if err := readOutput(ctx, job.Output, res); err != nil {
+		return nil, err
+	}
+	res.SortTuples()
+	return res, nil
+}

@@ -1,0 +1,180 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"intervaljoin/internal/core"
+	"intervaljoin/internal/dfs"
+	"intervaljoin/internal/mr"
+	"intervaljoin/internal/query"
+	"intervaljoin/internal/relation"
+	"intervaljoin/internal/workload"
+)
+
+func genRels(t *testing.T, q *query.Query, n int) []*relation.Relation {
+	t.Helper()
+	rels := make([]*relation.Relation, len(q.Relations))
+	for i, s := range q.Relations {
+		r, err := workload.Generate(workload.Table1Spec(s.Name, n, int64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rels[i] = r
+	}
+	return rels
+}
+
+func measure(t *testing.T, alg core.Algorithm, q *query.Query, rels []*relation.Relation, opts core.Options) float64 {
+	t.Helper()
+	engine := mr.NewEngine(mr.Config{Store: dfs.NewMem(), Workers: 4})
+	ctx, err := core.NewContext(engine, q, rels, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := alg.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return float64(res.Metrics.IntermediatePairs)
+}
+
+func TestAnalyze(t *testing.T) {
+	r := relation.FromIntervals("R", nil)
+	s := Analyze(r, 0)
+	if s.Count != 0 || s.Span != 1 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+	q := query.MustParse("R1 overlaps R2")
+	rels := genRels(t, q, 1000)
+	st := Analyze(rels[0], 0)
+	if st.Count != 1000 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	// Table1Spec: lengths uniform [1,100] -> mean ~50.5; span ~100K.
+	if st.MeanLength < 35 || st.MeanLength > 65 {
+		t.Fatalf("mean length = %.1f, want ~50", st.MeanLength)
+	}
+	if st.Span < 90_000 || st.Span > 100_001 {
+		t.Fatalf("span = %.0f", st.Span)
+	}
+}
+
+// TestEstimatesTrackMeasurements: on uniform workloads the predicted pair
+// counts must fall within a factor of 2 of the measured ones.
+func TestEstimatesTrackMeasurements(t *testing.T) {
+	q := query.MustParse("R1 overlaps R2 and R2 overlaps R3")
+	rels := genRels(t, q, 2000)
+	stats := make([]RelStats, len(rels))
+	for i, r := range rels {
+		stats[i] = Analyze(r, 0)
+	}
+	const k = 16
+	opts := core.Options{Partitions: k}
+
+	within := func(name string, est, got float64) {
+		t.Helper()
+		if est <= 0 || got <= 0 {
+			t.Fatalf("%s: nonpositive est=%v got=%v", name, est, got)
+		}
+		if r := est / got; r < 0.5 || r > 2 {
+			t.Errorf("%s: estimate %.0f vs measured %.0f (ratio %.2f) outside [0.5, 2]", name, est, got, r)
+		}
+	}
+	within("all-rep", EstimateAllRep(stats, k).Pairs, measure(t, core.AllRep{}, q, rels, opts))
+	within("rccis", EstimateRCCIS(stats, k, 1).Pairs, measure(t, core.RCCIS{}, q, rels, opts))
+	within("cascade", EstimateCascade(stats, q, k).Pairs, measure(t, core.Cascade{}, q, rels, opts))
+}
+
+func TestEstimateAllMatrixExactRouting(t *testing.T) {
+	q := query.MustParse("R1 before R2 and R2 before R3")
+	rels := genRels(t, q, 120)
+	stats := make([]RelStats, len(rels))
+	for i, r := range rels {
+		stats[i] = Analyze(r, 0)
+	}
+	est, err := EstimateAllMatrix(stats, q, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := measure(t, core.AllMatrix{}, q, rels, core.Options{PartitionsPerDim: 6})
+	if r := est.Pairs / got; r < 0.8 || r > 1.25 {
+		t.Fatalf("all-matrix estimate %.0f vs measured %.0f (ratio %.2f): routing is exact in expectation",
+			est.Pairs, got, r)
+	}
+}
+
+func TestAdviseOrdersAlgorithms(t *testing.T) {
+	q := query.MustParse("R1 overlaps R2 and R2 overlaps R3")
+	rels := genRels(t, q, 2000)
+	ests, err := Advise(q, rels, 16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 3 {
+		t.Fatalf("estimates = %d", len(ests))
+	}
+	for i := 1; i < len(ests); i++ {
+		if ests[i-1].MaxReducerLoad > ests[i].MaxReducerLoad {
+			t.Fatal("advice not sorted by straggler load")
+		}
+	}
+	// RCCIS must rank above All-Rep on this workload (as measured in
+	// Table 1).
+	rank := map[string]int{}
+	for i, e := range ests {
+		rank[e.Algorithm] = i
+	}
+	if rank["rccis"] > rank["all-rep"] {
+		t.Fatalf("advice ranks all-rep above rccis: %+v", ests)
+	}
+}
+
+func TestAdviseSequence(t *testing.T) {
+	q := query.MustParse("R1 before R2 and R2 before R3")
+	rels := genRels(t, q, 500)
+	ests, err := Advise(q, rels, 16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ests[0].Algorithm != "all-matrix" {
+		t.Fatalf("sequence advice = %+v, want all-matrix first", ests)
+	}
+}
+
+func TestAdviseRejectsGeneral(t *testing.T) {
+	q := query.MustParse("R1.I overlaps R2.I and R1.A = R2.A")
+	if _, err := Advise(q, nil, 16, 6); err == nil {
+		t.Fatal("general query accepted")
+	}
+}
+
+func TestAdvisePartitions(t *testing.T) {
+	q := query.MustParse("R1 overlaps R2 and R2 overlaps R3")
+	rels := genRels(t, q, 2000)
+	k := AdvisePartitions(rels, nil)
+	if k < 4 || k > 64 {
+		t.Fatalf("advised k = %d outside candidates", k)
+	}
+	// Long intervals relative to the span push the advice towards fewer
+	// partitions (crossing costs dominate).
+	longs := make([]*relation.Relation, len(rels))
+	for i, s := range q.Relations {
+		r, err := workload.Generate(workload.Spec{
+			Name: s.Name, NumIntervals: 2000,
+			StartDist: workload.Uniform, LengthDist: workload.Uniform,
+			TMin: 0, TMax: 10_000, IMin: 4_000, IMax: 8_000, Seed: int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		longs[i] = r
+	}
+	kLong := AdvisePartitions(longs, nil)
+	if kLong > k {
+		t.Fatalf("long intervals advised k=%d, short k=%d — crossing cost ignored", kLong, k)
+	}
+	if math.IsNaN(float64(kLong)) {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,112 @@
+package cost
+
+import (
+	"intervaljoin/internal/interval"
+	"intervaljoin/internal/relation"
+)
+
+// Skew-aware estimation: the flat RelStats model assumes uniform start
+// points, which underestimates straggler load badly on skewed data. This
+// file adds a start-point histogram per relation, a per-partition load
+// predictor, and the equi-depth recommendation derived from it.
+
+// Histogram is an equi-width histogram of interval start points.
+type Histogram struct {
+	// Lo and Hi bound the histogrammed range [Lo, Hi).
+	Lo, Hi interval.Point
+	// Counts holds the per-bucket start counts.
+	Counts []int64
+	// Total is the number of sampled starts.
+	Total int64
+}
+
+// AnalyzeHistogram builds a start-point histogram of one attribute column.
+func AnalyzeHistogram(r *relation.Relation, attr, buckets int) Histogram {
+	h := Histogram{Counts: make([]int64, buckets)}
+	if r.Len() == 0 || buckets < 1 {
+		h.Hi = 1
+		return h
+	}
+	lo, hi := r.Tuples[0].Attrs[attr].Start, r.Tuples[0].Attrs[attr].Start
+	for _, t := range r.Tuples {
+		s := t.Attrs[attr].Start
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	h.Lo, h.Hi = lo, hi+1
+	width := float64(h.Hi-h.Lo) / float64(buckets)
+	for _, t := range r.Tuples {
+		b := int(float64(t.Attrs[attr].Start-h.Lo) / width)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		h.Counts[b]++
+		h.Total++
+	}
+	return h
+}
+
+// LoadImbalance predicts the max/mean ratio of per-partition start counts
+// when the histogrammed column is split into k uniform-width partitions —
+// the straggler factor a projecting/splitting algorithm would see. The
+// histogram should have at least k buckets for a meaningful answer.
+func (h Histogram) LoadImbalance(k int) float64 {
+	if h.Total == 0 || k < 1 {
+		return 1
+	}
+	buckets := len(h.Counts)
+	loads := make([]int64, k)
+	for b, c := range h.Counts {
+		// Assign each bucket to the partition containing its midpoint.
+		p := b * k / buckets
+		if p >= k {
+			p = k - 1
+		}
+		loads[p] += c
+	}
+	var max, sum int64
+	active := 0
+	for _, v := range loads {
+		if v > max {
+			max = v
+		}
+		sum += v
+		if v > 0 {
+			active++
+		}
+	}
+	if active == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(k)
+	if mean == 0 {
+		return 1
+	}
+	return float64(max) / mean
+}
+
+// RecommendEquiDepth reports whether quantile (equi-depth) partition
+// boundaries are advisable for the given relations at k partitions: true
+// when the predicted uniform-width straggler factor exceeds the threshold
+// (2.0 is a sensible default — below it the quantile boundaries' extra
+// splitting costs more than the balance buys).
+func RecommendEquiDepth(rels []*relation.Relation, k int, threshold float64) bool {
+	if threshold <= 0 {
+		threshold = 2
+	}
+	worst := 1.0
+	for _, r := range rels {
+		if r.Schema.Arity() == 0 || r.Len() == 0 {
+			continue
+		}
+		h := AnalyzeHistogram(r, 0, 4*k)
+		if imb := h.LoadImbalance(k); imb > worst {
+			worst = imb
+		}
+	}
+	return worst > threshold
+}

@@ -1,0 +1,117 @@
+package cost
+
+import (
+	"testing"
+
+	"intervaljoin/internal/core"
+	"intervaljoin/internal/dfs"
+	"intervaljoin/internal/mr"
+	"intervaljoin/internal/query"
+	"intervaljoin/internal/relation"
+	"intervaljoin/internal/workload"
+)
+
+func zipfRel(t *testing.T, n int, seed int64) *relation.Relation {
+	t.Helper()
+	r, err := workload.Generate(workload.Spec{
+		Name: "R", NumIntervals: n,
+		StartDist: workload.Zipf, LengthDist: workload.Uniform,
+		TMin: 0, TMax: 10_000, IMin: 1, IMax: 10, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func uniformRel(t *testing.T, n int, seed int64) *relation.Relation {
+	t.Helper()
+	r, err := workload.Generate(workload.Spec{
+		Name: "R", NumIntervals: n,
+		StartDist: workload.Uniform, LengthDist: workload.Uniform,
+		TMin: 0, TMax: 10_000, IMin: 1, IMax: 10, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAnalyzeHistogram(t *testing.T) {
+	r := uniformRel(t, 5000, 1)
+	h := AnalyzeHistogram(r, 0, 32)
+	if h.Total != 5000 || len(h.Counts) != 32 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	var sum int64
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != 5000 {
+		t.Fatalf("bucket sum = %d", sum)
+	}
+	empty := AnalyzeHistogram(relation.FromIntervals("E", nil), 0, 8)
+	if empty.Total != 0 || empty.LoadImbalance(4) != 1 {
+		t.Fatalf("empty histogram = %+v", empty)
+	}
+}
+
+func TestLoadImbalancePredicts(t *testing.T) {
+	const k = 16
+	uni := AnalyzeHistogram(uniformRel(t, 5000, 1), 0, 4*k).LoadImbalance(k)
+	zip := AnalyzeHistogram(zipfRel(t, 5000, 1), 0, 4*k).LoadImbalance(k)
+	if uni > 1.5 {
+		t.Fatalf("uniform data predicted imbalance %.2f", uni)
+	}
+	if zip < 4 {
+		t.Fatalf("zipf data predicted imbalance only %.2f", zip)
+	}
+}
+
+// TestPredictedImbalanceTracksMeasured: the histogram's straggler factor
+// must agree with the engine's measured per-reducer imbalance within a
+// factor of 2 on both workload shapes.
+func TestPredictedImbalanceTracksMeasured(t *testing.T) {
+	const k = 12
+	q := query.MustParse("R1 overlaps R2 and R2 overlaps R3")
+	for _, shape := range []string{"uniform", "zipf"} {
+		rels := make([]*relation.Relation, 3)
+		for i := range rels {
+			if shape == "uniform" {
+				rels[i] = uniformRel(t, 1200, int64(i+1))
+			} else {
+				rels[i] = zipfRel(t, 1200, int64(i+1))
+			}
+			rels[i].Schema.Name = q.Relations[i].Name
+		}
+		predicted := AnalyzeHistogram(rels[0], 0, 4*k).LoadImbalance(k)
+		engine := mr.NewEngine(mr.Config{Store: dfs.NewMem(), Workers: 4})
+		ctx, err := core.NewContext(engine, q, rels, core.Options{Partitions: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := (core.RCCIS{}).Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured := res.Metrics.LoadImbalance()
+		if r := predicted / measured; r < 0.5 || r > 2 {
+			t.Errorf("%s: predicted imbalance %.2f vs measured %.2f (ratio %.2f)",
+				shape, predicted, measured, r)
+		}
+	}
+}
+
+func TestRecommendEquiDepth(t *testing.T) {
+	zipf := []*relation.Relation{zipfRel(t, 3000, 1), zipfRel(t, 3000, 2)}
+	if !RecommendEquiDepth(zipf, 16, 0) {
+		t.Fatal("zipf workload not recommended for equi-depth")
+	}
+	uni := []*relation.Relation{uniformRel(t, 3000, 1), uniformRel(t, 3000, 2)}
+	if RecommendEquiDepth(uni, 16, 0) {
+		t.Fatal("uniform workload recommended for equi-depth")
+	}
+	if RecommendEquiDepth(nil, 16, 0) {
+		t.Fatal("no relations recommended for equi-depth")
+	}
+}

@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"fmt"
+
+	"intervaljoin/internal/core"
+	"intervaljoin/internal/cost"
+	"intervaljoin/internal/query"
+	"intervaljoin/internal/relation"
+	"intervaljoin/internal/workload"
+)
+
+// AdvisorValidation compares the cost model's predicted pair volumes with
+// measured ones for every applicable algorithm on the Table 1 workload —
+// the calibration check for the Zhang-style model the paper plans to
+// integrate (Section 7.2).
+func AdvisorValidation(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	q := query.MustParse("R1 overlaps R2 and R2 overlaps R3")
+	n := cfg.scaled(1_000_000)
+	rels := make([]*relation.Relation, 3)
+	stats := make([]cost.RelStats, 3)
+	for i := range rels {
+		r, err := workload.Generate(workload.Table1Spec(fmt.Sprintf("R%d", i+1), n, cfg.Seed+int64(i)))
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = r
+		stats[i] = cost.Analyze(r, 0)
+	}
+	const k = 16
+	t := &Table{
+		ID:      "advisor",
+		Title:   "cost model vs measurement on Q1 (16 reducers)",
+		Columns: []string{"algorithm", "est_pairs", "meas_pairs", "ratio", "est_max_load", "meas_max_load"},
+		Notes: []string{
+			"expected shape: every ratio within [0.5, 2]; the advisor's ranking matches the measured ranking",
+		},
+	}
+	type contender struct {
+		alg core.Algorithm
+		est cost.Estimate
+	}
+	contenders := []contender{
+		{core.RCCIS{}, cost.EstimateRCCIS(stats, k, 1)},
+		{core.AllRep{}, cost.EstimateAllRep(stats, k)},
+		{core.Cascade{}, cost.EstimateCascade(stats, q, k)},
+	}
+	opts := core.Options{Partitions: k}
+	for _, c := range contenders {
+		run, err := execute(cfg, c.alg, q, rels, opts)
+		if err != nil {
+			return nil, err
+		}
+		ratio := c.est.Pairs / float64(run.Pairs)
+		t.AddRow(
+			c.alg.Name(),
+			fmt.Sprintf("%.0f", c.est.Pairs),
+			fmtCount(run.Pairs),
+			fmt.Sprintf("%.2f", ratio),
+			fmt.Sprintf("%.0f", c.est.MaxReducerLoad),
+			fmtCount(run.Result.Metrics.MaxReducerPairs()),
+		)
+	}
+	return t, nil
+}

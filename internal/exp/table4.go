@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"fmt"
+
+	"intervaljoin/internal/core"
+	"intervaljoin/internal/grid"
+	"intervaljoin/internal/query"
+	"intervaljoin/internal/relation"
+	"intervaljoin/internal/workload"
+)
+
+// Table4 reproduces Table 4: Gen-Matrix on the 4-attribute query
+// Q5 = R1.I before R2.I and R1.I overlaps R3.I and R1.A = R3.A and
+// R2.B = R3.B, with relation sizes stepping (100K,10K,100K) → (140K,14K,
+// 140K) scaled. The grid is 4-dimensional with 5 partitions per dimension;
+// the single order constraint C1 < C2 leaves 375 of 625 cells consistent,
+// as the paper reports. Time should grow roughly linearly with size.
+func Table4(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	q := query.MustParse("R1.I before R2.I and R1.I overlaps R3.I and R1.A = R3.A and R2.B = R3.B")
+
+	// Document the consistent-cell count the paper quotes.
+	g, err := grid.NewUniform(4, 5)
+	if err != nil {
+		return nil, err
+	}
+	consistent := g.CountConsistent([]grid.Less{{A: 0, B: 1}})
+
+	t := &Table{
+		ID:      "table4",
+		Title:   "Q5 Gen-Matrix, 4-D grid, 5 partitions per dimension",
+		Columns: []string{"nI", "genmatrix_ms", "pairs", "output", "cycles"},
+		Notes: []string{
+			fmt.Sprintf("consistent reducers: %d of %d (paper: 375 of 625)", consistent, g.NumCells()),
+			"expected shape: time grows roughly linearly with relation size",
+			fmt.Sprintf("sizes scaled by %g from the paper's (100K,10K,100K)..(140K,14K,140K)", cfg.Scale),
+		},
+	}
+	opts := core.Options{PartitionsPerDim: 5}
+	// The real-valued attribute domain is fixed small: the conjunction of
+	// a before, an overlaps and two equalities is very selective, and a
+	// scaled-down run needs dense equality groups to produce any output.
+	const domainAB = 5
+	t.Notes = append(t.Notes, fmt.Sprintf("real-valued attribute domain fixed at %d values so the 4-condition conjunction yields output at local scale", domainAB))
+	for step := 0; step < 5; step++ {
+		n1 := cfg.scaled(100_000 + 10_000*step)
+		n2 := cfg.scaled(10_000 + 1_000*step)
+		n3 := n1
+		specs := workload.Table4Specs(n1, n2, n3, domainAB, cfg.Seed+int64(step)*11)
+		rels := make([]*relation.Relation, len(specs))
+		for i, s := range specs {
+			r, err := workload.GenerateMulti(s)
+			if err != nil {
+				return nil, err
+			}
+			rels[i] = r
+		}
+		run, err := execute(cfg, core.GenMatrix{}, q, rels, opts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%s,%s,%s", fmtCount(int64(n1)), fmtCount(int64(n2)), fmtCount(int64(n3))),
+			fmt.Sprintf("%d", run.WallMs),
+			fmtCount(run.Pairs),
+			fmtCount(run.OutputRows),
+			fmt.Sprintf("%d", run.Cycles),
+		)
+	}
+	return t, nil
+}

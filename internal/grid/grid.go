@@ -1,0 +1,192 @@
+// Package grid models the multi-dimensional reducer spaces of the matrix
+// algorithms (Sections 7–9): an l-dimensional array of cells where dimension
+// k is divided into o_k partitions. A cell is a reducer; its coordinates are
+// the per-dimension partition indices. The package enumerates the cells that
+// are consistent with the less-than order constraints a query imposes, and
+// encodes cell coordinates into the int64 reducer keys of the MR engine.
+package grid
+
+import "fmt"
+
+// Grid is an immutable l-dimensional cell space.
+type Grid struct {
+	dims    []int
+	strides []int64
+	cells   int64
+}
+
+// New builds a grid with dims[k] partitions along dimension k. Every
+// dimension must have at least one partition.
+func New(dims []int) (Grid, error) {
+	if len(dims) == 0 {
+		return Grid{}, fmt.Errorf("grid: no dimensions")
+	}
+	g := Grid{dims: make([]int, len(dims)), strides: make([]int64, len(dims)), cells: 1}
+	copy(g.dims, dims)
+	for k := len(dims) - 1; k >= 0; k-- {
+		if dims[k] < 1 {
+			return Grid{}, fmt.Errorf("grid: dimension %d has %d partitions", k, dims[k])
+		}
+		g.strides[k] = g.cells
+		g.cells *= int64(dims[k])
+	}
+	return g, nil
+}
+
+// NewUniform builds an l-dimensional grid with o partitions per dimension.
+func NewUniform(l, o int) (Grid, error) {
+	dims := make([]int, l)
+	for i := range dims {
+		dims[i] = o
+	}
+	return New(dims)
+}
+
+// MustNew is New for tests and examples; it panics on error.
+func MustNew(dims []int) Grid {
+	g, err := New(dims)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Dims returns a copy of the per-dimension partition counts.
+func (g Grid) Dims() []int {
+	out := make([]int, len(g.dims))
+	copy(out, g.dims)
+	return out
+}
+
+// NumDims is the dimensionality l.
+func (g Grid) NumDims() int { return len(g.dims) }
+
+// NumCells is the total cell count (product of dimensions).
+func (g Grid) NumCells() int64 { return g.cells }
+
+// ID encodes cell coordinates into a single reducer key. Coordinates are
+// validated; out-of-range coordinates panic (they indicate a routing bug).
+func (g Grid) ID(coord []int) int64 {
+	if len(coord) != len(g.dims) {
+		panic(fmt.Sprintf("grid: coordinate arity %d, grid arity %d", len(coord), len(g.dims)))
+	}
+	var id int64
+	for k, c := range coord {
+		if c < 0 || c >= g.dims[k] {
+			panic(fmt.Sprintf("grid: coordinate %d out of range [0,%d) in dimension %d", c, g.dims[k], k))
+		}
+		id += int64(c) * g.strides[k]
+	}
+	return id
+}
+
+// Coord decodes a reducer key back into coordinates, reusing out when it has
+// the right length.
+func (g Grid) Coord(id int64, out []int) []int {
+	if cap(out) < len(g.dims) {
+		out = make([]int, len(g.dims))
+	}
+	out = out[:len(g.dims)]
+	for k := range g.dims {
+		out[k] = int(id / g.strides[k] % int64(g.dims[k]))
+	}
+	return out
+}
+
+// Less is a consistency constraint between two dimensions: the cell index
+// along dimension A must be less than or equal to the index along dimension
+// B. It encodes "component/relation A is in less-than order with B".
+type Less struct {
+	A, B int
+}
+
+// Bound restricts the coordinate range of one dimension during enumeration.
+type Bound struct {
+	Min, Max int // inclusive
+}
+
+// FreeBounds returns unconstrained bounds for the grid.
+func (g Grid) FreeBounds() []Bound {
+	out := make([]Bound, len(g.dims))
+	for k := range out {
+		out[k] = Bound{Min: 0, Max: g.dims[k] - 1}
+	}
+	return out
+}
+
+// Consistent reports whether coord satisfies every less constraint.
+func Consistent(coord []int, cons []Less) bool {
+	for _, c := range cons {
+		if coord[c.A] > coord[c.B] {
+			return false
+		}
+	}
+	return true
+}
+
+// Enumerate calls fn with every cell whose coordinates lie within bounds and
+// satisfy all less constraints. The coordinate slice passed to fn is reused;
+// fn must not retain it. bounds may be nil for the full grid.
+func (g Grid) Enumerate(bounds []Bound, cons []Less, fn func(id int64, coord []int)) {
+	if bounds == nil {
+		bounds = g.FreeBounds()
+	}
+	if len(bounds) != len(g.dims) {
+		panic(fmt.Sprintf("grid: %d bounds for %d dimensions", len(bounds), len(g.dims)))
+	}
+	// Group constraints by the later of their two dimensions so each is
+	// checked as soon as both coordinates are fixed.
+	checkAt := make([][]Less, len(g.dims))
+	for _, c := range cons {
+		later := c.A
+		if c.B > later {
+			later = c.B
+		}
+		checkAt[later] = append(checkAt[later], c)
+	}
+	coord := make([]int, len(g.dims))
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(g.dims) {
+			fn(g.ID(coord), coord)
+			return
+		}
+		lo, hi := bounds[k].Min, bounds[k].Max
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > g.dims[k]-1 {
+			hi = g.dims[k] - 1
+		}
+		for c := lo; c <= hi; c++ {
+			coord[k] = c
+			ok := true
+			for _, cn := range checkAt[k] {
+				if coord[cn.A] > coord[cn.B] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rec(k + 1)
+			}
+		}
+	}
+	rec(0)
+}
+
+// ConsistentCells returns the ids of all cells satisfying the constraints —
+// the "consistent reducers" of the paper. Inconsistent cells are never sent
+// any data.
+func (g Grid) ConsistentCells(cons []Less) []int64 {
+	var out []int64
+	g.Enumerate(nil, cons, func(id int64, _ []int) { out = append(out, id) })
+	return out
+}
+
+// CountConsistent returns the number of consistent cells.
+func (g Grid) CountConsistent(cons []Less) int64 {
+	var n int64
+	g.Enumerate(nil, cons, func(int64, []int) { n++ })
+	return n
+}

@@ -1,0 +1,63 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestIDCoordQuick: for arbitrary small grids and in-range coordinates, the
+// id is dense (0 <= id < NumCells) and Coord inverts ID.
+func TestIDCoordQuick(t *testing.T) {
+	f := func(d1, d2, d3 uint8, c1, c2, c3 uint8) bool {
+		dims := []int{int(d1%5) + 1, int(d2%5) + 1, int(d3%5) + 1}
+		g, err := New(dims)
+		if err != nil {
+			return false
+		}
+		coord := []int{int(c1) % dims[0], int(c2) % dims[1], int(c3) % dims[2]}
+		id := g.ID(coord)
+		if id < 0 || id >= g.NumCells() {
+			return false
+		}
+		back := g.Coord(id, nil)
+		for k := range coord {
+			if back[k] != coord[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnumerateCountQuick: the number of enumerated consistent cells equals
+// the brute-force count for random chain constraints.
+func TestEnumerateCountQuick(t *testing.T) {
+	f := func(d1, d2 uint8, flip bool) bool {
+		dims := []int{int(d1%6) + 1, int(d2%6) + 1}
+		g, err := New(dims)
+		if err != nil {
+			return false
+		}
+		cons := []Less{{A: 0, B: 1}}
+		if flip {
+			cons = []Less{{A: 1, B: 0}}
+		}
+		var fast int64
+		g.Enumerate(nil, cons, func(int64, []int) { fast++ })
+		var slow int64
+		for a := 0; a < dims[0]; a++ {
+			for b := 0; b < dims[1]; b++ {
+				if Consistent([]int{a, b}, cons) {
+					slow++
+				}
+			}
+		}
+		return fast == slow && fast == g.CountConsistent(cons)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

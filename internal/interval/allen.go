@@ -1,0 +1,305 @@
+package interval
+
+import "fmt"
+
+// Predicate identifies one of the thirteen relations of Allen's interval
+// algebra (Allen, CACM 1983). The predicates are evaluated over closed
+// integer intervals; for proper intervals (Start < End) the thirteen
+// relations are jointly exhaustive and pairwise disjoint.
+type Predicate uint8
+
+// The thirteen Allen relations. Each relation P has an inverse P' such that
+// P(u, v) holds exactly when P'(v, u) holds; the inverse pairs are listed
+// adjacently.
+const (
+	Before       Predicate = iota // u entirely precedes v: u.End < v.Start
+	After                         // u entirely follows v: inverse of Before
+	Meets                         // u's end coincides with v's start: u.End == v.Start
+	MetBy                         // inverse of Meets
+	Overlaps                      // u starts first and ends within v: u.Start < v.Start, v.Start < u.End < v.End
+	OverlappedBy                  // inverse of Overlaps
+	Contains                      // u strictly contains v: u.Start < v.Start, v.End < u.End
+	ContainedBy                   // inverse of Contains (Allen's "during")
+	Starts                        // u and v start together, u ends first: u.Start == v.Start, u.End < v.End
+	StartedBy                     // inverse of Starts
+	Finishes                      // u and v end together, u starts later: u.End == v.End, u.Start > v.Start
+	FinishedBy                    // inverse of Finishes
+	Equals                        // identical endpoints
+)
+
+// NumPredicates is the number of Allen relations.
+const NumPredicates = 13
+
+var predicateNames = [NumPredicates]string{
+	Before:       "before",
+	After:        "after",
+	Meets:        "meets",
+	MetBy:        "metby",
+	Overlaps:     "overlaps",
+	OverlappedBy: "overlappedby",
+	Contains:     "contains",
+	ContainedBy:  "containedby",
+	Starts:       "starts",
+	StartedBy:    "startedby",
+	Finishes:     "finishes",
+	FinishedBy:   "finishedby",
+	Equals:       "equals",
+}
+
+// String returns the lower-case name of the predicate as used by the query
+// language ("overlaps", "before", ...).
+func (p Predicate) String() string {
+	if int(p) < len(predicateNames) {
+		return predicateNames[p]
+	}
+	return fmt.Sprintf("predicate(%d)", uint8(p))
+}
+
+// ParsePredicate maps a name (case-insensitive, with a few aliases such as
+// "during" for containedby and "=" for equals) to a Predicate.
+func ParsePredicate(name string) (Predicate, error) {
+	switch normalizePredicateName(name) {
+	case "before", "<":
+		return Before, nil
+	case "after", ">":
+		return After, nil
+	case "meets":
+		return Meets, nil
+	case "metby":
+		return MetBy, nil
+	case "overlaps", "overlap":
+		return Overlaps, nil
+	case "overlappedby":
+		return OverlappedBy, nil
+	case "contains":
+		return Contains, nil
+	case "containedby", "during":
+		return ContainedBy, nil
+	case "starts":
+		return Starts, nil
+	case "startedby":
+		return StartedBy, nil
+	case "finishes":
+		return Finishes, nil
+	case "finishedby":
+		return FinishedBy, nil
+	case "equals", "equal", "=", "==":
+		return Equals, nil
+	}
+	return 0, fmt.Errorf("interval: unknown Allen predicate %q", name)
+}
+
+func normalizePredicateName(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+'a'-'A')
+		case c == ' ' || c == '-' || c == '_':
+			// Dropped: "overlapped by" == "overlappedby".
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// Eval reports whether predicate p holds for the ordered pair (u, v).
+func (p Predicate) Eval(u, v Interval) bool {
+	switch p {
+	case Before:
+		return u.End < v.Start
+	case After:
+		return v.End < u.Start
+	case Meets:
+		return u.End == v.Start
+	case MetBy:
+		return v.End == u.Start
+	case Overlaps:
+		return u.Start < v.Start && v.Start < u.End && u.End < v.End
+	case OverlappedBy:
+		return v.Start < u.Start && u.Start < v.End && v.End < u.End
+	case Contains:
+		return u.Start < v.Start && v.End < u.End
+	case ContainedBy:
+		return v.Start < u.Start && u.End < v.End
+	case Starts:
+		return u.Start == v.Start && u.End < v.End
+	case StartedBy:
+		return u.Start == v.Start && v.End < u.End
+	case Finishes:
+		return u.End == v.End && u.Start > v.Start
+	case FinishedBy:
+		return u.End == v.End && v.Start > u.Start
+	case Equals:
+		return u.Start == v.Start && u.End == v.End
+	}
+	panic(fmt.Sprintf("interval: invalid predicate %d", uint8(p)))
+}
+
+// Inverse returns the predicate p' with p(u, v) == p'(v, u).
+func (p Predicate) Inverse() Predicate {
+	switch p {
+	case Before:
+		return After
+	case After:
+		return Before
+	case Meets:
+		return MetBy
+	case MetBy:
+		return Meets
+	case Overlaps:
+		return OverlappedBy
+	case OverlappedBy:
+		return Overlaps
+	case Contains:
+		return ContainedBy
+	case ContainedBy:
+		return Contains
+	case Starts:
+		return StartedBy
+	case StartedBy:
+		return Starts
+	case Finishes:
+		return FinishedBy
+	case FinishedBy:
+		return Finishes
+	case Equals:
+		return Equals
+	}
+	panic(fmt.Sprintf("interval: invalid predicate %d", uint8(p)))
+}
+
+// IsSequence reports whether p is a sequence-based predicate: the two
+// intervals are required to be disjoint (before / after). All other Allen
+// relations are colocation-based.
+func (p Predicate) IsSequence() bool { return p == Before || p == After }
+
+// IsColocation reports whether p is a colocation-based predicate, i.e. it
+// requires the two intervals to share at least one point.
+func (p Predicate) IsColocation() bool { return !p.IsSequence() }
+
+// Relations returns the set of all Allen predicates holding for the ordered
+// pair (u, v): exactly one for proper intervals, possibly several when an
+// operand is a point (two equal points satisfy meets, starts, finishes and
+// equals at once).
+func Relations(u, v Interval) PredicateSet {
+	var s PredicateSet
+	for p := Predicate(0); p < NumPredicates; p++ {
+		if p.Eval(u, v) {
+			s = s.Add(p)
+		}
+	}
+	return s
+}
+
+// Relate classifies the ordered pair (u, v) into its unique Allen relation.
+// For proper intervals exactly one of the thirteen predicates holds; Relate
+// returns it. For degenerate (point) intervals several relation definitions
+// coincide; Relate resolves them in the fixed order Equals, Before, After,
+// Meets, MetBy, Starts, StartedBy, Finishes, FinishedBy, Contains,
+// ContainedBy, Overlaps, OverlappedBy.
+func Relate(u, v Interval) Predicate {
+	order := [NumPredicates]Predicate{
+		Equals, Before, After, Meets, MetBy, Starts, StartedBy,
+		Finishes, FinishedBy, Contains, ContainedBy, Overlaps, OverlappedBy,
+	}
+	for _, p := range order {
+		if p.Eval(u, v) {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("interval: no Allen relation holds for %v, %v", u, v))
+}
+
+// Order describes the less-than order a predicate enforces between its two
+// operand relations (Section 5.1, Figure 1 of the paper).
+type Order uint8
+
+const (
+	// LeftLess means the predicate forces the left operand to be in
+	// less-than order with the right operand (left starts no later).
+	LeftLess Order = iota
+	// RightLess means the predicate forces the right operand to be in
+	// less-than order with the left operand.
+	RightLess
+)
+
+// LessThanOrder returns the less-than order predicate p enforces between its
+// left and right operand relations. Every Allen predicate enforces one: if
+// p(u, v) holds then the "lesser" interval starts no later than the other.
+// For the symmetric-start predicates (starts, startedby, equals) both
+// directions hold; the canonical direction LeftLess is returned.
+func (p Predicate) LessThanOrder() Order {
+	switch p {
+	case Before, Meets, Overlaps, Contains, FinishedBy, Starts, StartedBy, Equals:
+		return LeftLess
+	case After, MetBy, OverlappedBy, ContainedBy, Finishes:
+		return RightLess
+	}
+	panic(fmt.Sprintf("interval: invalid predicate %d", uint8(p)))
+}
+
+// Op is a map-side communication operation of Section 3: every relation in a
+// 2-way join is either projected, split, or replicated over the partitioning.
+type Op uint8
+
+const (
+	// OpProject sends an interval only to the partition containing its
+	// start point.
+	OpProject Op = iota
+	// OpSplit sends an interval to every partition it intersects.
+	OpSplit
+	// OpReplicate sends an interval to every partition from its start
+	// partition through the last partition.
+	OpReplicate
+)
+
+// String names the operation.
+func (op Op) String() string {
+	switch op {
+	case OpProject:
+		return "project"
+	case OpSplit:
+		return "split"
+	case OpReplicate:
+		return "replicate"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Strategy is the pair of map-side operations that computes a 2-way interval
+// join for one Allen predicate (Figure 1, column 3): Left is applied to the
+// left operand relation and Right to the right operand relation. The
+// operations guarantee that every satisfying pair of intervals meets at the
+// single reducer on which the projected ("greater") interval lands.
+type Strategy struct {
+	Left  Op
+	Right Op
+}
+
+// JoinStrategy returns the Project/Split/Replicate assignment for a 2-way
+// join on predicate p.
+//
+// The rule follows the paper: the relation whose intervals start later under
+// the predicate's less-than order is projected; for sequence predicates the
+// earlier relation is replicated (matching pairs may be arbitrarily far
+// apart), while for colocation predicates it is split (the earlier interval
+// is guaranteed to reach the partition in which the later one starts). When
+// the predicate forces equal start points both relations are projected.
+func JoinStrategy(p Predicate) Strategy {
+	switch p {
+	case Before:
+		return Strategy{Left: OpReplicate, Right: OpProject}
+	case After:
+		return Strategy{Left: OpProject, Right: OpReplicate}
+	case Overlaps, Contains, Meets, FinishedBy:
+		return Strategy{Left: OpSplit, Right: OpProject}
+	case OverlappedBy, ContainedBy, MetBy, Finishes:
+		return Strategy{Left: OpProject, Right: OpSplit}
+	case Starts, StartedBy, Equals:
+		return Strategy{Left: OpProject, Right: OpProject}
+	}
+	panic(fmt.Sprintf("interval: invalid predicate %d", uint8(p)))
+}

@@ -1,0 +1,254 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPredicateEvalTable(t *testing.T) {
+	// Hand-picked pairs exercising every relation once.
+	cases := []struct {
+		p    Predicate
+		u, v Interval
+	}{
+		{Before, New(0, 2), New(4, 6)},
+		{After, New(4, 6), New(0, 2)},
+		{Meets, New(0, 4), New(4, 8)},
+		{MetBy, New(4, 8), New(0, 4)},
+		{Overlaps, New(0, 5), New(3, 9)},
+		{OverlappedBy, New(3, 9), New(0, 5)},
+		{Contains, New(0, 10), New(2, 7)},
+		{ContainedBy, New(2, 7), New(0, 10)},
+		{Starts, New(0, 4), New(0, 9)},
+		{StartedBy, New(0, 9), New(0, 4)},
+		{Finishes, New(5, 9), New(0, 9)},
+		{FinishedBy, New(0, 9), New(5, 9)},
+		{Equals, New(3, 7), New(3, 7)},
+	}
+	for _, tc := range cases {
+		if !tc.p.Eval(tc.u, tc.v) {
+			t.Errorf("%v(%v, %v) = false, want true", tc.p, tc.u, tc.v)
+		}
+		// Exactly this relation must hold among all thirteen.
+		for p := Predicate(0); p < NumPredicates; p++ {
+			if p != tc.p && p.Eval(tc.u, tc.v) {
+				t.Errorf("%v also holds for (%v, %v), expected only %v", p, tc.u, tc.v, tc.p)
+			}
+		}
+		if got := Relate(tc.u, tc.v); got != tc.p {
+			t.Errorf("Relate(%v, %v) = %v, want %v", tc.u, tc.v, got, tc.p)
+		}
+	}
+}
+
+// TestJEPD verifies that Allen's thirteen relations are jointly exhaustive
+// and pairwise disjoint over proper intervals.
+func TestJEPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		u := randomProperInterval(rng, 50) // small domain provokes every relation
+		v := randomProperInterval(rng, 50)
+		holds := 0
+		for p := Predicate(0); p < NumPredicates; p++ {
+			if p.Eval(u, v) {
+				holds++
+			}
+		}
+		if holds != 1 {
+			t.Fatalf("pair (%v, %v): %d relations hold, want exactly 1", u, v, holds)
+		}
+	}
+}
+
+// TestJEPDExhaustiveSmallDomain enumerates every pair of proper intervals
+// over a tiny domain, leaving nothing to randomness.
+func TestJEPDExhaustiveSmallDomain(t *testing.T) {
+	const limit = 7
+	var ivs []Interval
+	for s := int64(0); s < limit; s++ {
+		for e := s + 1; e < limit; e++ {
+			ivs = append(ivs, New(s, e))
+		}
+	}
+	for _, u := range ivs {
+		for _, v := range ivs {
+			holds := 0
+			var which Predicate
+			for p := Predicate(0); p < NumPredicates; p++ {
+				if p.Eval(u, v) {
+					holds++
+					which = p
+				}
+			}
+			if holds != 1 {
+				t.Fatalf("pair (%v, %v): %d relations hold", u, v, holds)
+			}
+			if Relate(u, v) != which {
+				t.Fatalf("Relate(%v, %v) = %v, want %v", u, v, Relate(u, v), which)
+			}
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		u := randomProperInterval(rng, 40)
+		v := randomProperInterval(rng, 40)
+		for p := Predicate(0); p < NumPredicates; p++ {
+			if p.Eval(u, v) != p.Inverse().Eval(v, u) {
+				t.Fatalf("%v(%v,%v) != %v(%v,%v)", p, u, v, p.Inverse(), v, u)
+			}
+		}
+	}
+	for p := Predicate(0); p < NumPredicates; p++ {
+		if p.Inverse().Inverse() != p {
+			t.Errorf("Inverse not involutive for %v", p)
+		}
+	}
+}
+
+func TestSequenceColocationSplit(t *testing.T) {
+	seq := 0
+	for p := Predicate(0); p < NumPredicates; p++ {
+		if p.IsSequence() {
+			seq++
+			if p.IsColocation() {
+				t.Errorf("%v is both sequence and colocation", p)
+			}
+		} else if !p.IsColocation() {
+			t.Errorf("%v is neither sequence nor colocation", p)
+		}
+	}
+	if seq != 2 {
+		t.Fatalf("found %d sequence predicates, want 2 (before, after)", seq)
+	}
+	// Colocation predicates require the operands to share a point; sequence
+	// predicates require them disjoint.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		u := randomProperInterval(rng, 40)
+		v := randomProperInterval(rng, 40)
+		for p := Predicate(0); p < NumPredicates; p++ {
+			if !p.Eval(u, v) {
+				continue
+			}
+			if p.IsColocation() && !u.Intersects(v) {
+				t.Fatalf("colocation predicate %v holds for disjoint %v, %v", p, u, v)
+			}
+			if p.IsSequence() && u.Intersects(v) {
+				t.Fatalf("sequence predicate %v holds for intersecting %v, %v", p, u, v)
+			}
+		}
+	}
+}
+
+// TestLessThanOrderSoundness checks the Figure 1 less-than orders: whenever
+// a predicate holds, the interval on its "lesser" side starts no later.
+func TestLessThanOrderSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		u := randomProperInterval(rng, 60)
+		v := randomProperInterval(rng, 60)
+		for p := Predicate(0); p < NumPredicates; p++ {
+			if !p.Eval(u, v) {
+				continue
+			}
+			switch p.LessThanOrder() {
+			case LeftLess:
+				if !u.LessThan(v) {
+					t.Fatalf("%v(%v,%v) holds but left operand is not less-than", p, u, v)
+				}
+			case RightLess:
+				if !v.LessThan(u) {
+					t.Fatalf("%v(%v,%v) holds but right operand is not less-than", p, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestParsePredicate(t *testing.T) {
+	for p := Predicate(0); p < NumPredicates; p++ {
+		got, err := ParsePredicate(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePredicate(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	aliases := map[string]Predicate{
+		"OVERLAPS": Overlaps, "overlap": Overlaps, "during": ContainedBy,
+		"overlapped-by": OverlappedBy, "overlapped_by": OverlappedBy,
+		"Met By": MetBy, "=": Equals, "<": Before, ">": After,
+	}
+	for s, want := range aliases {
+		got, err := ParsePredicate(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePredicate(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParsePredicate("sideways"); err == nil {
+		t.Error("ParsePredicate(\"sideways\") succeeded, want error")
+	}
+}
+
+// TestJoinStrategyColocates verifies, for every predicate and a mass of
+// random pairs, that whenever the predicate holds the two map-side
+// operations route both intervals to at least one common reducer — and that
+// the projected side lands on exactly one reducer so the pair is produced
+// exactly once.
+func TestJoinStrategyColocates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	part := NewUniform(0, 64, 8)
+	for i := 0; i < 20000; i++ {
+		u := randomProperInterval(rng, 64)
+		v := randomProperInterval(rng, 64)
+		p := Relate(u, v)
+		st := JoinStrategy(p)
+		lf, ll := part.Apply(st.Left, u)
+		rf, rl := part.Apply(st.Right, v)
+		common := 0
+		for r := max(lf, rf); r <= min(ll, rl); r++ {
+			common++
+		}
+		if common == 0 {
+			t.Fatalf("predicate %v holds for (%v, %v) but strategy %v/%v yields no common reducer",
+				p, u, v, st.Left, st.Right)
+		}
+		// At least one side must be projected (single reducer) so that the
+		// output pair is generated exactly once.
+		if st.Left != OpProject && st.Right != OpProject {
+			t.Fatalf("strategy for %v projects neither side", p)
+		}
+	}
+}
+
+func TestJoinStrategyMatchesPaperTable(t *testing.T) {
+	// Figure 1 column 3, with the sequence rows replicating the lesser
+	// relation and the colocation rows splitting it.
+	want := map[Predicate]Strategy{
+		Before:       {OpReplicate, OpProject},
+		After:        {OpProject, OpReplicate},
+		Overlaps:     {OpSplit, OpProject},
+		OverlappedBy: {OpProject, OpSplit},
+		Contains:     {OpSplit, OpProject},
+		ContainedBy:  {OpProject, OpSplit},
+		Meets:        {OpSplit, OpProject},
+		MetBy:        {OpProject, OpSplit},
+		Starts:       {OpProject, OpProject},
+		StartedBy:    {OpProject, OpProject},
+		Finishes:     {OpProject, OpSplit},
+		FinishedBy:   {OpSplit, OpProject},
+		Equals:       {OpProject, OpProject},
+	}
+	for p, st := range want {
+		if got := JoinStrategy(p); got != st {
+			t.Errorf("JoinStrategy(%v) = %v, want %v", p, got, st)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpProject.String() != "project" || OpSplit.String() != "split" || OpReplicate.String() != "replicate" {
+		t.Error("Op.String mismatch")
+	}
+}

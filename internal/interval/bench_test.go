@@ -1,0 +1,72 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPairs(n int) []Interval {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]Interval, n)
+	for i := range out {
+		s := rng.Int63n(1 << 20)
+		out[i] = Interval{Start: s, End: s + rng.Int63n(1024)}
+	}
+	return out
+}
+
+func BenchmarkPredicateEval(b *testing.B) {
+	ivs := benchPairs(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := ivs[i%len(ivs)]
+		v := ivs[(i*7+3)%len(ivs)]
+		for p := Predicate(0); p < NumPredicates; p++ {
+			if p.Eval(u, v) {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkRelate(b *testing.B) {
+	ivs := benchPairs(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Relate(ivs[i%len(ivs)], ivs[(i*7+3)%len(ivs)])
+	}
+}
+
+func BenchmarkPartitionSplit(b *testing.B) {
+	part := NewUniform(0, 1<<20, 64)
+	ivs := benchPairs(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		part.Split(ivs[i%len(ivs)])
+	}
+}
+
+func BenchmarkPartitionIndexOf(b *testing.B) {
+	part := NewUniform(0, 1<<20, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		part.IndexOf(int64(i) % (1 << 20))
+	}
+}
+
+func BenchmarkCompose(b *testing.B) {
+	Compose(Before, Before) // build tables outside the loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compose(Predicate(i%int(NumPredicates)), Predicate((i/13)%int(NumPredicates)))
+	}
+}
+
+func BenchmarkComposeSets(b *testing.B) {
+	a := NewPredicateSet(Before, Meets, Overlaps)
+	c := NewPredicateSet(Contains, Overlaps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComposeSets(a, c)
+	}
+}

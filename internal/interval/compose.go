@@ -1,0 +1,215 @@
+package interval
+
+import (
+	"strings"
+	"sync"
+)
+
+// PredicateSet is a bitmask over the thirteen Allen relations, used by the
+// composition table and the query-satisfiability reasoning.
+type PredicateSet uint16
+
+// EmptySet is the set containing no relations; AllSet contains all
+// thirteen.
+const (
+	EmptySet PredicateSet = 0
+	AllSet   PredicateSet = 1<<NumPredicates - 1
+)
+
+// NewPredicateSet builds a set from the given predicates.
+func NewPredicateSet(ps ...Predicate) PredicateSet {
+	var s PredicateSet
+	for _, p := range ps {
+		s |= 1 << p
+	}
+	return s
+}
+
+// Contains reports whether p is in the set.
+func (s PredicateSet) Contains(p Predicate) bool { return s&(1<<p) != 0 }
+
+// Add returns the set with p added.
+func (s PredicateSet) Add(p Predicate) PredicateSet { return s | 1<<p }
+
+// Intersect returns the set intersection.
+func (s PredicateSet) Intersect(o PredicateSet) PredicateSet { return s & o }
+
+// Union returns the set union.
+func (s PredicateSet) Union(o PredicateSet) PredicateSet { return s | o }
+
+// Empty reports whether no relation is in the set.
+func (s PredicateSet) Empty() bool { return s == 0 }
+
+// Len counts the relations in the set.
+func (s PredicateSet) Len() int {
+	n := 0
+	for p := Predicate(0); p < NumPredicates; p++ {
+		if s.Contains(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// Predicates lists the set's members in predicate order.
+func (s PredicateSet) Predicates() []Predicate {
+	out := make([]Predicate, 0, s.Len())
+	for p := Predicate(0); p < NumPredicates; p++ {
+		if s.Contains(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Inverse returns {p' : p in s}, the feasible relations with the operands
+// swapped.
+func (s PredicateSet) Inverse() PredicateSet {
+	var out PredicateSet
+	for p := Predicate(0); p < NumPredicates; p++ {
+		if s.Contains(p) {
+			out = out.Add(p.Inverse())
+		}
+	}
+	return out
+}
+
+// String renders the set as "{before overlaps ...}".
+func (s PredicateSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range s.Predicates() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// composition holds Allen's 13x13 composition table over *canonical*
+// relations: composition[p][q] is the set of canonical relations Relate(u,w)
+// possible given Relate(u,v) == p and Relate(v,w) == q. Canonical relations
+// are unique per interval pair even for degenerate (point) intervals, which
+// restores the classic constraint-network semantics that multi-holding
+// point relations would otherwise break. compositionProper is the textbook
+// table, derived over proper intervals only (where Relate and "holds" agree
+// and the table is tighter).
+//
+// The tables are derived, not transcribed: every triple of intervals over a
+// 12-point domain is enumerated and each observed (p, q) -> r combination
+// recorded. Twelve points suffice for completeness — three intervals have
+// six endpoints, and any real configuration is order-isomorphic to one over
+// at most 12 integers, so every realizable composition is witnessed.
+var (
+	composition       [NumPredicates][NumPredicates]PredicateSet
+	compositionProper [NumPredicates][NumPredicates]PredicateSet
+	// canonicalOf[p] is the set of canonical relations a pair can have
+	// while predicate p holds for it: for proper intervals just {p}, but
+	// point pairs satisfy several predicates at once (e.g. two equal
+	// points satisfy both meets and equals, canonically equals).
+	canonicalOf     [NumPredicates]PredicateSet
+	compositionOnce sync.Once
+)
+
+func buildCompositionTables() {
+	buildComposition(&composition, true)
+	buildComposition(&compositionProper, false)
+	const domain = 8
+	for s := Point(0); s < domain; s++ {
+		for e := s; e < domain; e++ {
+			u := Interval{Start: s, End: e}
+			for s2 := Point(0); s2 < domain; s2++ {
+				for e2 := s2; e2 < domain; e2++ {
+					v := Interval{Start: s2, End: e2}
+					canon := Relate(u, v)
+					for _, p := range Relations(u, v).Predicates() {
+						canonicalOf[p] = canonicalOf[p].Add(canon)
+					}
+				}
+			}
+		}
+	}
+}
+
+func buildComposition(table *[NumPredicates][NumPredicates]PredicateSet, includePoints bool) {
+	const domain = 12
+	var ivs []Interval
+	for s := Point(0); s < domain; s++ {
+		e := s
+		if !includePoints {
+			e = s + 1
+		}
+		for ; e < domain; e++ {
+			ivs = append(ivs, Interval{Start: s, End: e})
+		}
+	}
+	// Cache per-pair canonical relations to keep the triple loop cheap.
+	canon := make([][]Predicate, len(ivs))
+	for i := range ivs {
+		canon[i] = make([]Predicate, len(ivs))
+		for j := range ivs {
+			canon[i][j] = Relate(ivs[i], ivs[j])
+		}
+	}
+	for i := range ivs {
+		for j := range ivs {
+			p := canon[i][j]
+			for k := range ivs {
+				q := canon[j][k]
+				table[p][q] = table[p][q].Add(canon[i][k])
+			}
+		}
+	}
+}
+
+// Compose returns the canonical relations possible between u and w given
+// canonical relations p between (u, v) and q between (v, w) — one cell of
+// Allen's composition table, extended to remain sound over degenerate
+// (point) intervals. For instance before∘after includes every relation, and
+// equals∘equals is just {equals} (canonically; two equal points also
+// *satisfy* meets, which CanonicalSet accounts for).
+func Compose(p, q Predicate) PredicateSet {
+	compositionOnce.Do(buildCompositionTables)
+	return composition[p][q]
+}
+
+// ComposeProper is the textbook composition table, valid when all intervals
+// are proper (Start < End). It can be tighter than Compose, so reasoning
+// over proper-interval data proves more queries empty.
+func ComposeProper(p, q Predicate) PredicateSet {
+	compositionOnce.Do(buildCompositionTables)
+	return compositionProper[p][q]
+}
+
+// CanonicalSet returns the canonical relations a pair of intervals can have
+// while p holds for it. For proper intervals this is {p}; point pairs admit
+// more (two equal points satisfy meets, starts, finishes and equals at
+// once, canonically equals).
+func CanonicalSet(p Predicate) PredicateSet {
+	compositionOnce.Do(buildCompositionTables)
+	return canonicalOf[p]
+}
+
+// ComposeSets lifts Compose to sets: the relations possible between u and w
+// given that some relation in a holds for (u, v) and some relation in b for
+// (v, w).
+func ComposeSets(a, b PredicateSet) PredicateSet {
+	return composeSets(a, b, Compose)
+}
+
+// ComposeSetsProper is ComposeSets over the proper-interval table.
+func ComposeSetsProper(a, b PredicateSet) PredicateSet {
+	return composeSets(a, b, ComposeProper)
+}
+
+func composeSets(a, b PredicateSet, table func(Predicate, Predicate) PredicateSet) PredicateSet {
+	var out PredicateSet
+	for _, p := range a.Predicates() {
+		for _, q := range b.Predicates() {
+			out = out.Union(table(p, q))
+		}
+	}
+	return out
+}

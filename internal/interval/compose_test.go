@@ -1,0 +1,189 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPredicateSetBasics(t *testing.T) {
+	s := NewPredicateSet(Before, Overlaps)
+	if !s.Contains(Before) || !s.Contains(Overlaps) || s.Contains(After) {
+		t.Fatalf("set membership wrong: %v", s)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if EmptySet.Len() != 0 || !EmptySet.Empty() {
+		t.Fatal("EmptySet wrong")
+	}
+	if AllSet.Len() != NumPredicates {
+		t.Fatalf("AllSet has %d members", AllSet.Len())
+	}
+	if got := s.Union(NewPredicateSet(After)).Len(); got != 3 {
+		t.Fatalf("union len = %d", got)
+	}
+	if got := s.Intersect(NewPredicateSet(Before, After)); got != NewPredicateSet(Before) {
+		t.Fatalf("intersect = %v", got)
+	}
+	if s.String() != "{before overlaps}" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestPredicateSetInverse(t *testing.T) {
+	s := NewPredicateSet(Before, Contains, Starts)
+	inv := s.Inverse()
+	want := NewPredicateSet(After, ContainedBy, StartedBy)
+	if inv != want {
+		t.Fatalf("Inverse = %v, want %v", inv, want)
+	}
+	if inv.Inverse() != s {
+		t.Fatal("Inverse not involutive")
+	}
+}
+
+// TestComposeProperClassicEntries checks well-known textbook cells of
+// Allen's composition table over proper intervals.
+func TestComposeProperClassicEntries(t *testing.T) {
+	// before ∘ before = {before}: transitivity.
+	if got := ComposeProper(Before, Before); got != NewPredicateSet(Before) {
+		t.Errorf("before∘before = %v, want {before}", got)
+	}
+	// meets ∘ meets = {before}: u meets v meets w puts u strictly before w.
+	if got := ComposeProper(Meets, Meets); got != NewPredicateSet(Before) {
+		t.Errorf("meets∘meets = %v, want {before}", got)
+	}
+	// contains ∘ contains = {contains}.
+	if got := ComposeProper(Contains, Contains); got != NewPredicateSet(Contains) {
+		t.Errorf("contains∘contains = %v, want {contains}", got)
+	}
+	// equals is the identity of composition.
+	for p := Predicate(0); p < NumPredicates; p++ {
+		if got := ComposeProper(Equals, p); got != NewPredicateSet(p) {
+			t.Errorf("equals∘%v = %v, want {%v}", p, got, p)
+		}
+		if got := ComposeProper(p, Equals); got != NewPredicateSet(p) {
+			t.Errorf("%v∘equals = %v, want {%v}", p, got, p)
+		}
+	}
+	// during ∘ before = {before}: inside something that is before w.
+	if got := ComposeProper(ContainedBy, Before); got != NewPredicateSet(Before) {
+		t.Errorf("during∘before = %v, want {before}", got)
+	}
+	// before ∘ after is the full set: no information.
+	if got := ComposeProper(Before, After); got != AllSet {
+		t.Errorf("before∘after = %v, want all thirteen", got)
+	}
+	// overlaps ∘ overlaps: the classic {before, meets, overlaps}.
+	want := NewPredicateSet(Before, Meets, Overlaps)
+	if got := ComposeProper(Overlaps, Overlaps); got != want {
+		t.Errorf("overlaps∘overlaps = %v, want %v", got, want)
+	}
+}
+
+// TestComposeDegenerateExtension: the point-sound canonical table is a
+// superset of the proper table cell-wise, and canonical composition of
+// equals stays {equals} (identical intervals compose to identity even for
+// points — the degenerate multi-holding lives in CanonicalSet instead).
+func TestComposeDegenerateExtension(t *testing.T) {
+	for p := Predicate(0); p < NumPredicates; p++ {
+		for q := Predicate(0); q < NumPredicates; q++ {
+			proper := ComposeProper(p, q)
+			sound := Compose(p, q)
+			if proper.Intersect(sound) != proper {
+				t.Fatalf("%v∘%v: proper table %v not a subset of sound table %v", p, q, proper, sound)
+			}
+		}
+	}
+	if got := Compose(Equals, Equals); got != NewPredicateSet(Equals) {
+		t.Fatalf("equals∘equals = %v, want {equals}", got)
+	}
+	if got := ComposeProper(Equals, Equals); got != NewPredicateSet(Equals) {
+		t.Fatalf("equals∘equals (proper) = %v, want {equals}", got)
+	}
+}
+
+// TestRelateInverseSymmetry: the canonical relation respects operand
+// swapping, which the constraint network's inverse maintenance relies on.
+func TestRelateInverseSymmetry(t *testing.T) {
+	var ivs []Interval
+	for s := Point(0); s < 7; s++ {
+		for e := s; e < 7; e++ {
+			ivs = append(ivs, Interval{Start: s, End: e})
+		}
+	}
+	for _, u := range ivs {
+		for _, v := range ivs {
+			if Relate(v, u) != Relate(u, v).Inverse() {
+				t.Fatalf("Relate(%v,%v)=%v but Relate(%v,%v)=%v",
+					u, v, Relate(u, v), v, u, Relate(v, u))
+			}
+		}
+	}
+}
+
+// TestComposeSoundOnRandomTriples: the canonical relation between u and w
+// must be in the composed set of the canonical relations of (u,v) and
+// (v,w) — on proper and degenerate intervals alike — and every holding
+// predicate's canonical set must contain the pair's canonical relation.
+func TestComposeSoundOnRandomTriples(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	randIv := func() Interval {
+		s := rng.Int63n(30)
+		return Interval{Start: s, End: s + rng.Int63n(10)} // may be a point
+	}
+	for trial := 0; trial < 50000; trial++ {
+		u, v, w := randIv(), randIv(), randIv()
+		p, q, r := Relate(u, v), Relate(v, w), Relate(u, w)
+		if !Compose(p, q).Contains(r) {
+			t.Fatalf("Relate: %v∘%v must allow %v (u=%v v=%v w=%v)", p, q, r, u, v, w)
+		}
+		for hp := Predicate(0); hp < NumPredicates; hp++ {
+			if hp.Eval(u, v) && !CanonicalSet(hp).Contains(p) {
+				t.Fatalf("%v holds for (%v,%v) with canonical %v, but CanonicalSet(%v) = %v",
+					hp, u, v, p, hp, CanonicalSet(hp))
+			}
+		}
+	}
+}
+
+func TestCanonicalSet(t *testing.T) {
+	// Proper-interval predicates with no point coincidences are exactly
+	// themselves plus the point-degenerate canonicals.
+	if got := CanonicalSet(Before); got != NewPredicateSet(Before) {
+		t.Errorf("CanonicalSet(before) = %v, want {before}", got)
+	}
+	// Two equal points satisfy meets; the canonical relation is equals.
+	if got := CanonicalSet(Meets); !got.Contains(Equals) || !got.Contains(Meets) {
+		t.Errorf("CanonicalSet(meets) = %v, want to include meets and equals", got)
+	}
+	// Overlaps requires three strictly ordered distinct endpoints per
+	// side, impossible to fake with points.
+	if got := CanonicalSet(Overlaps); got != NewPredicateSet(Overlaps) {
+		t.Errorf("CanonicalSet(overlaps) = %v, want {overlaps}", got)
+	}
+}
+
+// TestComposeInverseSymmetry: Compose(p, q) inverted equals
+// Compose(q', p').
+func TestComposeInverseSymmetry(t *testing.T) {
+	for p := Predicate(0); p < NumPredicates; p++ {
+		for q := Predicate(0); q < NumPredicates; q++ {
+			if Compose(p, q).Inverse() != Compose(q.Inverse(), p.Inverse()) {
+				t.Fatalf("inverse symmetry broken for %v, %v", p, q)
+			}
+		}
+	}
+}
+
+func TestComposeSets(t *testing.T) {
+	a := NewPredicateSet(Before, Meets)
+	b := NewPredicateSet(Before)
+	got := ComposeSets(a, b)
+	if got != NewPredicateSet(Before) {
+		t.Fatalf("ComposeSets = %v, want {before}", got)
+	}
+	if ComposeSets(EmptySet, AllSet) != EmptySet {
+		t.Fatal("compose with empty set must be empty")
+	}
+}

@@ -1,0 +1,116 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEquiDepthBalancesSkewedSample(t *testing.T) {
+	// Heavily front-loaded sample: 90% of points in the first 5% of the
+	// range.
+	rng := rand.New(rand.NewSource(1))
+	var sample []Point
+	for i := 0; i < 9000; i++ {
+		sample = append(sample, rng.Int63n(50))
+	}
+	for i := 0; i < 1000; i++ {
+		sample = append(sample, 50+rng.Int63n(950))
+	}
+	p, err := NewEquiDepth(0, 1000, 10, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() < 5 {
+		t.Fatalf("equi-depth collapsed to %d partitions", p.Len())
+	}
+	counts := make([]int, p.Len())
+	for _, s := range sample {
+		counts[p.IndexOf(s)]++
+	}
+	max, min := counts[0], counts[0]
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	// Uniform partitioning of the same data would put ~9000 points into
+	// the first partition of 10 (ratio 9x the mean); equi-depth should be
+	// within ~3x.
+	mean := float64(len(sample)) / float64(p.Len())
+	if float64(max) > 3*mean {
+		t.Fatalf("equi-depth max load %d vs mean %.0f; counts=%v", max, mean, counts)
+	}
+
+	uni := NewUniform(0, 1000, 10)
+	uniCounts := make([]int, uni.Len())
+	for _, s := range sample {
+		uniCounts[uni.IndexOf(s)]++
+	}
+	if uniCounts[0] < 3*max {
+		t.Fatalf("uniform partitioning (%v) not much worse than equi-depth (max %d) — test data not skewed enough",
+			uniCounts, max)
+	}
+}
+
+func TestEquiDepthCollapsesDuplicates(t *testing.T) {
+	// All sample points identical: only one boundary survives.
+	sample := make([]Point, 100)
+	for i := range sample {
+		sample[i] = 42
+	}
+	p, err := NewEquiDepth(0, 100, 8, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() > 2 {
+		t.Fatalf("duplicate quantiles not collapsed: %d partitions", p.Len())
+	}
+	// Every point still routes.
+	for _, pt := range []Point{0, 41, 42, 43, 99} {
+		i := p.IndexOf(pt)
+		if i < 0 || i >= p.Len() {
+			t.Fatalf("IndexOf(%d) = %d", pt, i)
+		}
+	}
+}
+
+func TestEquiDepthEmptySampleFallsBack(t *testing.T) {
+	p, err := NewEquiDepth(0, 100, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 4 {
+		t.Fatalf("fallback partitions = %d, want uniform 4", p.Len())
+	}
+}
+
+func TestEquiDepthValidation(t *testing.T) {
+	if _, err := NewEquiDepth(0, 100, 0, []Point{1}); err == nil {
+		t.Error("0 partitions accepted")
+	}
+	if _, err := NewEquiDepth(100, 100, 4, []Point{1}); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestEquiDepthIgnoresOutOfRangeQuantiles(t *testing.T) {
+	// Sample points outside [t0, tn) must not produce invalid boundaries.
+	sample := []Point{-50, -10, 5, 20, 80, 500, 900}
+	p, err := NewEquiDepth(0, 100, 5, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := p.Range()
+	if lo != 0 || hi != 100 {
+		t.Fatalf("range = [%d,%d)", lo, hi)
+	}
+	for i := 0; i < p.Len(); i++ {
+		iv := p.PartitionInterval(i)
+		if iv.Start < 0 || iv.End >= 100 {
+			t.Fatalf("partition %d = %v escapes the range", i, iv)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package interval implements the interval data model used throughout the
+// library: closed integer intervals [Start, End], the thirteen relations of
+// Allen's interval algebra, the less-than order those relations imply, and
+// the Project / Split / Replicate partitioning operations from Section 3 of
+// "Processing Interval Joins On Map-Reduce" (EDBT 2014).
+package interval
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Point is a position on the (discrete) time line. All intervals are defined
+// over Points. Real-valued attributes are modelled as degenerate intervals
+// with Start == End, as the paper does ("a real-valued data point is an
+// interval of length 0").
+type Point = int64
+
+// Interval is a closed interval [Start, End] on the time line. It contains
+// every point p with Start <= p <= End, including both endpoints. The zero
+// value is the degenerate interval [0, 0].
+type Interval struct {
+	Start Point
+	End   Point
+}
+
+// ErrInverted reports an interval whose end precedes its start.
+var ErrInverted = errors.New("interval: end precedes start")
+
+// New returns the interval [start, end]. It panics if end < start; use Make
+// for a checked constructor.
+func New(start, end Point) Interval {
+	iv, err := Make(start, end)
+	if err != nil {
+		panic(err)
+	}
+	return iv
+}
+
+// Make returns the interval [start, end], or ErrInverted if end < start.
+func Make(start, end Point) (Interval, error) {
+	if end < start {
+		return Interval{}, fmt.Errorf("%w: [%d, %d]", ErrInverted, start, end)
+	}
+	return Interval{Start: start, End: end}, nil
+}
+
+// PointInterval returns the degenerate interval [p, p] that models the
+// real-valued point p.
+func PointInterval(p Point) Interval { return Interval{Start: p, End: p} }
+
+// Valid reports whether the interval is well formed (Start <= End).
+func (iv Interval) Valid() bool { return iv.Start <= iv.End }
+
+// Length is the extent of the interval: End - Start. A point interval has
+// length 0.
+func (iv Interval) Length() int64 { return iv.End - iv.Start }
+
+// IsPoint reports whether the interval is degenerate (length 0), i.e. a
+// real-valued data point in the paper's terminology.
+func (iv Interval) IsPoint() bool { return iv.Start == iv.End }
+
+// ContainsPoint reports whether p lies within the closed interval.
+func (iv Interval) ContainsPoint(p Point) bool {
+	return iv.Start <= p && p <= iv.End
+}
+
+// Intersects reports whether the two closed intervals share at least one
+// point. This is the paper's notion of colocation of two intervals.
+func (iv Interval) Intersects(other Interval) bool {
+	return iv.Start <= other.End && other.Start <= iv.End
+}
+
+// Intersection returns the common part of the two intervals and whether it
+// is non-empty.
+func (iv Interval) Intersection(other Interval) (Interval, bool) {
+	s := max64(iv.Start, other.Start)
+	e := min64(iv.End, other.End)
+	if e < s {
+		return Interval{}, false
+	}
+	return Interval{Start: s, End: e}, true
+}
+
+// Union returns the smallest interval covering both inputs. The inputs need
+// not intersect; any gap between them is included in the result.
+func (iv Interval) Union(other Interval) Interval {
+	return Interval{Start: min64(iv.Start, other.Start), End: max64(iv.End, other.End)}
+}
+
+// LessThan reports whether iv is in less-than order with other, i.e. whether
+// iv starts no later than other (Section 5.1 of the paper: "an interval u is
+// said to be in less-than order with interval v if u's start is less than or
+// equal to v's start").
+func (iv Interval) LessThan(other Interval) bool { return iv.Start <= other.Start }
+
+// Compare orders intervals by start point, breaking ties by end point. It
+// returns -1, 0 or +1. Sorting a slice of intervals with Compare yields the
+// less-than order used by the reducers to track consistent interval-sets.
+func (iv Interval) Compare(other Interval) int {
+	switch {
+	case iv.Start < other.Start:
+		return -1
+	case iv.Start > other.Start:
+		return 1
+	case iv.End < other.End:
+		return -1
+	case iv.End > other.End:
+		return 1
+	}
+	return 0
+}
+
+// String renders the interval as "[start,end]".
+func (iv Interval) String() string {
+	return "[" + strconv.FormatInt(iv.Start, 10) + "," + strconv.FormatInt(iv.End, 10) + "]"
+}
+
+// Parse parses the textual form produced by String: "[start,end]". It also
+// accepts the bare form "start,end".
+func Parse(s string) (Interval, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "[")
+	s = strings.TrimSuffix(s, "]")
+	comma := strings.IndexByte(s, ',')
+	if comma < 0 {
+		return Interval{}, fmt.Errorf("interval: cannot parse %q: missing comma", s)
+	}
+	start, err := strconv.ParseInt(strings.TrimSpace(s[:comma]), 10, 64)
+	if err != nil {
+		return Interval{}, fmt.Errorf("interval: bad start in %q: %v", s, err)
+	}
+	end, err := strconv.ParseInt(strings.TrimSpace(s[comma+1:]), 10, 64)
+	if err != nil {
+		return Interval{}, fmt.Errorf("interval: bad end in %q: %v", s, err)
+	}
+	return Make(start, end)
+}
+
+// LeftMost returns the index of an interval whose start point is minimal in
+// ivs, or -1 for an empty slice. When several intervals share the minimal
+// start the first one is returned (the paper allows multiple left-most
+// intervals; any representative suffices).
+func LeftMost(ivs []Interval) int {
+	best := -1
+	for i, iv := range ivs {
+		if best < 0 || iv.Start < ivs[best].Start {
+			best = i
+		}
+	}
+	return best
+}
+
+// RightMost returns the index of an interval whose start point is maximal in
+// ivs, or -1 for an empty slice.
+func RightMost(ivs []Interval) int {
+	best := -1
+	for i, iv := range ivs {
+		if best < 0 || iv.Start > ivs[best].Start {
+			best = i
+		}
+	}
+	return best
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

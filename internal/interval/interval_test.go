@@ -1,0 +1,191 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeRejectsInverted(t *testing.T) {
+	if _, err := Make(5, 4); err == nil {
+		t.Fatal("Make(5, 4) succeeded, want error")
+	}
+	if _, err := Make(4, 4); err != nil {
+		t.Fatalf("Make(4, 4) failed: %v", err)
+	}
+}
+
+func TestNewPanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(2, 1) did not panic")
+		}
+	}()
+	New(2, 1)
+}
+
+func TestPointInterval(t *testing.T) {
+	p := PointInterval(7)
+	if !p.IsPoint() || p.Start != 7 || p.End != 7 {
+		t.Fatalf("PointInterval(7) = %v", p)
+	}
+	if p.Length() != 0 {
+		t.Fatalf("point interval length = %d, want 0", p.Length())
+	}
+}
+
+func TestContainsPoint(t *testing.T) {
+	iv := New(3, 8)
+	for _, tc := range []struct {
+		p    Point
+		want bool
+	}{
+		{2, false}, {3, true}, {5, true}, {8, true}, {9, false},
+	} {
+		if got := iv.ContainsPoint(tc.p); got != tc.want {
+			t.Errorf("ContainsPoint(%d) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	for _, tc := range []struct {
+		a, b Interval
+		want bool
+	}{
+		{New(0, 5), New(5, 10), true},   // touching endpoints share a point
+		{New(0, 5), New(6, 10), false},  // adjacent but disjoint
+		{New(0, 10), New(3, 4), true},   // containment
+		{New(3, 4), New(0, 10), true},   // containment, flipped
+		{New(0, 0), New(0, 0), true},    // identical points
+		{New(0, 0), New(1, 1), false},   // distinct points
+		{New(2, 7), New(5, 11), true},   // partial overlap
+		{New(5, 11), New(2, 7), true},   // partial overlap, flipped
+		{New(-5, -1), New(0, 3), false}, // negative coordinates
+	} {
+		if got := tc.a.Intersects(tc.b); got != tc.want {
+			t.Errorf("%v.Intersects(%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got := tc.b.Intersects(tc.a); got != tc.want {
+			t.Errorf("Intersects not symmetric for %v, %v", tc.a, tc.b)
+		}
+	}
+}
+
+func TestIntersection(t *testing.T) {
+	got, ok := New(0, 5).Intersection(New(3, 9))
+	if !ok || got != New(3, 5) {
+		t.Fatalf("Intersection = %v, %v; want [3,5], true", got, ok)
+	}
+	if _, ok := New(0, 2).Intersection(New(3, 9)); ok {
+		t.Fatal("disjoint intervals reported an intersection")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	if got := New(0, 2).Union(New(5, 9)); got != New(0, 9) {
+		t.Fatalf("Union = %v, want [0,9]", got)
+	}
+}
+
+func TestIntersectionSymmetryQuick(t *testing.T) {
+	f := func(a1, a2, b1, b2 int16) bool {
+		a := normalize(int64(a1), int64(a2))
+		b := normalize(int64(b1), int64(b2))
+		i1, ok1 := a.Intersection(b)
+		i2, ok2 := b.Intersection(a)
+		if ok1 != ok2 || i1 != i2 {
+			return false
+		}
+		if ok1 && (!a.Intersects(b) || !i1.Valid()) {
+			return false
+		}
+		return ok1 == a.Intersects(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLessThan(t *testing.T) {
+	if !New(0, 10).LessThan(New(0, 2)) {
+		t.Fatal("equal starts must be in less-than order")
+	}
+	if !New(0, 1).LessThan(New(5, 6)) {
+		t.Fatal("[0,1] must be less than [5,6]")
+	}
+	if New(5, 6).LessThan(New(0, 100)) {
+		t.Fatal("[5,6] must not be less than [0,100]")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	for _, tc := range []struct {
+		a, b Interval
+		want int
+	}{
+		{New(0, 5), New(1, 2), -1},
+		{New(1, 2), New(0, 5), 1},
+		{New(0, 2), New(0, 5), -1},
+		{New(0, 5), New(0, 2), 1},
+		{New(0, 5), New(0, 5), 0},
+	} {
+		if got := tc.a.Compare(tc.b); got != tc.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	f := func(s1, s2 int32) bool {
+		iv := normalize(int64(s1), int64(s2))
+		parsed, err := Parse(iv.String())
+		return err == nil && parsed == iv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseForms(t *testing.T) {
+	for _, s := range []string{"[1,5]", "1,5", " [ 1 , 5 ] ", "[1, 5]"} {
+		iv, err := Parse(s)
+		if err != nil || iv != New(1, 5) {
+			t.Errorf("Parse(%q) = %v, %v; want [1,5]", s, iv, err)
+		}
+	}
+	for _, s := range []string{"", "[1]", "[a,b]", "[5,1]", "1;5"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestLeftMostRightMost(t *testing.T) {
+	ivs := []Interval{New(5, 9), New(1, 20), New(7, 8), New(1, 3)}
+	if got := LeftMost(ivs); got != 1 {
+		t.Errorf("LeftMost = %d, want 1 (first of the tied minimal starts)", got)
+	}
+	if got := RightMost(ivs); got != 2 {
+		t.Errorf("RightMost = %d, want 2", got)
+	}
+	if LeftMost(nil) != -1 || RightMost(nil) != -1 {
+		t.Error("LeftMost/RightMost of empty slice must be -1")
+	}
+}
+
+// normalize builds a valid interval from two arbitrary points.
+func normalize(a, b int64) Interval {
+	if a > b {
+		a, b = b, a
+	}
+	return Interval{Start: a, End: b}
+}
+
+// randomProperInterval returns an interval with Start < End inside
+// [0, limit).
+func randomProperInterval(rng *rand.Rand, limit int64) Interval {
+	s := rng.Int63n(limit - 1)
+	e := s + 1 + rng.Int63n(limit-s-1)
+	return Interval{Start: s, End: e}
+}

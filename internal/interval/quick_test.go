@@ -1,0 +1,104 @@
+package interval
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPartitioningQuick: for arbitrary uniform partitionings and points,
+// IndexOf is total, monotone, and consistent with PartitionInterval.
+func TestPartitioningQuick(t *testing.T) {
+	f := func(t0 int16, span uint16, nRaw uint8, p1, p2 uint16) bool {
+		start := int64(t0)
+		width := int64(span%5000) + 2
+		n := int(nRaw%20) + 1
+		part, err := MakeUniform(start, start+width, n)
+		if err != nil {
+			return false
+		}
+		a := start + int64(p1)%width
+		b := start + int64(p2)%width
+		ia, ib := part.IndexOf(a), part.IndexOf(b)
+		if ia < 0 || ia >= part.Len() || !part.PartitionInterval(ia).ContainsPoint(a) {
+			return false
+		}
+		// Monotonicity: larger points never map to earlier partitions.
+		if a <= b && ia > ib {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpsNestQuick: for arbitrary intervals inside the range, the project
+// partition lies within the split range, which lies within the replicate
+// range.
+func TestOpsNestQuick(t *testing.T) {
+	part := NewUniform(0, 10_000, 17)
+	f := func(sRaw, lRaw uint16) bool {
+		s := int64(sRaw) % 10_000
+		e := s + int64(lRaw)%(10_000-s)
+		iv := Interval{Start: s, End: e}
+		p := part.Project(iv)
+		sf, sl := part.Split(iv)
+		rf, rl := part.Replicate(iv)
+		return sf <= p && p <= sl && rf == sf && rl >= sl && rl == part.Len()-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPredicateSetAlgebraQuick: set operations behave like sets.
+func TestPredicateSetAlgebraQuick(t *testing.T) {
+	f := func(aRaw, bRaw uint16) bool {
+		a := PredicateSet(aRaw) & AllSet
+		b := PredicateSet(bRaw) & AllSet
+		union := a.Union(b)
+		inter := a.Intersect(b)
+		// Inclusion-exclusion.
+		if union.Len()+inter.Len() != a.Len()+b.Len() {
+			return false
+		}
+		// Inverse distributes over union and intersection.
+		if a.Inverse().Union(b.Inverse()) != union.Inverse() {
+			return false
+		}
+		if a.Inverse().Intersect(b.Inverse()) != inter.Inverse() {
+			return false
+		}
+		// Involution.
+		return a.Inverse().Inverse() == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLessThanOrderTotalQuick: every predicate that can hold induces a
+// consistent start-point order — checking the algebra's core invariant on
+// arbitrary pairs.
+func TestLessThanOrderTotalQuick(t *testing.T) {
+	f := func(s1Raw, l1Raw, s2Raw, l2Raw uint8) bool {
+		u := Interval{Start: int64(s1Raw % 40), End: int64(s1Raw%40) + int64(l1Raw%20) + 1}
+		v := Interval{Start: int64(s2Raw % 40), End: int64(s2Raw%40) + int64(l2Raw%20) + 1}
+		for p := Predicate(0); p < NumPredicates; p++ {
+			if !p.Eval(u, v) {
+				continue
+			}
+			if p.LessThanOrder() == LeftLess && u.Start > v.Start {
+				return false
+			}
+			if p.LessThanOrder() == RightLess && v.Start > u.Start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package mr
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"intervaljoin/internal/dfs"
+)
+
+// benchEngine runs the histogram job over n records with the given spill
+// threshold, measuring end-to-end engine throughput.
+func benchEngine(b *testing.B, n, spill int) {
+	b.Helper()
+	store := dfs.NewMem()
+	recs := make([]string, n)
+	for i := range recs {
+		recs[i] = strconv.Itoa(i)
+	}
+	if err := dfs.WriteAll(store, "in", recs); err != nil {
+		b.Fatal(err)
+	}
+	e := NewEngine(Config{Store: store, SpillPairThreshold: spill})
+	job := Job{
+		Name:   "bench",
+		Inputs: []Input{{File: "in"}},
+		Map: func(tag int, record string, emit Emit) error {
+			v, _ := strconv.ParseInt(record, 10, 64)
+			emit(v%64, record)
+			return nil
+		},
+		Reduce: func(key int64, values []string, write func(string) error) error {
+			return write(fmt.Sprintf("%d:%d", key, len(values)))
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(job); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(n))
+}
+
+func BenchmarkEngineInMemory(b *testing.B)  { benchEngine(b, 100_000, 0) }
+func BenchmarkEngineSpilling(b *testing.B)  { benchEngine(b, 100_000, 4096) }
+func BenchmarkEngineSmallJobs(b *testing.B) { benchEngine(b, 1_000, 0) }
+
+func BenchmarkEngineWithCombiner(b *testing.B) {
+	store := dfs.NewMem()
+	const n = 100_000
+	recs := make([]string, n)
+	for i := range recs {
+		recs[i] = strconv.Itoa(i % 64)
+	}
+	if err := dfs.WriteAll(store, "in", recs); err != nil {
+		b.Fatal(err)
+	}
+	e := NewEngine(Config{Store: store})
+	job := Job{
+		Name:   "bench-combine",
+		Inputs: []Input{{File: "in"}},
+		Map: func(tag int, record string, emit Emit) error {
+			v, _ := strconv.ParseInt(record, 10, 64)
+			emit(v, "1")
+			return nil
+		},
+		Combine: func(key int64, values []string) []string {
+			sum := 0
+			for _, v := range values {
+				x, _ := strconv.Atoi(v)
+				sum += x
+			}
+			return []string{strconv.Itoa(sum)}
+		},
+		Reduce: func(key int64, values []string, write func(string) error) error {
+			sum := 0
+			for _, v := range values {
+				x, _ := strconv.Atoi(v)
+				sum += x
+			}
+			return write(strconv.Itoa(sum))
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(job); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(n)
+}

@@ -1,0 +1,156 @@
+package mr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Metrics captures what one job (or an aggregate of chained jobs) cost. The
+// paper's evaluation compares algorithms on exactly these axes: intermediate
+// key-value pairs generated (communication), number of intervals replicated,
+// per-reducer load balance, and end-to-end time.
+type Metrics struct {
+	Job string
+	// Cycles is the number of MR cycles aggregated (1 for a single job).
+	Cycles int
+	// MapInputRecords counts records read by map tasks across inputs.
+	MapInputRecords int64
+	// IntermediatePairs counts emitted key-value pairs — the map→reduce
+	// communication volume.
+	IntermediatePairs int64
+	// IntermediateBytes approximates the shuffled byte volume.
+	IntermediateBytes int64
+	// DistinctKeys is the number of reduce tasks that received data.
+	DistinctKeys int
+	// OutputRecords counts records written by reduce tasks.
+	OutputRecords int64
+	// ReducerPairs maps reduce key -> number of values received.
+	ReducerPairs map[int64]int64
+	// ReducerTime maps reduce key -> time spent reducing that key.
+	ReducerTime map[int64]time.Duration
+	// MaxReducerTime is the longest single reduce task — the straggler
+	// that determines cluster makespan when each reduce task runs on its
+	// own node.
+	MaxReducerTime time.Duration
+	// MapWall, ReduceWall and TotalWall are local wall-clock phases.
+	MapWall, ReduceWall, TotalWall time.Duration
+	// TaskRetries counts task attempts that failed transiently and were
+	// re-run.
+	TaskRetries int64
+	// SpilledPairs counts intermediate pairs written to sorted on-store
+	// runs by the external shuffle; SpillRuns is the number of runs.
+	SpilledPairs int64
+	SpillRuns    int
+	// CombineInputPairs / CombineOutputPairs measure the map-side
+	// combiner's fold (equal when no combiner is set — both zero).
+	CombineInputPairs  int64
+	CombineOutputPairs int64
+}
+
+func newMetrics(job string) *Metrics {
+	return &Metrics{
+		Job:          job,
+		Cycles:       1,
+		ReducerPairs: make(map[int64]int64),
+		ReducerTime:  make(map[int64]time.Duration),
+	}
+}
+
+// NewMetrics returns an empty metrics value for external aggregation.
+func NewMetrics(job string) *Metrics { return newMetrics(job) }
+
+// Merge accumulates other into m. Reducer maps are merged key-wise by
+// summation; this treats the same key in different cycles as the same node.
+func (m *Metrics) Merge(other *Metrics) {
+	m.MapInputRecords += other.MapInputRecords
+	m.IntermediatePairs += other.IntermediatePairs
+	m.IntermediateBytes += other.IntermediateBytes
+	m.OutputRecords = other.OutputRecords // the chain's output is the last job's
+	m.MapWall += other.MapWall
+	m.ReduceWall += other.ReduceWall
+	m.TotalWall += other.TotalWall
+	m.MaxReducerTime += other.MaxReducerTime // stragglers serialise across cycles
+	m.Cycles += other.Cycles
+	m.TaskRetries += other.TaskRetries
+	m.SpilledPairs += other.SpilledPairs
+	m.SpillRuns += other.SpillRuns
+	m.CombineInputPairs += other.CombineInputPairs
+	m.CombineOutputPairs += other.CombineOutputPairs
+	for k, v := range other.ReducerPairs {
+		m.ReducerPairs[k] += v
+	}
+	for k, v := range other.ReducerTime {
+		m.ReducerTime[k] += v
+	}
+	if len(m.ReducerPairs) > m.DistinctKeys {
+		m.DistinctKeys = len(m.ReducerPairs)
+	}
+}
+
+// MaxReducerPairs returns the heaviest reducer's pair count.
+func (m *Metrics) MaxReducerPairs() int64 {
+	var max int64
+	for _, v := range m.ReducerPairs {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// MeanReducerPairs returns the average pair count over reducers that
+// received any data.
+func (m *Metrics) MeanReducerPairs() float64 {
+	if len(m.ReducerPairs) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, v := range m.ReducerPairs {
+		sum += v
+	}
+	return float64(sum) / float64(len(m.ReducerPairs))
+}
+
+// LoadImbalance is max/mean of per-reducer pair counts: 1.0 is perfectly
+// balanced; large values indicate a straggler (the paper's Figure 4
+// motivation for All-Matrix).
+func (m *Metrics) LoadImbalance() float64 {
+	mean := m.MeanReducerPairs()
+	if mean == 0 {
+		return 1
+	}
+	return float64(m.MaxReducerPairs()) / mean
+}
+
+// SimulatedMakespan models execution on a cluster with one node per reduce
+// task: the map phase is embarrassingly parallel (ignored), every reduce
+// task runs concurrently, so the job finishes when the slowest reduce task
+// does. For chained jobs, cycle stragglers add up.
+func (m *Metrics) SimulatedMakespan() time.Duration { return m.MaxReducerTime }
+
+// ReducerLoadVector returns per-reducer pair counts sorted by key — the load
+// distribution plotted in Figure 4.
+func (m *Metrics) ReducerLoadVector() []int64 {
+	keys := make([]int64, 0, len(m.ReducerPairs))
+	for k := range m.ReducerPairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]int64, len(keys))
+	for i, k := range keys {
+		out[i] = m.ReducerPairs[k]
+	}
+	return out
+}
+
+// String renders a one-line summary.
+func (m *Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: cycles=%d in=%d pairs=%d keys=%d out=%d wall=%s makespan=%s imbalance=%.2f",
+		m.Job, m.Cycles, m.MapInputRecords, m.IntermediatePairs, m.DistinctKeys,
+		m.OutputRecords, m.TotalWall.Round(time.Millisecond),
+		m.SimulatedMakespan().Round(time.Millisecond), m.LoadImbalance())
+	return b.String()
+}

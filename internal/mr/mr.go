@@ -1,0 +1,713 @@
+// Package mr is a from-scratch MapReduce engine that plays the role Hadoop
+// plays in the paper. It executes jobs — map over tagged input files,
+// shuffle by integer key, reduce per key — on a pool of worker goroutines,
+// and measures exactly the quantities the paper's evaluation reasons about:
+// the number of intermediate key-value pairs (map/reduce communication
+// cost), per-reducer load, and a simulated makespan that models one reduce
+// node per key as on a real cluster.
+//
+// Keys are int64 reducer ids: the paper's partition-intervals and grid cells
+// map directly onto them. Values are strings (line records), so every
+// intermediate result can spill to the dfs.Store between cycles just as
+// Hadoop materialises cycle boundaries on HDFS.
+//
+// Three Hadoop behaviours are modelled beyond the basic phases: map tasks
+// are record batches that are retried on transient failures (as Hadoop
+// re-schedules failed task attempts), an optional combiner folds each map
+// task's output before the shuffle, and an external sort-merge shuffle
+// spills key-sorted runs to the store when the in-memory budget is
+// exceeded, so jobs larger than RAM still run.
+package mr
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"intervaljoin/internal/dfs"
+)
+
+// Emit publishes one intermediate key-value pair from a map function. The
+// key is the id of the reduce task that will receive the value; keys must
+// be non-negative.
+type Emit func(key int64, value string)
+
+// MapFunc transforms one input record into intermediate pairs. tag
+// identifies which job input the record came from (the algorithms use it for
+// the relation index), so one job can map several relations with one
+// function, as Hadoop does with multiple input paths.
+type MapFunc func(tag int, record string, emit Emit) error
+
+// ReduceFunc processes all values received by one reduce task. write appends
+// a record to the job output.
+type ReduceFunc func(key int64, values []string, write func(record string) error) error
+
+// CombineFunc folds one map task's values for a key before the shuffle
+// (Hadoop's combiner). It must be semantically idempotent with the reducer:
+// reducing combined values must equal reducing the originals.
+type CombineFunc func(key int64, values []string) []string
+
+// Phase identifies which phase a task attempt belongs to, for failure
+// injection.
+type Phase string
+
+// The two task phases.
+const (
+	PhaseMap    Phase = "map"
+	PhaseReduce Phase = "reduce"
+)
+
+// ErrTransient marks a task failure as retryable: the engine re-runs the
+// attempt (up to Config.MaxTaskAttempts), discarding the failed attempt's
+// partial output, exactly as Hadoop re-schedules failed task attempts.
+// Wrap or return it from a map/reduce function (or a failure injector) to
+// exercise the retry path.
+var ErrTransient = errors.New("mr: transient task failure")
+
+// Input is one input of a job, tagged for the map function. A File ending
+// in "/" is a directory input: every store file under the prefix is read,
+// in sorted name order — how Hadoop consumes a previous job's part files.
+type Input struct {
+	File string
+	Tag  int
+}
+
+// expand resolves a directory input to its member files.
+func (in Input) expand(store dfs.Store) ([]string, error) {
+	if !strings.HasSuffix(in.File, "/") {
+		return []string{in.File}, nil
+	}
+	files, err := store.List(in.File)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("mr: directory input %s is empty", in.File)
+	}
+	return files, nil
+}
+
+// Job describes one map-reduce cycle.
+type Job struct {
+	// Name labels the job in metrics and errors.
+	Name string
+	// Inputs are the files to map over.
+	Inputs []Input
+	// Map is the map function. Required.
+	Map MapFunc
+	// Reduce is the reduce function. Required.
+	Reduce ReduceFunc
+	// Combine optionally folds each map task's output before the shuffle.
+	Combine CombineFunc
+	// Output names where the reduce output is written. Empty discards
+	// output (metric-only runs). A name ending in "/" writes one part
+	// file per reduce task ("<output>part-r-00000", ... in key order), as
+	// Hadoop does; otherwise a single file is written.
+	Output string
+	// SortValues sorts each reduce task's value list before reduction,
+	// making runs deterministic (Hadoop guarantees key order; this
+	// additionally pins value order the way a secondary sort would).
+	SortValues bool
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Store holds inputs, outputs and cycle intermediates. Required.
+	Store dfs.Store
+	// Workers is the number of concurrent map (and reduce) tasks.
+	// Defaults to GOMAXPROCS.
+	Workers int
+	// SpillPairThreshold bounds the intermediate pairs each map worker
+	// buffers in memory; beyond it the worker spills a key-sorted run to
+	// the store and the reduce phase streams a merge of the runs.
+	// 0 disables spilling (fully in-memory shuffle).
+	SpillPairThreshold int
+	// MaxTaskAttempts bounds attempts per task (map batch or reduce key).
+	// Values below 1 mean 1 (no retry). Hadoop's default is 4.
+	MaxTaskAttempts int
+	// FailureInjector, when non-nil, runs before every task attempt and
+	// may return an error (typically wrapping ErrTransient) to simulate
+	// task failures. Used by the failure-injection tests.
+	FailureInjector func(phase Phase, task, attempt int) error
+}
+
+// Engine executes jobs.
+type Engine struct {
+	store    dfs.Store
+	workers  int
+	spill    int
+	attempts int
+	inject   func(phase Phase, task, attempt int) error
+}
+
+// NewEngine returns an engine over the given store.
+func NewEngine(cfg Config) *Engine {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	a := cfg.MaxTaskAttempts
+	if a < 1 {
+		a = 1
+	}
+	return &Engine{
+		store:    cfg.Store,
+		workers:  w,
+		spill:    cfg.SpillPairThreshold,
+		attempts: a,
+		inject:   cfg.FailureInjector,
+	}
+}
+
+// Store returns the engine's file store.
+func (e *Engine) Store() dfs.Store { return e.store }
+
+// Run executes one job and returns its metrics.
+func (e *Engine) Run(job Job) (*Metrics, error) {
+	if job.Map == nil || job.Reduce == nil {
+		return nil, fmt.Errorf("mr: job %s: Map and Reduce are required", job.Name)
+	}
+	m := newMetrics(job.Name)
+	start := time.Now()
+
+	shuffle, err := e.mapPhase(job, m)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.reducePhase(job, shuffle, m); err != nil {
+		return nil, err
+	}
+	shuffle.cleanup(e.store)
+	m.TotalWall = time.Since(start)
+	return m, nil
+}
+
+// RunChain executes jobs sequentially (each typically consuming the previous
+// job's output file) and returns the per-job metrics plus their aggregate.
+func (e *Engine) RunChain(jobs ...Job) ([]*Metrics, *Metrics, error) {
+	var all []*Metrics
+	agg := newMetrics("chain")
+	agg.Cycles = 0
+	for _, job := range jobs {
+		m, err := e.Run(job)
+		if err != nil {
+			return all, agg, err
+		}
+		all = append(all, m)
+		agg.Merge(m)
+	}
+	return all, agg, nil
+}
+
+// taggedRecord is one unit of map input.
+type taggedRecord struct {
+	tag    int
+	record string
+}
+
+// mapBatchSize is the number of records per map task (the retry unit).
+const mapBatchSize = 256
+
+// shuffleState carries the map output to the reduce phase: either fully
+// in-memory groups, or spilled sorted runs plus in-memory leftovers.
+type shuffleState struct {
+	groups   map[int64][]string // in-memory mode
+	runFiles []string           // spill mode
+	leftover [][]kvPair         // spill mode: per-worker sorted tails
+}
+
+func (s *shuffleState) spilled() bool { return s.runFiles != nil || s.leftover != nil }
+
+func (s *shuffleState) cleanup(store dfs.Store) {
+	for _, f := range s.runFiles {
+		// Best effort: spill files are scratch.
+		_ = store.Remove(f)
+	}
+}
+
+func (e *Engine) mapPhase(job Job, m *Metrics) (*shuffleState, error) {
+	mapStart := time.Now()
+	work := make(chan []taggedRecord, 2*e.workers)
+	errc := make(chan error, e.workers+1)
+
+	type workerState struct {
+		local      map[int64][]string // in-memory mode
+		buf        []kvPair           // spill mode buffer
+		runs       []string
+		pairs      int64
+		bytes      int64
+		retries    int64
+		combineIn  int64
+		combineOut int64
+		runSeq     int
+	}
+	states := make([]*workerState, e.workers)
+	var taskSeq sync.Mutex
+	nextTask := 0
+	takeTask := func() int {
+		taskSeq.Lock()
+		defer taskSeq.Unlock()
+		t := nextTask
+		nextTask++
+		return t
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &workerState{}
+			if e.spill == 0 {
+				st.local = make(map[int64][]string)
+			}
+			states[w] = st
+			var attemptBuf []kvPair
+			for batch := range work {
+				task := takeTask()
+				var err error
+				for attempt := 1; ; attempt++ {
+					attemptBuf = attemptBuf[:0]
+					err = e.runMapAttempt(job, batch, task, attempt, &attemptBuf)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrTransient) || attempt >= e.attempts {
+						errc <- fmt.Errorf("mr: job %s: map task %d: %w", job.Name, task, err)
+						for range work {
+						}
+						return
+					}
+					st.retries++
+				}
+				// Fold the attempt's pairs through the combiner, then into
+				// the worker shuffle.
+				pairs := attemptBuf
+				if job.Combine != nil {
+					pairs, st.combineIn, st.combineOut = combinePairs(job.Combine, pairs, st.combineIn, st.combineOut)
+				}
+				for _, p := range pairs {
+					st.pairs++
+					st.bytes += int64(len(p.value)) + 8
+				}
+				if e.spill == 0 {
+					for _, p := range pairs {
+						st.local[p.key] = append(st.local[p.key], p.value)
+					}
+					continue
+				}
+				st.buf = append(st.buf, pairs...)
+				if len(st.buf) >= e.spill {
+					name := fmt.Sprintf("%s/.spill/w%d-r%d", job.Name, w, st.runSeq)
+					st.runSeq++
+					if err := spillRun(e.store, name, st.buf); err != nil {
+						errc <- fmt.Errorf("mr: job %s: %w", job.Name, err)
+						for range work {
+						}
+						return
+					}
+					st.runs = append(st.runs, name)
+					st.buf = st.buf[:0]
+				}
+			}
+		}(w)
+	}
+
+	// Feed batches of records from every input.
+	var records int64
+	feedErr := func() error {
+		defer close(work)
+		batch := make([]taggedRecord, 0, mapBatchSize)
+		flush := func() {
+			if len(batch) > 0 {
+				cp := make([]taggedRecord, len(batch))
+				copy(cp, batch)
+				work <- cp
+				batch = batch[:0]
+			}
+		}
+		for _, in := range job.Inputs {
+			files, err := in.expand(e.store)
+			if err != nil {
+				return fmt.Errorf("mr: job %s: %w", job.Name, err)
+			}
+			for _, file := range files {
+				it, err := e.store.Open(file)
+				if err != nil {
+					return fmt.Errorf("mr: job %s: %w", job.Name, err)
+				}
+				for {
+					rec, ok, err := it.Next()
+					if err != nil {
+						it.Close()
+						return fmt.Errorf("mr: job %s: read %s: %w", job.Name, file, err)
+					}
+					if !ok {
+						break
+					}
+					records++
+					batch = append(batch, taggedRecord{tag: in.Tag, record: rec})
+					if len(batch) == mapBatchSize {
+						flush()
+					}
+				}
+				it.Close()
+			}
+		}
+		flush()
+		return nil
+	}()
+	wg.Wait()
+	close(errc)
+	if feedErr != nil {
+		return nil, feedErr
+	}
+	if err := <-errc; err != nil {
+		return nil, err
+	}
+
+	m.MapInputRecords = records
+	m.MapWall = time.Since(mapStart)
+
+	shuffle := &shuffleState{}
+	if e.spill == 0 {
+		shuffle.groups = make(map[int64][]string)
+	}
+	for _, st := range states {
+		if st == nil {
+			continue
+		}
+		m.IntermediatePairs += st.pairs
+		m.IntermediateBytes += st.bytes
+		m.TaskRetries += st.retries
+		m.CombineInputPairs += st.combineIn
+		m.CombineOutputPairs += st.combineOut
+		if e.spill == 0 {
+			for k, vs := range st.local {
+				shuffle.groups[k] = append(shuffle.groups[k], vs...)
+			}
+			continue
+		}
+		shuffle.runFiles = append(shuffle.runFiles, st.runs...)
+		m.SpillRuns += len(st.runs)
+		if len(st.buf) > 0 {
+			sort.Slice(st.buf, func(i, j int) bool { return st.buf[i].key < st.buf[j].key })
+			shuffle.leftover = append(shuffle.leftover, st.buf)
+		}
+	}
+	if e.spill > 0 {
+		spilledPairs := m.IntermediatePairs
+		for _, l := range shuffle.leftover {
+			spilledPairs -= int64(len(l))
+		}
+		m.SpilledPairs = spilledPairs
+	}
+	if shuffle.groups != nil {
+		m.DistinctKeys = len(shuffle.groups)
+		for k, vs := range shuffle.groups {
+			m.ReducerPairs[k] = int64(len(vs))
+		}
+	}
+	return shuffle, nil
+}
+
+// runMapAttempt executes one map task attempt over a record batch,
+// buffering its emissions.
+func (e *Engine) runMapAttempt(job Job, batch []taggedRecord, task, attempt int, buf *[]kvPair) error {
+	if e.inject != nil {
+		if err := e.inject(PhaseMap, task, attempt); err != nil {
+			return err
+		}
+	}
+	emit := func(key int64, value string) {
+		*buf = append(*buf, kvPair{key: key, value: value})
+	}
+	for _, tr := range batch {
+		if err := job.Map(tr.tag, tr.record, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// combinePairs groups the attempt's pairs by key and folds each group
+// through the combiner.
+func combinePairs(combine CombineFunc, pairs []kvPair, inAcc, outAcc int64) ([]kvPair, int64, int64) {
+	grouped := make(map[int64][]string)
+	for _, p := range pairs {
+		grouped[p.key] = append(grouped[p.key], p.value)
+	}
+	out := pairs[:0]
+	for k, vs := range grouped {
+		inAcc += int64(len(vs))
+		folded := combine(k, vs)
+		outAcc += int64(len(folded))
+		for _, v := range folded {
+			out = append(out, kvPair{key: k, value: v})
+		}
+	}
+	return out, inAcc, outAcc
+}
+
+// reduceResult is one reduce task's buffered output.
+type reduceResult struct {
+	key      int64
+	output   []string
+	duration time.Duration
+	pairs    int64
+}
+
+func (e *Engine) reducePhase(job Job, shuffle *shuffleState, m *Metrics) error {
+	reduceStart := time.Now()
+	var results []reduceResult
+	var err error
+	if shuffle.spilled() {
+		results, err = e.reduceStreaming(job, shuffle, m)
+	} else {
+		results, err = e.reduceInMemory(job, shuffle.groups, m)
+	}
+	if err != nil {
+		return err
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].key < results[j].key })
+
+	for _, res := range results {
+		m.ReducerTime[res.key] = res.duration
+		if res.duration > m.MaxReducerTime {
+			m.MaxReducerTime = res.duration
+		}
+		m.OutputRecords += int64(len(res.output))
+	}
+	if err := e.writeOutput(job, results); err != nil {
+		return err
+	}
+	m.ReduceWall = time.Since(reduceStart)
+	return nil
+}
+
+// writeOutput commits the buffered reduce outputs: a single file, or — for
+// directory outputs — one part file per reduce task, written in parallel.
+func (e *Engine) writeOutput(job Job, results []reduceResult) error {
+	if job.Output == "" {
+		return nil
+	}
+	if !strings.HasSuffix(job.Output, "/") {
+		w, err := e.store.Create(job.Output)
+		if err != nil {
+			return fmt.Errorf("mr: job %s: %w", job.Name, err)
+		}
+		for _, res := range results {
+			for _, rec := range res.output {
+				if err := w.Write(rec); err != nil {
+					w.Close()
+					return fmt.Errorf("mr: job %s: write output: %w", job.Name, err)
+				}
+			}
+		}
+		if err := w.Close(); err != nil {
+			return fmt.Errorf("mr: job %s: close output: %w", job.Name, err)
+		}
+		return nil
+	}
+	// Part files, one per reduce task in key order, written concurrently.
+	errc := make(chan error, e.workers)
+	idxc := make(chan int, 2*e.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxc {
+				name := fmt.Sprintf("%spart-r-%05d", job.Output, i)
+				pw, err := e.store.Create(name)
+				if err != nil {
+					errc <- fmt.Errorf("mr: job %s: %w", job.Name, err)
+					for range idxc {
+					}
+					return
+				}
+				for _, rec := range results[i].output {
+					if err := pw.Write(rec); err != nil {
+						pw.Close()
+						errc <- fmt.Errorf("mr: job %s: write %s: %w", job.Name, name, err)
+						for range idxc {
+						}
+						return
+					}
+				}
+				if err := pw.Close(); err != nil {
+					errc <- fmt.Errorf("mr: job %s: close %s: %w", job.Name, name, err)
+					for range idxc {
+					}
+					return
+				}
+			}
+		}()
+	}
+	for i := range results {
+		idxc <- i
+	}
+	close(idxc)
+	wg.Wait()
+	close(errc)
+	return <-errc
+}
+
+// runReduceTask executes one reduce task with retry semantics.
+func (e *Engine) runReduceTask(job Job, task int, key int64, values []string, m *retryCounter) (reduceResult, error) {
+	if job.SortValues {
+		sort.Strings(values)
+	}
+	for attempt := 1; ; attempt++ {
+		var out []string
+		write := func(record string) error {
+			out = append(out, record)
+			return nil
+		}
+		t0 := time.Now()
+		err := func() error {
+			if e.inject != nil {
+				if err := e.inject(PhaseReduce, task, attempt); err != nil {
+					return err
+				}
+			}
+			return job.Reduce(key, values, write)
+		}()
+		if err == nil {
+			return reduceResult{key: key, output: out, duration: time.Since(t0), pairs: int64(len(values))}, nil
+		}
+		if !errors.Is(err, ErrTransient) || attempt >= e.attempts {
+			return reduceResult{}, fmt.Errorf("mr: job %s: reduce key %d: %w", job.Name, key, err)
+		}
+		m.add(1)
+	}
+}
+
+// retryCounter accumulates retries across concurrent reduce tasks.
+type retryCounter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (rc *retryCounter) add(d int64) {
+	rc.mu.Lock()
+	rc.n += d
+	rc.mu.Unlock()
+}
+
+func (e *Engine) reduceInMemory(job Job, groups map[int64][]string, m *Metrics) ([]reduceResult, error) {
+	keys := make([]int64, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	results := make([]reduceResult, len(keys))
+	errc := make(chan error, e.workers)
+	keyc := make(chan int, 2*e.workers)
+	var retries retryCounter
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ki := range keyc {
+				key := keys[ki]
+				res, err := e.runReduceTask(job, ki, key, groups[key], &retries)
+				if err != nil {
+					errc <- err
+					for range keyc {
+					}
+					return
+				}
+				results[ki] = res
+			}
+		}()
+	}
+	for ki := range keys {
+		keyc <- ki
+	}
+	close(keyc)
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		return nil, err
+	}
+	m.TaskRetries += retries.n
+	return results, nil
+}
+
+// reduceStreaming merges the spilled runs and in-memory leftovers in key
+// order, dispatching each key's values to the worker pool as it completes —
+// only one in-flight key list per worker is materialised.
+func (e *Engine) reduceStreaming(job Job, shuffle *shuffleState, m *Metrics) ([]reduceResult, error) {
+	cursors := make([]cursor, 0, len(shuffle.runFiles)+len(shuffle.leftover))
+	for _, f := range shuffle.runFiles {
+		rc, err := openRun(e.store, f)
+		if err != nil {
+			return nil, fmt.Errorf("mr: job %s: %w", job.Name, err)
+		}
+		defer rc.close()
+		cursors = append(cursors, rc)
+	}
+	for _, l := range shuffle.leftover {
+		cursors = append(cursors, &memCursor{pairs: l})
+	}
+
+	type task struct {
+		idx    int
+		key    int64
+		values []string
+	}
+	taskc := make(chan task, e.workers)
+	errc := make(chan error, e.workers+1)
+	var (
+		mu      sync.Mutex
+		results []reduceResult
+		retries retryCounter
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range taskc {
+				res, err := e.runReduceTask(job, t.idx, t.key, t.values, &retries)
+				if err != nil {
+					errc <- err
+					for range taskc {
+					}
+					return
+				}
+				mu.Lock()
+				results = append(results, res)
+				mu.Unlock()
+			}
+		}()
+	}
+	idx := 0
+	mergeErr := mergeRuns(cursors, func(key int64, values []string) error {
+		cp := make([]string, len(values))
+		copy(cp, values)
+		m.ReducerPairs[key] = int64(len(cp))
+		taskc <- task{idx: idx, key: key, values: cp}
+		idx++
+		return nil
+	})
+	close(taskc)
+	wg.Wait()
+	close(errc)
+	if mergeErr != nil {
+		return nil, fmt.Errorf("mr: job %s: shuffle merge: %w", job.Name, mergeErr)
+	}
+	if err := <-errc; err != nil {
+		return nil, err
+	}
+	m.DistinctKeys = idx
+	m.TaskRetries += retries.n
+	return results, nil
+}

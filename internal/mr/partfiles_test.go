@@ -1,0 +1,151 @@
+package mr
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"intervaljoin/internal/dfs"
+)
+
+func TestPartFileOutput(t *testing.T) {
+	store := dfs.NewMem()
+	e := NewEngine(Config{Store: store, Workers: 4})
+	job, recs := histogramJob(4000, 9)
+	job.Output = "out/"
+	if err := dfs.WriteAll(store, "in", recs); err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := store.List("out/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 9 {
+		t.Fatalf("part files = %d (%v), want one per reduce task", len(parts), parts)
+	}
+	// Part files are named in key order: part-r-00000 holds key 0's row.
+	first, err := dfs.ReadAll(store, "out/part-r-00000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 1 || !strings.HasPrefix(first[0], "0:") {
+		t.Fatalf("part-r-00000 = %v", first)
+	}
+	if m.OutputRecords != 9 {
+		t.Fatalf("output records = %d", m.OutputRecords)
+	}
+}
+
+func TestDirectoryInputChain(t *testing.T) {
+	store := dfs.NewMem()
+	e := NewEngine(Config{Store: store, Workers: 4})
+	recs := make([]string, 1000)
+	for i := range recs {
+		recs[i] = strconv.Itoa(i)
+	}
+	if err := dfs.WriteAll(store, "in", recs); err != nil {
+		t.Fatal(err)
+	}
+	// Job 1 writes part files; job 2 consumes the directory.
+	first, _ := histogramJob(0, 7)
+	first.Inputs = []Input{{File: "in"}}
+	first.Map = func(tag int, record string, emit Emit) error {
+		v, _ := strconv.ParseInt(record, 10, 64)
+		emit(v%7, record)
+		return nil
+	}
+	first.Reduce = func(key int64, values []string, write func(string) error) error {
+		for _, v := range values {
+			if err := write(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	first.Output = "stage1/"
+	second := Job{
+		Name:   "consume",
+		Inputs: []Input{{File: "stage1/"}},
+		Map: func(tag int, record string, emit Emit) error {
+			emit(0, record)
+			return nil
+		},
+		Reduce: func(key int64, values []string, write func(string) error) error {
+			return write(fmt.Sprintf("total=%d", len(values)))
+		},
+		Output: "final",
+	}
+	if _, err := e.Run(first); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := e.Run(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.MapInputRecords != 1000 {
+		t.Fatalf("directory input read %d records, want 1000", m2.MapInputRecords)
+	}
+	out, _ := dfs.ReadAll(store, "final")
+	if len(out) != 1 || out[0] != "total=1000" {
+		t.Fatalf("final = %v", out)
+	}
+}
+
+func TestDirectoryInputEmpty(t *testing.T) {
+	store := dfs.NewMem()
+	e := NewEngine(Config{Store: store, Workers: 2})
+	job := Job{
+		Name:   "empty-dir",
+		Inputs: []Input{{File: "nothing/"}},
+		Map:    func(tag int, record string, emit Emit) error { return nil },
+		Reduce: func(key int64, values []string, write func(string) error) error { return nil },
+	}
+	if _, err := e.Run(job); err == nil {
+		t.Fatal("empty directory input accepted")
+	}
+}
+
+func TestPartFileOutputMatchesSingleFile(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		store := dfs.NewMem()
+		e := NewEngine(Config{Store: store, Workers: workers})
+		job, recs := histogramJob(2000, 13)
+		if err := dfs.WriteAll(store, "in", recs); err != nil {
+			t.Fatal(err)
+		}
+		job.Output = "single"
+		if _, err := e.Run(job); err != nil {
+			t.Fatal(err)
+		}
+		job.Output = "parts/"
+		if _, err := e.Run(job); err != nil {
+			t.Fatal(err)
+		}
+		single, _ := dfs.ReadAll(store, "single")
+		parts, _ := store.List("parts/")
+		var combined []string
+		for _, p := range parts {
+			rows, err := dfs.ReadAll(store, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			combined = append(combined, rows...)
+		}
+		sort.Strings(single)
+		sort.Strings(combined)
+		if len(single) != len(combined) {
+			t.Fatalf("single %d rows vs parts %d", len(single), len(combined))
+		}
+		for i := range single {
+			if single[i] != combined[i] {
+				t.Fatalf("row %d: %q vs %q", i, single[i], combined[i])
+			}
+		}
+	}
+}

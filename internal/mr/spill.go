@@ -1,0 +1,181 @@
+package mr
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"intervaljoin/internal/dfs"
+)
+
+// External shuffle support: when a job's intermediate data exceeds the
+// configured in-memory budget, each map worker writes its buffered pairs as
+// key-sorted runs on the store (what Hadoop's map-side spill does), and the
+// reduce phase streams a k-way merge of the runs so only one key's value
+// list is materialised at a time.
+
+// kvPair is one buffered intermediate pair.
+type kvPair struct {
+	key   int64
+	value string
+}
+
+// spillRun writes pairs (sorted by key) as one run file and returns its
+// name. Spilled keys must be non-negative (every algorithm in this module
+// uses partition / grid-cell ids, which are).
+func spillRun(store dfs.Store, name string, pairs []kvPair) error {
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].key < pairs[j].key })
+	w, err := store.Create(name)
+	if err != nil {
+		return err
+	}
+	for _, p := range pairs {
+		if p.key < 0 {
+			w.Close()
+			return fmt.Errorf("mr: spilled key %d is negative", p.key)
+		}
+		if err := w.Write(strconv.FormatInt(p.key, 10) + ";" + p.value); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// runCursor streams one spill run.
+type runCursor struct {
+	it   dfs.Iterator
+	head kvPair
+	done bool
+}
+
+func openRun(store dfs.Store, name string) (*runCursor, error) {
+	it, err := store.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	rc := &runCursor{it: it}
+	if err := rc.advance(); err != nil {
+		it.Close()
+		return nil, err
+	}
+	return rc, nil
+}
+
+func (rc *runCursor) advance() error {
+	rec, ok, err := rc.it.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		rc.done = true
+		return nil
+	}
+	sep := strings.IndexByte(rec, ';')
+	if sep < 0 {
+		return fmt.Errorf("mr: malformed spill record %q", rec)
+	}
+	key, err := strconv.ParseInt(rec[:sep], 10, 64)
+	if err != nil {
+		return fmt.Errorf("mr: malformed spill key in %q: %v", rec, err)
+	}
+	rc.head = kvPair{key: key, value: rec[sep+1:]}
+	return nil
+}
+
+func (rc *runCursor) close() { rc.it.Close() }
+
+// memCursor streams an in-memory sorted pair slice as if it were a run.
+type memCursor struct {
+	pairs []kvPair
+	pos   int
+}
+
+func (mc *memCursor) headPair() (kvPair, bool) {
+	if mc.pos >= len(mc.pairs) {
+		return kvPair{}, false
+	}
+	return mc.pairs[mc.pos], true
+}
+
+// cursor unifies run sources for the merge heap.
+type cursor interface {
+	peek() (kvPair, bool)
+	next() error
+	close()
+}
+
+func (rc *runCursor) peek() (kvPair, bool) { return rc.head, !rc.done }
+func (rc *runCursor) next() error          { return rc.advance() }
+
+func (mc *memCursor) peek() (kvPair, bool) { return mc.headPair() }
+func (mc *memCursor) next() error          { mc.pos++; return nil }
+func (mc *memCursor) close()               {}
+
+// cursorHeap is a min-heap of cursors by head key.
+type cursorHeap []cursor
+
+func (h cursorHeap) Len() int { return len(h) }
+func (h cursorHeap) Less(i, j int) bool {
+	a, _ := h[i].peek()
+	b, _ := h[j].peek()
+	return a.key < b.key
+}
+func (h cursorHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x interface{}) { *h = append(*h, x.(cursor)) }
+func (h *cursorHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// mergeRuns streams the k-way merge of the cursors, invoking fn once per
+// distinct key with all its values. fn must not retain the values slice.
+func mergeRuns(cursors []cursor, fn func(key int64, values []string) error) error {
+	h := make(cursorHeap, 0, len(cursors))
+	for _, c := range cursors {
+		if _, ok := c.peek(); ok {
+			h = append(h, c)
+		}
+	}
+	heap.Init(&h)
+	var (
+		curKey int64
+		values []string
+		have   bool
+	)
+	flush := func() error {
+		if !have {
+			return nil
+		}
+		err := fn(curKey, values)
+		values = values[:0]
+		have = false
+		return err
+	}
+	for h.Len() > 0 {
+		c := h[0]
+		p, _ := c.peek()
+		if have && p.key != curKey {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		curKey = p.key
+		have = true
+		values = append(values, p.value)
+		if err := c.next(); err != nil {
+			return err
+		}
+		if _, ok := c.peek(); ok {
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return flush()
+}

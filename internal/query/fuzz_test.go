@@ -1,0 +1,45 @@
+package query
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that arbitrary input never panics the parser and that
+// every successfully parsed query round-trips through its String form.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"R1 overlaps R2",
+		"R1 overlaps R2 and R2 contains R3 and R3 overlaps R4",
+		"R1.I before R2.I and R1.A = R3.A",
+		"a < b AND b Overlapped-By c",
+		"",
+		"and and and",
+		"R1..A overlaps R2",
+		"R1 overlaps R1",
+		"R1 \x00 R2",
+		"R1 overlaps R2 and",
+		"🚀 overlaps R2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("Parse(%q) returned an invalid query: %v", input, err)
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", rendered, input, err)
+		}
+		if q2.String() != rendered {
+			t.Fatalf("String round trip unstable: %q -> %q", rendered, q2.String())
+		}
+		if len(q2.Conds) != len(q.Conds) || len(q2.Relations) != len(q.Relations) {
+			t.Fatalf("round trip changed shape: %q vs %q", input, rendered)
+		}
+	})
+}

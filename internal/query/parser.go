@@ -1,0 +1,164 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"intervaljoin/internal/interval"
+)
+
+// Parse builds a Query from the small textual language used throughout the
+// paper's examples:
+//
+//	R1 overlaps R2 and R2 contains R3 and R3 overlaps R4
+//	R1.I before R2.I and R1.A equals R3.A
+//
+// Grammar:
+//
+//	query   := cond ("and" cond)*
+//	cond    := operand PRED operand
+//	operand := IDENT ("." IDENT)?
+//	PRED    := any Allen predicate name or alias ("<", ">", "=", "during", ...)
+//
+// Relation and attribute names are registered in order of first appearance.
+// Keywords are case-insensitive; identifiers are case-sensitive.
+func Parse(input string) (*Query, error) {
+	toks, err := tokenize(input)
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("query: empty input")
+	}
+	q := New()
+	p := &parser{toks: toks}
+	for {
+		if err := p.cond(q); err != nil {
+			return nil, err
+		}
+		if p.done() {
+			break
+		}
+		if !p.eatKeyword("and") {
+			return nil, fmt.Errorf("query: expected 'and' at %q", p.peek())
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse for tests and examples; it panics on error.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.done() {
+		return "<end>"
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() (string, error) {
+	if p.done() {
+		return "", fmt.Errorf("query: unexpected end of input")
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) eatKeyword(kw string) bool {
+	if !p.done() && strings.EqualFold(p.toks[p.pos], kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) cond(q *Query) error {
+	lRel, lAttr, err := p.operand()
+	if err != nil {
+		return err
+	}
+	predTok, err := p.next()
+	if err != nil {
+		return fmt.Errorf("query: missing predicate after %s: %v", lRel, err)
+	}
+	pred, err := interval.ParsePredicate(predTok)
+	if err != nil {
+		return err
+	}
+	rRel, rAttr, err := p.operand()
+	if err != nil {
+		return err
+	}
+	return q.AddCondition(lRel, lAttr, pred, rRel, rAttr)
+}
+
+func (p *parser) operand() (rel, attr string, err error) {
+	tok, err := p.next()
+	if err != nil {
+		return "", "", err
+	}
+	if strings.EqualFold(tok, "and") {
+		return "", "", fmt.Errorf("query: expected operand, got keyword %q", tok)
+	}
+	if dot := strings.IndexByte(tok, '.'); dot >= 0 {
+		rel, attr = tok[:dot], tok[dot+1:]
+		if rel == "" || attr == "" {
+			return "", "", fmt.Errorf("query: malformed operand %q", tok)
+		}
+		return rel, attr, nil
+	}
+	return tok, "", nil
+}
+
+// tokenize splits the input into identifiers (possibly dotted), operator
+// symbols and keywords.
+func tokenize(input string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(input) {
+		r := rune(input[i])
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '<' || r == '>' || r == '=':
+			j := i
+			for j < len(input) && (input[j] == '<' || input[j] == '>' || input[j] == '=') {
+				j++
+			}
+			toks = append(toks, input[i:j])
+			i = j
+		case isIdentRune(r):
+			j := i
+			for j < len(input) && (isIdentRune(rune(input[j])) || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, input[i:j])
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at offset %d", r, i)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}

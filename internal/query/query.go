@@ -1,0 +1,258 @@
+// Package query represents multi-way interval join queries: conjunctions of
+// Allen-predicate conditions over relation attributes. It classifies queries
+// into the paper's four classes (Colocation, Sequence, Hybrid, General),
+// builds the join graph, extracts colocation components (Sections 8 and 9),
+// and derives the less-than orders used to identify consistent reducers.
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"intervaljoin/internal/interval"
+	"intervaljoin/internal/relation"
+)
+
+// Operand names one side of a join condition: an attribute of a relation,
+// both by index into the query's relation list / schema.
+type Operand struct {
+	Rel  int // index into Query.Relations
+	Attr int // index into the relation's schema attributes
+}
+
+// Condition is one conjunct of the query: Left Pred Right.
+type Condition struct {
+	Left  Operand
+	Pred  interval.Predicate
+	Right Operand
+}
+
+// Class is the paper's query taxonomy.
+type Class uint8
+
+const (
+	// Colocation: single interval attribute, colocation predicates only.
+	Colocation Class = iota
+	// Sequence: single interval attribute, sequence predicates only.
+	Sequence
+	// Hybrid: single interval attribute, both kinds of predicates.
+	Hybrid
+	// General: more than one attribute involved (interval and/or
+	// real-valued); handled by Gen-Matrix.
+	General
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Colocation:
+		return "colocation"
+	case Sequence:
+		return "sequence"
+	case Hybrid:
+		return "hybrid"
+	case General:
+		return "general"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Query is a conjunctive multi-way interval join query.
+type Query struct {
+	Relations []relation.Schema
+	Conds     []Condition
+}
+
+// New starts an empty query.
+func New() *Query { return &Query{} }
+
+// AddRelation registers a relation schema and returns its index.
+func (q *Query) AddRelation(s relation.Schema) int {
+	q.Relations = append(q.Relations, s)
+	return len(q.Relations) - 1
+}
+
+// RelIndex returns the index of the named relation, or -1.
+func (q *Query) RelIndex(name string) int {
+	for i, s := range q.Relations {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AddCondition appends the conjunct "left pred right" with operands given by
+// relation and attribute name. Unknown relations are registered on the fly
+// with a single default attribute.
+func (q *Query) AddCondition(leftRel, leftAttr string, pred interval.Predicate, rightRel, rightAttr string) error {
+	l, err := q.resolve(leftRel, leftAttr)
+	if err != nil {
+		return err
+	}
+	r, err := q.resolve(rightRel, rightAttr)
+	if err != nil {
+		return err
+	}
+	if l.Rel == r.Rel {
+		return fmt.Errorf("query: condition relates %s to itself; register self-join inputs under distinct names", leftRel)
+	}
+	q.Conds = append(q.Conds, Condition{Left: l, Pred: pred, Right: r})
+	return nil
+}
+
+func (q *Query) resolve(rel, attr string) (Operand, error) {
+	ri := q.RelIndex(rel)
+	if ri < 0 {
+		if attr == "" {
+			ri = q.AddRelation(relation.NewSchema(rel))
+		} else {
+			// First seen with an explicit attribute: no default column.
+			ri = q.AddRelation(relation.Schema{Name: rel, Attrs: []string{attr}})
+		}
+	}
+	if attr == "" {
+		attr = q.Relations[ri].Attrs[0]
+	}
+	ai := q.Relations[ri].AttrIndex(attr)
+	if ai < 0 {
+		// Grow the schema: parsing "R1.A" before any data is bound.
+		q.Relations[ri].Attrs = append(q.Relations[ri].Attrs, attr)
+		ai = len(q.Relations[ri].Attrs) - 1
+	}
+	return Operand{Rel: ri, Attr: ai}, nil
+}
+
+// Validate checks that every condition references valid operands and that
+// the query has at least one condition and two relations.
+func (q *Query) Validate() error {
+	if len(q.Conds) == 0 {
+		return fmt.Errorf("query: no conditions")
+	}
+	if len(q.Relations) < 2 {
+		return fmt.Errorf("query: fewer than two relations")
+	}
+	for i, c := range q.Conds {
+		for _, op := range []Operand{c.Left, c.Right} {
+			if op.Rel < 0 || op.Rel >= len(q.Relations) {
+				return fmt.Errorf("query: condition %d references relation %d of %d", i, op.Rel, len(q.Relations))
+			}
+			if op.Attr < 0 || op.Attr >= q.Relations[op.Rel].Arity() {
+				return fmt.Errorf("query: condition %d references attribute %d of relation %s",
+					i, op.Attr, q.Relations[op.Rel].Name)
+			}
+		}
+		if c.Left.Rel == c.Right.Rel {
+			return fmt.Errorf("query: condition %d relates relation %s to itself", i, q.Relations[c.Left.Rel].Name)
+		}
+	}
+	return nil
+}
+
+// Classify returns the paper's class of the query. A query is General as
+// soon as any relation has more than one attribute participating in
+// conditions or any schema has arity above one; otherwise it is Colocation,
+// Sequence or Hybrid according to its predicate kinds.
+func (q *Query) Classify() Class {
+	attrsPerRel := make(map[int]map[int]struct{})
+	note := func(op Operand) {
+		m := attrsPerRel[op.Rel]
+		if m == nil {
+			m = make(map[int]struct{})
+			attrsPerRel[op.Rel] = m
+		}
+		m[op.Attr] = struct{}{}
+	}
+	anySeq, anyColoc := false, false
+	for _, c := range q.Conds {
+		note(c.Left)
+		note(c.Right)
+		if c.Pred.IsSequence() {
+			anySeq = true
+		} else {
+			anyColoc = true
+		}
+	}
+	for ri, m := range attrsPerRel {
+		if len(m) > 1 || q.Relations[ri].Arity() > 1 {
+			return General
+		}
+	}
+	switch {
+	case anySeq && anyColoc:
+		return Hybrid
+	case anySeq:
+		return Sequence
+	default:
+		return Colocation
+	}
+}
+
+// EvalTuples reports whether the assignment (one tuple per relation, indexed
+// by relation) satisfies every condition of the query.
+func (q *Query) EvalTuples(tuples []relation.Tuple) bool {
+	for _, c := range q.Conds {
+		u := tuples[c.Left.Rel].Attrs[c.Left.Attr]
+		v := tuples[c.Right.Rel].Attrs[c.Right.Attr]
+		if !c.Pred.Eval(u, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalPartial reports whether the conditions whose relations are all present
+// in the partial assignment hold. present[i] states whether tuples[i] is
+// bound. This is the consistency check A2 of Section 5.2 restricted to a
+// subset of relations.
+func (q *Query) EvalPartial(tuples []relation.Tuple, present []bool) bool {
+	for _, c := range q.Conds {
+		if !present[c.Left.Rel] || !present[c.Right.Rel] {
+			continue
+		}
+		u := tuples[c.Left.Rel].Attrs[c.Left.Attr]
+		v := tuples[c.Right.Rel].Attrs[c.Right.Attr]
+		if !c.Pred.Eval(u, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// LessThanPairs returns, for each condition, the directed pair (lesser,
+// greater) of relation indices implied by the predicate's less-than order.
+func (q *Query) LessThanPairs() [][2]int {
+	out := make([][2]int, 0, len(q.Conds))
+	for _, c := range q.Conds {
+		if c.Pred.LessThanOrder() == interval.LeftLess {
+			out = append(out, [2]int{c.Left.Rel, c.Right.Rel})
+		} else {
+			out = append(out, [2]int{c.Right.Rel, c.Left.Rel})
+		}
+	}
+	return out
+}
+
+// String renders the query in the parser's input language.
+func (q *Query) String() string {
+	var b strings.Builder
+	for i, c := range q.Conds {
+		if i > 0 {
+			b.WriteString(" and ")
+		}
+		b.WriteString(q.operandString(c.Left))
+		b.WriteByte(' ')
+		b.WriteString(c.Pred.String())
+		b.WriteByte(' ')
+		b.WriteString(q.operandString(c.Right))
+	}
+	return b.String()
+}
+
+func (q *Query) operandString(op Operand) string {
+	s := q.Relations[op.Rel]
+	if s.Arity() == 1 {
+		return s.Name
+	}
+	return s.Name + "." + s.Attrs[op.Attr]
+}

@@ -1,0 +1,258 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"intervaljoin/internal/interval"
+	"intervaljoin/internal/relation"
+)
+
+func TestParsePaperQueries(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		rels  int
+		conds int
+		class Class
+	}{
+		{"Q0", "R1 overlaps R2 and R2 contains R3 and R3 overlaps R4", 4, 3, Colocation},
+		{"Q1", "R1 overlaps R2 and R2 overlaps R3", 3, 2, Colocation},
+		{"Q2", "R1 before R2 and R2 before R3", 3, 2, Sequence},
+		{"Q3", "R1 overlaps R2 and R2 overlaps R3 and R2 before R4 and R4 overlaps R5", 5, 4, Hybrid},
+		{"Q4", "R1 before R2 and R1 overlaps R3", 3, 2, Hybrid},
+		{"Q5", "R1.I before R2.I and R1.I overlaps R3.I and R1.A = R3.A and R2.B = R3.B", 3, 4, General},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := Parse(tc.input)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if len(q.Relations) != tc.rels {
+				t.Errorf("relations = %d, want %d", len(q.Relations), tc.rels)
+			}
+			if len(q.Conds) != tc.conds {
+				t.Errorf("conditions = %d, want %d", len(q.Conds), tc.conds)
+			}
+			if got := q.Classify(); got != tc.class {
+				t.Errorf("class = %v, want %v", got, tc.class)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, input := range []string{
+		"",
+		"R1",
+		"R1 overlaps",
+		"R1 overlaps R2 and",
+		"R1 sideways R2",
+		"R1 overlaps R1",       // self-reference
+		"R1 overlaps R2 or R3", // 'or' is an operand here, then input ends mid-condition
+		"R1 . overlaps R2",
+		"R1 overlaps R2 # comment",
+	} {
+		if _, err := Parse(input); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", input)
+		}
+	}
+}
+
+func TestParseOperatorsAndCase(t *testing.T) {
+	q, err := Parse("R1 < R2 AND R2 Overlapped-By R3 and R1.A == R3.A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Conds[0].Pred != interval.Before {
+		t.Errorf("pred 0 = %v, want before", q.Conds[0].Pred)
+	}
+	if q.Conds[1].Pred != interval.OverlappedBy {
+		t.Errorf("pred 1 = %v, want overlappedby", q.Conds[1].Pred)
+	}
+	if q.Conds[2].Pred != interval.Equals {
+		t.Errorf("pred 2 = %v, want equals", q.Conds[2].Pred)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, input := range []string{
+		"R1 overlaps R2 and R2 contains R3",
+		"R1 before R2 and R1 overlaps R3",
+	} {
+		q := MustParse(input)
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", q.String(), err)
+		}
+		if q2.String() != q.String() {
+			t.Errorf("round trip changed query: %q -> %q", q.String(), q2.String())
+		}
+	}
+}
+
+func TestClassifyGeneralByArity(t *testing.T) {
+	// A query whose conditions use one attribute each but whose schema has
+	// extra attributes is still General (Gen-Matrix handles payload attrs).
+	q := New()
+	q.AddRelation(relation.NewSchema("R1", "I", "A"))
+	q.AddRelation(relation.NewSchema("R2"))
+	if err := q.AddCondition("R1", "I", interval.Overlaps, "R2", ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Classify(); got != General {
+		t.Errorf("class = %v, want general", got)
+	}
+}
+
+func TestEvalTuples(t *testing.T) {
+	q := MustParse("R1 overlaps R2 and R2 contains R3")
+	mk := func(s, e int64) relation.Tuple {
+		return relation.Tuple{Attrs: []interval.Interval{interval.New(s, e)}}
+	}
+	if !q.EvalTuples([]relation.Tuple{mk(0, 10), mk(5, 30), mk(8, 20)}) {
+		t.Error("satisfying assignment rejected")
+	}
+	if q.EvalTuples([]relation.Tuple{mk(0, 10), mk(20, 30), mk(22, 25)}) {
+		t.Error("non-overlapping assignment accepted")
+	}
+}
+
+func TestEvalPartial(t *testing.T) {
+	q := MustParse("R1 overlaps R2 and R2 contains R3")
+	mk := func(s, e int64) relation.Tuple {
+		return relation.Tuple{Attrs: []interval.Interval{interval.New(s, e)}}
+	}
+	tuples := []relation.Tuple{mk(0, 10), mk(20, 30), {}}
+	present := []bool{true, true, false}
+	// R1 overlaps R2 fails and both are present -> partial eval fails.
+	if q.EvalPartial(tuples, present) {
+		t.Error("partial eval accepted a violated bound condition")
+	}
+	// Only R2 present: the R1-R2 and R2-R3 conditions are unbound.
+	present = []bool{false, true, false}
+	if !q.EvalPartial(tuples, present) {
+		t.Error("partial eval rejected with no bound condition")
+	}
+}
+
+func TestLessThanPairs(t *testing.T) {
+	q := MustParse("R1 overlaps R2 and R3 containedby R2")
+	got := q.LessThanPairs()
+	// overlaps: R1 < R2. containedby(R3, R2): R2 < R3.
+	want := [][2]int{{0, 1}, {1, 2}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("LessThanPairs = %v, want %v", got, want)
+	}
+}
+
+func TestDecomposeQ3(t *testing.T) {
+	// Q3 (Figure 6): components C1={R1,R2,R3}, C2={R4,R5}, C1 < C2.
+	q := MustParse("R1 overlaps R2 and R2 overlaps R3 and R2 before R4 and R4 overlaps R5")
+	d := Decompose(q)
+	if d.NumComponents() != 2 {
+		t.Fatalf("components = %d, want 2; %s", d.NumComponents(), d)
+	}
+	if len(d.Components[0].Vertices) != 3 || len(d.Components[1].Vertices) != 2 {
+		t.Fatalf("component sizes wrong: %s", d)
+	}
+	if len(d.Less) != 1 || d.Less[0] != [2]int{0, 1} {
+		t.Fatalf("Less = %v, want [[0 1]]", d.Less)
+	}
+	if d.Contradictory {
+		t.Fatal("Q3 flagged contradictory")
+	}
+	if len(d.SeqCondIdx) != 1 || d.SeqCondIdx[0] != 2 {
+		t.Fatalf("SeqCondIdx = %v", d.SeqCondIdx)
+	}
+	if got := len(d.SubQueryConds(0)); got != 2 {
+		t.Fatalf("component 0 sub-query has %d conditions, want 2", got)
+	}
+}
+
+func TestDecomposeQ5(t *testing.T) {
+	// Q5 (Section 9): four components C1={R1.I,R3.I}, C2={R2.I},
+	// C3={R1.A,R3.A}, C4={R2.B,R3.B}; only C1 < C2 ordered.
+	q := MustParse("R1.I before R2.I and R1.I overlaps R3.I and R1.A = R3.A and R2.B = R3.B")
+	d := Decompose(q)
+	if d.NumComponents() != 4 {
+		t.Fatalf("components = %d, want 4; %s", d.NumComponents(), d)
+	}
+	sizes := []int{}
+	for _, c := range d.Components {
+		sizes = append(sizes, len(c.Vertices))
+	}
+	// Deterministic order of first appearance: C(R1.I,R3.I), C(R2.I),
+	// C(R1.A,R3.A), C(R2.B,R3.B).
+	want := []int{2, 1, 2, 2}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("component sizes = %v, want %v (%s)", sizes, want, d)
+		}
+	}
+	if len(d.Less) != 1 || d.Less[0] != [2]int{0, 1} {
+		t.Fatalf("Less = %v, want [[0 1]]", d.Less)
+	}
+}
+
+func TestDecomposeContradiction(t *testing.T) {
+	q := MustParse("R1 before R2 and R2 before R1x and R1x overlaps R1")
+	// Components: {R1, R1x} (via overlaps), {R2}. R1's component < R2's
+	// component (before), and R2's component < R1x's = R1's component:
+	// contradiction.
+	d := Decompose(q)
+	if !d.Contradictory {
+		t.Fatalf("contradiction not detected: %s", d)
+	}
+}
+
+func TestDecomposePureColocation(t *testing.T) {
+	q := MustParse("R1 overlaps R2 and R2 contains R3 and R3 overlaps R4")
+	d := Decompose(q)
+	if d.NumComponents() != 1 {
+		t.Fatalf("components = %d, want 1", d.NumComponents())
+	}
+	if len(d.Less) != 0 || len(d.SeqCondIdx) != 0 {
+		t.Fatal("pure colocation query has sequence artifacts")
+	}
+}
+
+func TestDecomposePureSequence(t *testing.T) {
+	q := MustParse("R1 before R2 and R2 before R3")
+	d := Decompose(q)
+	if d.NumComponents() != 3 {
+		t.Fatalf("components = %d, want 3", d.NumComponents())
+	}
+	if len(d.Less) != 2 {
+		t.Fatalf("Less = %v, want two ordered pairs", d.Less)
+	}
+}
+
+func TestVerticesOfRel(t *testing.T) {
+	q := MustParse("R1.I before R2.I and R1.A = R3.A")
+	d := Decompose(q)
+	m := d.VerticesOfRel(0) // R1 has two vertices in two components
+	if len(m) != 2 {
+		t.Fatalf("R1 vertices span %d components, want 2", len(m))
+	}
+	total := 0
+	for _, vs := range m {
+		total += len(vs)
+	}
+	if total != 2 {
+		t.Fatalf("R1 has %d vertices, want 2", total)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	q := New()
+	if err := q.Validate(); err == nil {
+		t.Error("empty query validated")
+	}
+	q = MustParse("R1 overlaps R2")
+	q.Conds[0].Right.Rel = 99
+	if err := q.Validate(); err == nil || !strings.Contains(err.Error(), "relation") {
+		t.Errorf("out-of-range relation not caught: %v", err)
+	}
+}

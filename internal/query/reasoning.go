@@ -1,0 +1,153 @@
+package query
+
+import (
+	"intervaljoin/internal/interval"
+)
+
+// This file implements satisfiability reasoning over a query's condition
+// graph with Allen's composition table (Allen, CACM 1983): path-consistency
+// propagation tightens the feasible relation set between every pair of
+// (relation, attribute) vertices; an empty set proves the query's output is
+// empty for every possible input, letting a driver skip the join entirely.
+// The check is sound but not complete — path consistency over the full
+// interval algebra does not decide satisfiability in general — so a true
+// Propagate result means "not provably empty".
+//
+// The network tracks the *canonical* relation (interval.Relate) between
+// vertex pairs. Canonical relations are unique per pair even for degenerate
+// point intervals — where several Allen predicates can hold at once — so a
+// condition constrains a pair to interval.CanonicalSet(pred), and the
+// composition table over canonical relations stays sound for real-valued
+// attributes. AssumeProper switches both to the tighter textbook semantics,
+// valid only when no interval is a point.
+
+// Network is the constraint network of a query: feasible canonical Allen
+// relation sets between every pair of vertices.
+type Network struct {
+	verts []Operand
+	index map[Operand]int
+	// feasible[i][j] is the set of canonical relations possible between
+	// vertex i's interval and vertex j's.
+	feasible [][]interval.PredicateSet
+	proper   bool
+}
+
+// NewNetwork builds the constraint network of q: every condition restricts
+// its vertex pair to the canonical relations consistent with its predicate
+// (intersected when several conditions relate the same pair); all other
+// pairs start fully unconstrained. With assumeProper, conditions pin pairs
+// to exactly their predicate and the textbook composition table is used —
+// tighter, but only sound when every data interval has non-zero length.
+func NewNetwork(q *Query, assumeProper bool) *Network {
+	n := &Network{index: make(map[Operand]int), proper: assumeProper}
+	note := func(op Operand) {
+		if _, ok := n.index[op]; !ok {
+			n.index[op] = len(n.verts)
+			n.verts = append(n.verts, op)
+		}
+	}
+	for _, c := range q.Conds {
+		note(c.Left)
+		note(c.Right)
+	}
+	size := len(n.verts)
+	n.feasible = make([][]interval.PredicateSet, size)
+	for i := range n.feasible {
+		n.feasible[i] = make([]interval.PredicateSet, size)
+		for j := range n.feasible[i] {
+			if i == j {
+				n.feasible[i][j] = interval.NewPredicateSet(interval.Equals)
+			} else {
+				n.feasible[i][j] = interval.AllSet
+			}
+		}
+	}
+	for _, c := range q.Conds {
+		li, ri := n.index[c.Left], n.index[c.Right]
+		allowed := interval.CanonicalSet(c.Pred)
+		if assumeProper {
+			allowed = interval.NewPredicateSet(c.Pred)
+		}
+		n.feasible[li][ri] = n.feasible[li][ri].Intersect(allowed)
+		n.feasible[ri][li] = n.feasible[li][ri].Inverse()
+	}
+	return n
+}
+
+// Feasible returns the current canonical relation set between two vertices
+// (in the order given). Unknown vertices yield the full set.
+func (n *Network) Feasible(a, b Operand) interval.PredicateSet {
+	ai, aok := n.index[a]
+	bi, bok := n.index[b]
+	if !aok || !bok {
+		return interval.AllSet
+	}
+	return n.feasible[ai][bi]
+}
+
+// Propagate runs path-consistency to a fixpoint: for every vertex triple
+// (i, j, k), the feasible set between i and k is intersected with the
+// composition of (i, j) and (j, k). It returns false as soon as any pair's
+// set empties — the query is then provably unsatisfiable.
+func (n *Network) Propagate() bool {
+	size := len(n.verts)
+	for i := 0; i < size; i++ {
+		for j := 0; j < size; j++ {
+			if i != j && n.feasible[i][j].Empty() {
+				return false // contradictory conditions on one pair
+			}
+		}
+	}
+	compose := interval.ComposeSets
+	if n.proper {
+		compose = interval.ComposeSetsProper
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < size; i++ {
+			for j := 0; j < size; j++ {
+				if i == j {
+					continue
+				}
+				for k := 0; k < size; k++ {
+					if k == i || k == j {
+						continue
+					}
+					composed := compose(n.feasible[i][j], n.feasible[j][k])
+					tightened := n.feasible[i][k].Intersect(composed)
+					if tightened != n.feasible[i][k] {
+						n.feasible[i][k] = tightened
+						n.feasible[k][i] = tightened.Inverse()
+						changed = true
+					}
+					if tightened.Empty() {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// ProvablyEmpty reports whether path-consistency reasoning proves the
+// query's output empty for every input, including inputs with degenerate
+// (real-valued) intervals. The converse does not hold: a false result does
+// not guarantee a non-empty output.
+func ProvablyEmpty(q *Query) bool {
+	if len(q.Conds) == 0 {
+		return false
+	}
+	return !NewNetwork(q, false).Propagate()
+}
+
+// ProvablyEmptyProper is ProvablyEmpty under the additional assumption that
+// every data interval is proper (Start < End); it proves strictly more
+// queries empty (e.g. "A equals B and A meets B", satisfiable only by
+// points).
+func ProvablyEmptyProper(q *Query) bool {
+	if len(q.Conds) == 0 {
+		return false
+	}
+	return !NewNetwork(q, true).Propagate()
+}

@@ -1,0 +1,138 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"intervaljoin/internal/interval"
+	"intervaljoin/internal/relation"
+)
+
+func TestProvablyEmptyDetectsContradictions(t *testing.T) {
+	empty := []string{
+		// Direct cycle of before.
+		"A before B and B before C and C before A",
+		// Mutual containment.
+		"A contains B and B contains A",
+		// A before B but B also contains A.
+		"A before B and B contains A",
+		// Transitive clash: A before B before C and C meets A.
+		"A before B and B before C and C meets A",
+		// Equality chain clashing with strict order.
+		"A equals B and B equals C and A contains C",
+	}
+	for _, qs := range empty {
+		q := MustParse(qs)
+		if !ProvablyEmpty(q) {
+			t.Errorf("ProvablyEmpty(%q) = false, want true", qs)
+		}
+	}
+	satisfiable := []string{
+		"A overlaps B and B overlaps C",
+		"A before B and B before C",
+		"A contains B and A contains C",
+		"A before B and B after A", // same constraint twice, inverted
+		"A equals B and B equals C",
+		// Point-satisfiable only: A equals B and A meets B holds for two
+		// identical points, so it must NOT be proven empty by the sound
+		// table.
+		"A equals B and A meets B and A.X overlaps C.X",
+	}
+	for _, qs := range satisfiable {
+		q := MustParse(qs)
+		if ProvablyEmpty(q) {
+			t.Errorf("ProvablyEmpty(%q) = true, want false", qs)
+		}
+	}
+}
+
+func TestAssumeProperTightens(t *testing.T) {
+	// equals + meets between the same pair is satisfiable by points
+	// (u = v = [5,5] satisfies both) but impossible for proper intervals.
+	q := MustParse("A equals B and A meets B and B overlaps C")
+	if ProvablyEmpty(q) {
+		t.Fatal("sound reasoning proved a point-satisfiable query empty")
+	}
+	if !ProvablyEmptyProper(q) {
+		t.Fatal("proper-interval reasoning failed to prove emptiness")
+	}
+}
+
+// TestProvablyEmptySoundOnRandomQueries: whenever the reasoner proves a
+// query empty, a brute-force search over a small dense domain must find no
+// satisfying assignment.
+func TestProvablyEmptySoundOnRandomQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	names := []string{"A", "B", "C"}
+	provedEmpty := 0
+	for trial := 0; trial < 400; trial++ {
+		// Random 3-condition query over a triangle of 3 relations.
+		q := New()
+		pairs := [][2]int{{0, 1}, {1, 2}, {0, 2}}
+		for _, pr := range pairs {
+			p := interval.Predicate(rng.Intn(int(interval.NumPredicates)))
+			if err := q.AddCondition(names[pr[0]], "", p, names[pr[1]], ""); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !ProvablyEmpty(q) {
+			continue
+		}
+		provedEmpty++
+		// Exhaustive refutation over all interval triples in [0, 8).
+		var ivs []interval.Interval
+		for s := int64(0); s < 8; s++ {
+			for e := s; e < 8; e++ {
+				ivs = append(ivs, interval.New(s, e))
+			}
+		}
+		tuples := make([]relation.Tuple, 3)
+		for _, a := range ivs {
+			for _, b := range ivs {
+				for _, c := range ivs {
+					tuples[0] = relation.Tuple{Attrs: []interval.Interval{a}}
+					tuples[1] = relation.Tuple{Attrs: []interval.Interval{b}}
+					tuples[2] = relation.Tuple{Attrs: []interval.Interval{c}}
+					if q.EvalTuples(tuples) {
+						t.Fatalf("query %q proven empty but satisfied by %v, %v, %v", q, a, b, c)
+					}
+				}
+			}
+		}
+	}
+	if provedEmpty == 0 {
+		t.Fatal("no random query was proven empty — test exercised nothing")
+	}
+}
+
+func TestNetworkFeasible(t *testing.T) {
+	q := MustParse("A overlaps B and B before C")
+	n := NewNetwork(q, false)
+	a, b := q.Conds[0].Left, q.Conds[0].Right
+	if got := n.Feasible(a, b); got != interval.NewPredicateSet(interval.Overlaps) {
+		t.Fatalf("Feasible(A,B) = %v", got)
+	}
+	if got := n.Feasible(b, a); got != interval.NewPredicateSet(interval.OverlappedBy) {
+		t.Fatalf("Feasible(B,A) = %v", got)
+	}
+	if !n.Propagate() {
+		t.Fatal("satisfiable query refuted")
+	}
+	// After propagation, A-C is constrained: A overlaps B, B before C
+	// forces A strictly before C.
+	c := q.Conds[1].Right
+	ac := n.Feasible(a, c)
+	if ac.Contains(interval.After) || ac.Contains(interval.Contains) {
+		t.Fatalf("Feasible(A,C) = %v still allows after/contains", ac)
+	}
+	// Unknown vertices are unconstrained.
+	if n.Feasible(Operand{Rel: 9, Attr: 0}, a) != interval.AllSet {
+		t.Fatal("unknown vertex not unconstrained")
+	}
+}
+
+func TestProvablyEmptyNoConditions(t *testing.T) {
+	if ProvablyEmpty(New()) {
+		t.Fatal("empty query proven empty")
+	}
+}

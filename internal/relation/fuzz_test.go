@@ -1,0 +1,67 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeTuple checks the tuple codec never panics and that every
+// successfully decoded tuple re-encodes to a decodable form.
+func FuzzDecodeTuple(f *testing.F) {
+	for _, seed := range []string{
+		"0|1,5",
+		"42|1,5|7,7|-3,9",
+		"",
+		"|",
+		"9|5,1",
+		"9|a,b",
+		"-1|0,0",
+		"9223372036854775807|0,1",
+		"1|0,1|",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		tup, err := DecodeTuple(input)
+		if err != nil {
+			return
+		}
+		enc := EncodeTuple(tup)
+		back, err := DecodeTuple(enc)
+		if err != nil {
+			t.Fatalf("re-decode of %q (from %q) failed: %v", enc, input, err)
+		}
+		if back.ID != tup.ID || len(back.Attrs) != len(tup.Attrs) {
+			t.Fatalf("round trip changed tuple: %+v vs %+v", tup, back)
+		}
+		for i := range tup.Attrs {
+			if back.Attrs[i] != tup.Attrs[i] {
+				t.Fatalf("attribute %d changed: %v vs %v", i, tup.Attrs[i], back.Attrs[i])
+			}
+		}
+	})
+}
+
+// FuzzReadText checks the text relation reader against arbitrary files.
+func FuzzReadText(f *testing.F) {
+	f.Add("0,5\n12,85\n", 1)
+	f.Add("1,2|3,4\n", 2)
+	f.Add("# comment\n\n5,5\n", 1)
+	f.Add("garbage\n", 1)
+	f.Fuzz(func(t *testing.T, input string, arity int) {
+		if arity < 1 || arity > 4 {
+			return
+		}
+		attrs := make([]string, arity)
+		for i := range attrs {
+			attrs[i] = string(rune('A' + i))
+		}
+		rel, err := ReadText(NewSchema("F", attrs...), strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := rel.Validate(); err != nil {
+			t.Fatalf("ReadText(%q) produced invalid relation: %v", input, err)
+		}
+	})
+}

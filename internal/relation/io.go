@@ -1,0 +1,144 @@
+package relation
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"intervaljoin/internal/interval"
+)
+
+// This file implements the text interchange format the CLI tools share:
+// one tuple per line, attributes as "start,end" separated by '|', blank
+// lines and '#' comments ignored, tuple ids assigned by position. Endpoints
+// may also be timestamps (RFC 3339, "2006-01-02 15:04:05" or a bare date),
+// which parse to Unix milliseconds, so temporal data joins without manual
+// conversion:
+//
+//	12,85
+//	100,120|0,4
+//	2024-03-01T09:00:00Z,2024-03-01T10:30:00Z
+//	# a comment
+
+// ReadText parses a relation matching the schema from r.
+func ReadText(schema Schema, r io.Reader) (*Relation, error) {
+	rel := New(schema)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		if len(fields) != schema.Arity() {
+			return nil, fmt.Errorf("relation %s: line %d has %d attributes, schema needs %d",
+				schema.Name, lineNo, len(fields), schema.Arity())
+		}
+		attrs := make([]interval.Interval, len(fields))
+		for i, f := range fields {
+			iv, err := parseAttr(f)
+			if err != nil {
+				return nil, fmt.Errorf("relation %s: line %d: %v", schema.Name, lineNo, err)
+			}
+			attrs[i] = iv
+		}
+		rel.Append(attrs...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// timeLayouts are the timestamp formats parseAttr accepts, most to least
+// specific.
+var timeLayouts = []string{
+	time.RFC3339,
+	"2006-01-02 15:04:05",
+	"2006-01-02",
+}
+
+// parseAttr parses one attribute value: an integer interval "s,e" or a
+// timestamp pair, converted to Unix milliseconds.
+func parseAttr(f string) (interval.Interval, error) {
+	if iv, err := interval.Parse(f); err == nil {
+		return iv, nil
+	}
+	comma := strings.IndexByte(f, ',')
+	if comma < 0 {
+		return interval.Interval{}, fmt.Errorf("relation: cannot parse attribute %q", f)
+	}
+	start, err := parseTimePoint(strings.TrimSpace(f[:comma]))
+	if err != nil {
+		return interval.Interval{}, err
+	}
+	end, err := parseTimePoint(strings.TrimSpace(f[comma+1:]))
+	if err != nil {
+		return interval.Interval{}, err
+	}
+	return interval.Make(start, end)
+}
+
+// parseTimePoint parses a timestamp into Unix milliseconds.
+func parseTimePoint(s string) (interval.Point, error) {
+	for _, layout := range timeLayouts {
+		if ts, err := time.Parse(layout, s); err == nil {
+			return ts.UnixMilli(), nil
+		}
+	}
+	return 0, fmt.Errorf("relation: cannot parse %q as a number or timestamp", s)
+}
+
+// WriteText writes the relation in the format ReadText parses.
+func WriteText(rel *Relation, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range rel.Tuples {
+		for i, iv := range t.Attrs {
+			if i > 0 {
+				if err := bw.WriteByte('|'); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%d,%d", iv.Start, iv.End); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFile reads a relation from a text file.
+func LoadFile(schema Schema, path string) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rel, err := ReadText(schema, f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rel, nil
+}
+
+// SaveFile writes a relation to a text file.
+func SaveFile(rel *Relation, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteText(rel, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

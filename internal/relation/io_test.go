@@ -1,0 +1,123 @@
+package relation
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"intervaljoin/internal/interval"
+)
+
+func TestReadTextSingleAttr(t *testing.T) {
+	in := `
+# header comment
+0,5
+12,85
+
+100,100
+`
+	rel, err := ReadText(NewSchema("R"), strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("tuples = %d, want 3 (comments and blanks skipped)", rel.Len())
+	}
+	if rel.Tuples[1].Key() != interval.New(12, 85) {
+		t.Fatalf("tuple 1 = %v", rel.Tuples[1])
+	}
+	if rel.Tuples[2].ID != 2 {
+		t.Fatalf("ids not positional: %v", rel.Tuples[2])
+	}
+}
+
+func TestReadTextMultiAttr(t *testing.T) {
+	rel, err := ReadText(NewSchema("R", "x", "y"), strings.NewReader("100,120|0,4\n5,6|7,8\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 || rel.Tuples[0].Attrs[1] != interval.New(0, 4) {
+		t.Fatalf("parsed = %+v", rel.Tuples)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []struct {
+		schema Schema
+		input  string
+	}{
+		{NewSchema("R"), "1,2|3,4"}, // too many attributes
+		{NewSchema("R", "x", "y"), "1,2"},
+		{NewSchema("R"), "a,b"},
+		{NewSchema("R"), "5,1"}, // inverted
+	}
+	for _, tc := range cases {
+		if _, err := ReadText(tc.schema, strings.NewReader(tc.input)); err == nil {
+			t.Errorf("ReadText(%q) succeeded, want error", tc.input)
+		}
+	}
+}
+
+func TestReadTextTimestamps(t *testing.T) {
+	in := `2024-03-01T09:00:00Z,2024-03-01T10:30:00Z
+2024-03-01 09:00:00,2024-03-01 10:30:00
+2024-03-01,2024-03-02
+`
+	rel, err := ReadText(NewSchema("T"), strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("tuples = %d", rel.Len())
+	}
+	// RFC3339 and the space form at the same instant parse identically.
+	if rel.Tuples[0].Key() != rel.Tuples[1].Key() {
+		t.Fatalf("RFC3339 %v != space form %v", rel.Tuples[0].Key(), rel.Tuples[1].Key())
+	}
+	// 90 minutes in milliseconds.
+	if got := rel.Tuples[0].Key().Length(); got != 90*60*1000 {
+		t.Fatalf("duration = %d ms, want 5400000", got)
+	}
+	// A bare date spans exactly one day.
+	if got := rel.Tuples[2].Key().Length(); got != 24*60*60*1000 {
+		t.Fatalf("day span = %d ms", got)
+	}
+	// Mixed numeric and timestamp endpoints in one value are rejected.
+	if _, err := ReadText(NewSchema("T"), strings.NewReader("0,2024-03-01\n")); err == nil {
+		t.Fatal("mixed endpoint forms accepted")
+	}
+	// Inverted timestamps are rejected.
+	if _, err := ReadText(NewSchema("T"), strings.NewReader("2024-03-02,2024-03-01\n")); err == nil {
+		t.Fatal("inverted timestamp interval accepted")
+	}
+}
+
+func TestTextRoundTripFile(t *testing.T) {
+	rel := New(NewSchema("R", "x", "y"))
+	rel.Append(interval.New(0, 5), interval.New(-3, 9))
+	rel.Append(interval.New(42, 42), interval.New(7, 7))
+	path := filepath.Join(t.TempDir(), "rel.txt")
+	if err := SaveFile(rel, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(rel.Schema, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != rel.Len() {
+		t.Fatalf("round trip lost tuples: %d vs %d", back.Len(), rel.Len())
+	}
+	for i := range rel.Tuples {
+		for j := range rel.Tuples[i].Attrs {
+			if back.Tuples[i].Attrs[j] != rel.Tuples[i].Attrs[j] {
+				t.Fatalf("tuple %d attr %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(NewSchema("R"), "/nonexistent/file.txt"); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}

@@ -1,0 +1,214 @@
+// Package relation models the input relations of an interval join query.
+//
+// A relation is a named, schema-ed collection of tuples. Every attribute is
+// an interval (package interval); real-valued attributes are degenerate
+// intervals of length zero, exactly as the paper treats them. The common
+// case of the Colocation / Sequence / Hybrid algorithms — a single interval
+// attribute — is a relation whose schema has one attribute.
+package relation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"intervaljoin/internal/interval"
+)
+
+// Schema describes a relation: its name and the names of its interval
+// attributes, in column order.
+type Schema struct {
+	Name  string
+	Attrs []string
+}
+
+// NewSchema builds a schema. With no attribute names, a single attribute
+// named "I" is assumed (the single-interval-attribute query classes).
+func NewSchema(name string, attrs ...string) Schema {
+	if len(attrs) == 0 {
+		attrs = []string{"I"}
+	}
+	return Schema{Name: name, Attrs: attrs}
+}
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (s Schema) AttrIndex(name string) int {
+	for i, a := range s.Attrs {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Arity is the number of attributes.
+func (s Schema) Arity() int { return len(s.Attrs) }
+
+// Tuple is one row of a relation: a unique id (unique within its relation)
+// and one interval per schema attribute.
+type Tuple struct {
+	ID    int64
+	Attrs []interval.Interval
+}
+
+// Key returns the tuple's single interval. It panics unless the tuple has
+// exactly one attribute; it is the accessor used by the single-attribute
+// join algorithms.
+func (t Tuple) Key() interval.Interval {
+	if len(t.Attrs) != 1 {
+		panic(fmt.Sprintf("relation: Key on %d-attribute tuple", len(t.Attrs)))
+	}
+	return t.Attrs[0]
+}
+
+// Relation is a schema plus its tuples.
+type Relation struct {
+	Schema Schema
+	Tuples []Tuple
+}
+
+// FromIntervals builds a single-attribute relation from a slice of
+// intervals, assigning ids 0..n-1 in order.
+func FromIntervals(name string, ivs []interval.Interval) *Relation {
+	r := &Relation{Schema: NewSchema(name)}
+	r.Tuples = make([]Tuple, len(ivs))
+	for i, iv := range ivs {
+		r.Tuples[i] = Tuple{ID: int64(i), Attrs: []interval.Interval{iv}}
+	}
+	return r
+}
+
+// New builds an empty relation with the given schema.
+func New(schema Schema) *Relation { return &Relation{Schema: schema} }
+
+// Append adds a tuple with the next sequential id and the given attribute
+// values, returning the id. It panics if the arity does not match.
+func (r *Relation) Append(attrs ...interval.Interval) int64 {
+	if len(attrs) != r.Schema.Arity() {
+		panic(fmt.Sprintf("relation %s: append arity %d, schema arity %d",
+			r.Schema.Name, len(attrs), r.Schema.Arity()))
+	}
+	id := int64(len(r.Tuples))
+	r.Tuples = append(r.Tuples, Tuple{ID: id, Attrs: attrs})
+	return id
+}
+
+// Len is the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Intervals returns the single-attribute column as a slice. It panics for
+// multi-attribute relations.
+func (r *Relation) Intervals() []interval.Interval {
+	if r.Schema.Arity() != 1 {
+		panic(fmt.Sprintf("relation %s: Intervals on arity-%d relation", r.Schema.Name, r.Schema.Arity()))
+	}
+	out := make([]interval.Interval, len(r.Tuples))
+	for i, t := range r.Tuples {
+		out[i] = t.Attrs[0]
+	}
+	return out
+}
+
+// Validate checks tuple arity and interval well-formedness and id
+// uniqueness, returning the first problem found.
+func (r *Relation) Validate() error {
+	seen := make(map[int64]struct{}, len(r.Tuples))
+	for i, t := range r.Tuples {
+		if len(t.Attrs) != r.Schema.Arity() {
+			return fmt.Errorf("relation %s: tuple %d has arity %d, want %d",
+				r.Schema.Name, i, len(t.Attrs), r.Schema.Arity())
+		}
+		for j, iv := range t.Attrs {
+			if !iv.Valid() {
+				return fmt.Errorf("relation %s: tuple %d attribute %s invalid: %v",
+					r.Schema.Name, i, r.Schema.Attrs[j], iv)
+			}
+		}
+		if _, dup := seen[t.ID]; dup {
+			return fmt.Errorf("relation %s: duplicate tuple id %d", r.Schema.Name, t.ID)
+		}
+		seen[t.ID] = struct{}{}
+	}
+	return nil
+}
+
+// EncodeTuple serialises a tuple to the line format used on the distributed
+// file store: "id|s,e|s,e|...". The relation name is carried by the file,
+// not the record.
+func EncodeTuple(t Tuple) string {
+	var b strings.Builder
+	b.Grow(16 + 24*len(t.Attrs))
+	b.WriteString(strconv.FormatInt(t.ID, 10))
+	for _, iv := range t.Attrs {
+		b.WriteByte('|')
+		b.WriteString(strconv.FormatInt(iv.Start, 10))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatInt(iv.End, 10))
+	}
+	return b.String()
+}
+
+// DecodeTuple parses the format produced by EncodeTuple.
+func DecodeTuple(s string) (Tuple, error) {
+	fields := strings.Split(s, "|")
+	if len(fields) < 2 {
+		return Tuple{}, fmt.Errorf("relation: malformed tuple record %q", s)
+	}
+	id, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return Tuple{}, fmt.Errorf("relation: bad tuple id in %q: %v", s, err)
+	}
+	attrs := make([]interval.Interval, len(fields)-1)
+	for i, f := range fields[1:] {
+		iv, err := interval.Parse(f)
+		if err != nil {
+			return Tuple{}, fmt.Errorf("relation: bad attribute %d in %q: %v", i, s, err)
+		}
+		attrs[i] = iv
+	}
+	return Tuple{ID: id, Attrs: attrs}, nil
+}
+
+// Bounds returns the minimal half-open range [t0, tn) covering every
+// attribute interval of every tuple in the given relations, suitable for
+// constructing a Partitioning. ok is false when the relations contain no
+// tuples.
+func Bounds(rels ...*Relation) (t0, tn interval.Point, ok bool) {
+	first := true
+	for _, r := range rels {
+		for _, t := range r.Tuples {
+			for _, iv := range t.Attrs {
+				if first {
+					t0, tn, first = iv.Start, iv.End+1, false
+					continue
+				}
+				if iv.Start < t0 {
+					t0 = iv.Start
+				}
+				if iv.End+1 > tn {
+					tn = iv.End + 1
+				}
+			}
+		}
+	}
+	return t0, tn, !first
+}
+
+// AttrBounds returns the minimal half-open range covering one attribute
+// column of one relation. ok is false for an empty relation.
+func AttrBounds(r *Relation, attr int) (t0, tn interval.Point, ok bool) {
+	for i, t := range r.Tuples {
+		iv := t.Attrs[attr]
+		if i == 0 {
+			t0, tn = iv.Start, iv.End+1
+			continue
+		}
+		if iv.Start < t0 {
+			t0 = iv.Start
+		}
+		if iv.End+1 > tn {
+			tn = iv.End + 1
+		}
+	}
+	return t0, tn, r.Len() > 0
+}

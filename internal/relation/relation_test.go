@@ -1,0 +1,154 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"intervaljoin/internal/interval"
+)
+
+func TestSchemaDefaults(t *testing.T) {
+	s := NewSchema("R1")
+	if s.Arity() != 1 || s.Attrs[0] != "I" {
+		t.Fatalf("default schema = %+v, want single attribute I", s)
+	}
+	s2 := NewSchema("R2", "I", "A", "B")
+	if s2.Arity() != 3 {
+		t.Fatalf("arity = %d, want 3", s2.Arity())
+	}
+	if s2.AttrIndex("A") != 1 || s2.AttrIndex("missing") != -1 {
+		t.Error("AttrIndex misbehaves")
+	}
+}
+
+func TestFromIntervals(t *testing.T) {
+	ivs := []interval.Interval{interval.New(0, 5), interval.New(3, 9)}
+	r := FromIntervals("R", ivs)
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Tuples[1].ID != 1 || r.Tuples[1].Key() != interval.New(3, 9) {
+		t.Fatalf("tuple 1 = %+v", r.Tuples[1])
+	}
+	got := r.Intervals()
+	for i := range ivs {
+		if got[i] != ivs[i] {
+			t.Fatalf("Intervals()[%d] = %v, want %v", i, got[i], ivs[i])
+		}
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestAppendArityPanics(t *testing.T) {
+	r := New(NewSchema("R", "I", "A"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	r.Append(interval.New(0, 1))
+}
+
+func TestKeyPanicsOnMultiAttr(t *testing.T) {
+	tup := Tuple{ID: 0, Attrs: []interval.Interval{interval.New(0, 1), interval.New(2, 3)}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Key on 2-attribute tuple did not panic")
+		}
+	}()
+	tup.Key()
+}
+
+func TestValidateCatchesDuplicates(t *testing.T) {
+	r := New(NewSchema("R"))
+	r.Tuples = []Tuple{
+		{ID: 1, Attrs: []interval.Interval{interval.New(0, 1)}},
+		{ID: 1, Attrs: []interval.Interval{interval.New(2, 3)}},
+	}
+	if err := r.Validate(); err == nil {
+		t.Fatal("duplicate ids not reported")
+	}
+}
+
+func TestValidateCatchesBadArity(t *testing.T) {
+	r := New(NewSchema("R", "I", "A"))
+	r.Tuples = []Tuple{{ID: 0, Attrs: []interval.Interval{interval.New(0, 1)}}}
+	if err := r.Validate(); err == nil {
+		t.Fatal("arity mismatch not reported")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(id int64, a1, a2, b1, b2 int32) bool {
+		mk := func(x, y int32) interval.Interval {
+			if x > y {
+				x, y = y, x
+			}
+			return interval.New(int64(x), int64(y))
+		}
+		tup := Tuple{ID: id, Attrs: []interval.Interval{mk(a1, a2), mk(b1, b2)}}
+		dec, err := DecodeTuple(EncodeTuple(tup))
+		if err != nil || dec.ID != tup.ID || len(dec.Attrs) != 2 {
+			return false
+		}
+		return dec.Attrs[0] == tup.Attrs[0] && dec.Attrs[1] == tup.Attrs[1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	for _, s := range []string{"", "5", "x|0,1", "5|0;1", "5|a,b"} {
+		if _, err := DecodeTuple(s); err == nil {
+			t.Errorf("DecodeTuple(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	r1 := FromIntervals("R1", []interval.Interval{interval.New(5, 20)})
+	r2 := FromIntervals("R2", []interval.Interval{interval.New(-3, 7), interval.New(10, 90)})
+	t0, tn, ok := Bounds(r1, r2)
+	if !ok || t0 != -3 || tn != 91 {
+		t.Fatalf("Bounds = [%d,%d) ok=%v, want [-3,91) true", t0, tn, ok)
+	}
+	if _, _, ok := Bounds(New(NewSchema("E"))); ok {
+		t.Fatal("Bounds of empty relation reported ok")
+	}
+}
+
+func TestAttrBounds(t *testing.T) {
+	r := New(NewSchema("R", "I", "A"))
+	r.Append(interval.New(0, 10), interval.New(100, 100))
+	r.Append(interval.New(5, 7), interval.New(42, 42))
+	t0, tn, ok := AttrBounds(r, 1)
+	if !ok || t0 != 42 || tn != 101 {
+		t.Fatalf("AttrBounds = [%d,%d) ok=%v", t0, tn, ok)
+	}
+}
+
+func TestBoundsCoverEverythingQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		n := 1 + rng.Intn(50)
+		ivs := make([]interval.Interval, n)
+		for j := range ivs {
+			s := rng.Int63n(1000) - 500
+			ivs[j] = interval.New(s, s+rng.Int63n(100))
+		}
+		r := FromIntervals("R", ivs)
+		t0, tn, ok := Bounds(r)
+		if !ok {
+			t.Fatal("Bounds not ok for non-empty relation")
+		}
+		for _, iv := range ivs {
+			if iv.Start < t0 || iv.End >= tn {
+				t.Fatalf("interval %v outside bounds [%d,%d)", iv, t0, tn)
+			}
+		}
+	}
+}

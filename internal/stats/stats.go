@@ -1,0 +1,109 @@
+// Package stats provides the summary statistics the experiment harness uses
+// to quantify reducer load balance (Figure 4's comparison of All-Replicate
+// versus All-Matrix) and to render small text histograms of per-reducer
+// load.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a load vector.
+type Summary struct {
+	Count  int
+	Min    int64
+	Max    int64
+	Sum    int64
+	Mean   float64
+	Stddev float64
+	// CoV is the coefficient of variation (stddev/mean); 0 is perfectly
+	// balanced.
+	CoV float64
+	// MaxOverMean is the straggler factor: how much longer the heaviest
+	// reducer runs than the average one.
+	MaxOverMean float64
+	// Gini is the Gini coefficient of the load distribution in [0, 1);
+	// 0 is perfect equality.
+	Gini float64
+}
+
+// Summarize computes the summary of a load vector. An empty vector yields a
+// zero Summary.
+func Summarize(loads []int64) Summary {
+	s := Summary{Count: len(loads)}
+	if len(loads) == 0 {
+		return s
+	}
+	s.Min = loads[0]
+	for _, v := range loads {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		s.Sum += v
+	}
+	s.Mean = float64(s.Sum) / float64(len(loads))
+	var ss float64
+	for _, v := range loads {
+		d := float64(v) - s.Mean
+		ss += d * d
+	}
+	s.Stddev = math.Sqrt(ss / float64(len(loads)))
+	if s.Mean > 0 {
+		s.CoV = s.Stddev / s.Mean
+		s.MaxOverMean = float64(s.Max) / s.Mean
+	}
+	s.Gini = gini(loads)
+	return s
+}
+
+// gini computes the Gini coefficient of non-negative values.
+func gini(loads []int64) float64 {
+	n := len(loads)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]int64, n)
+	copy(sorted, loads)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var cum, weighted float64
+	for i, v := range sorted {
+		cum += float64(v)
+		weighted += float64(v) * float64(i+1)
+	}
+	if cum == 0 {
+		return 0
+	}
+	return (2*weighted - float64(n+1)*cum) / (float64(n) * cum)
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%d max=%d mean=%.1f cov=%.2f max/mean=%.2f gini=%.2f",
+		s.Count, s.Min, s.Max, s.Mean, s.CoV, s.MaxOverMean, s.Gini)
+}
+
+// Histogram renders loads as a fixed-width text bar chart, one bar per
+// element, scaled to width characters — the Figure 4 visual.
+func Histogram(loads []int64, width int) string {
+	if width < 1 {
+		width = 40
+	}
+	var max int64 = 1
+	for _, v := range loads {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for i, v := range loads {
+		bar := int(int64(width) * v / max)
+		fmt.Fprintf(&b, "%4d | %-*s %d\n", i, width, strings.Repeat("#", bar), v)
+	}
+	return b.String()
+}

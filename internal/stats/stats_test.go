@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Max != 0 || s.CoV != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeUniform(t *testing.T) {
+	s := Summarize([]int64{10, 10, 10, 10})
+	if s.Min != 10 || s.Max != 10 || s.Mean != 10 || s.Stddev != 0 {
+		t.Fatalf("uniform summary = %+v", s)
+	}
+	if s.CoV != 0 || s.MaxOverMean != 1 || s.Gini != 0 {
+		t.Fatalf("uniform balance = %+v", s)
+	}
+}
+
+func TestSummarizeSkewed(t *testing.T) {
+	s := Summarize([]int64{0, 0, 0, 100})
+	if s.Mean != 25 || s.Max != 100 {
+		t.Fatalf("skewed summary = %+v", s)
+	}
+	if s.MaxOverMean != 4 {
+		t.Fatalf("max/mean = %v, want 4", s.MaxOverMean)
+	}
+	// One holder of everything among 4: Gini = (n-1)/n = 0.75.
+	if math.Abs(s.Gini-0.75) > 1e-9 {
+		t.Fatalf("gini = %v, want 0.75", s.Gini)
+	}
+}
+
+func TestGiniOrderInvariant(t *testing.T) {
+	a := Summarize([]int64{5, 1, 3, 9}).Gini
+	b := Summarize([]int64{9, 5, 3, 1}).Gini
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("gini depends on order: %v vs %v", a, b)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	s := Summarize([]int64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(s.Stddev-2) > 1e-9 {
+		t.Fatalf("stddev = %v, want 2", s.Stddev)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]int64{1, 2, 4}, 8)
+	lines := strings.Split(strings.TrimRight(h, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("histogram lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[2], "########") {
+		t.Fatalf("max bar not full width: %q", lines[2])
+	}
+	if !strings.Contains(lines[0], "##") || strings.Contains(lines[0], "###") {
+		t.Fatalf("scaling wrong: %q", lines[0])
+	}
+	// Zero width falls back to default, all-zero loads do not divide by 0.
+	if Histogram([]int64{0, 0}, 0) == "" {
+		t.Fatal("histogram of zeros empty")
+	}
+}

@@ -1,0 +1,239 @@
+// Package trace simulates the Internet packet traces of the paper's
+// real-data experiments and builds packet trains from them.
+//
+// The paper uses 15-minute extracts of the MAWI trans-Pacific backbone
+// archive (traces P03–P08, Table 2). Those captures are not redistributable
+// here, so the package synthesises traces with the same interface the
+// experiments consume: per-packet (flow, arrival time) records over a
+// 15-minute window, calibrated per trace to the paper's published packet
+// and packet-train counts. Packet trains — maximal runs of same-flow
+// packets whose inter-arrival gaps stay below a cut-off (500 ms in the
+// paper, after Jain's packet-train model) — are then built exactly as the
+// paper describes, and their [start, end] durations form the interval data.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"intervaljoin/internal/interval"
+	"intervaljoin/internal/relation"
+)
+
+// Packet is one captured packet: the flow it belongs to (a source→destination
+// IP pair in the real trace) and its arrival time at the observation point,
+// in milliseconds from the window start.
+type Packet struct {
+	Flow int32
+	Time int64
+}
+
+// Profile describes one trace's aggregate statistics — the calibration
+// target for the synthesiser.
+type Profile struct {
+	// Name is the paper's trace id ("P03".."P08").
+	Name string
+	// Date is the capture date from Table 2 (dd-mm-yy).
+	Date string
+	// Packets is the total packet count of the trace.
+	Packets int
+	// Trains is the packet-train count the paper derives with the 500 ms
+	// cut-off.
+	Trains int
+	// DurationMs is the capture window (15 minutes).
+	DurationMs int64
+}
+
+// DefaultCutoffMs is the paper's packet-train inter-arrival cut-off.
+const DefaultCutoffMs = 500
+
+// MAWI lists the six traces of Table 2 with the paper's published packet
+// and train counts.
+var MAWI = []Profile{
+	{Name: "P03", Date: "01-01-03", Packets: 1_500_000, Trains: 120_000, DurationMs: 900_000},
+	{Name: "P04", Date: "01-01-04", Packets: 200_000, Trains: 18_000, DurationMs: 900_000},
+	{Name: "P05", Date: "15-01-05", Packets: 2_900_000, Trains: 207_000, DurationMs: 900_000},
+	{Name: "P06", Date: "01-01-06", Packets: 3_400_000, Trains: 351_000, DurationMs: 900_000},
+	{Name: "P07", Date: "15-01-07", Packets: 9_100_000, Trains: 359_000, DurationMs: 900_000},
+	{Name: "P08", Date: "01-01-08", Packets: 7_300_000, Trains: 307_000, DurationMs: 900_000},
+}
+
+// ProfileByName returns the named MAWI profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range MAWI {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("trace: unknown profile %q", name)
+}
+
+// Synthesize generates a packet stream matching the profile's packet and
+// train counts in expectation, scaled by scale (0 < scale <= 1 keeps run
+// times manageable; scale 1 reproduces the full trace size). The result is
+// sorted by arrival time.
+//
+// The generator follows the packet-train model: each flow is a renewal
+// process whose inter-arrival gaps are a mixture of intra-train gaps (well
+// below the cut-off) and inter-train gaps (well above it); the mixture
+// weight is chosen so that the expected number of gaps exceeding the cut-off
+// reproduces the profile's train count.
+func Synthesize(p Profile, scale float64, seed int64) ([]Packet, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("trace: scale %v outside (0, 1]", scale)
+	}
+	packets := int(float64(p.Packets) * scale)
+	trains := int(float64(p.Trains) * scale)
+	if packets < 1 || trains < 1 {
+		return nil, fmt.Errorf("trace: scale %v leaves no packets or trains for %s", scale, p.Name)
+	}
+	if trains > packets {
+		return nil, fmt.Errorf("trace: profile %s wants more trains than packets", p.Name)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Target ~24 trains per flow (heavy flows dominate backbone traffic);
+	// at least one flow.
+	flows := trains / 24
+	if flows < 1 {
+		flows = 1
+	}
+	packetsPerFlow := packets / flows
+	if packetsPerFlow < 1 {
+		packetsPerFlow = 1
+	}
+	// Expected trains per flow = 1 + (#gaps >= cutoff). With g gaps per
+	// flow and inter-train probability q: trains/flow = 1 + g*q.
+	gaps := packetsPerFlow - 1
+	q := 0.0
+	if gaps > 0 {
+		q = (float64(trains)/float64(flows) - 1) / float64(gaps)
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+	}
+	// Mean gap sizes: intra-train gaps exponential with mean cutoff/10;
+	// inter-train gaps cutoff + exponential tail sized so each flow's
+	// packets roughly fill the window.
+	intraMean := float64(DefaultCutoffMs) / 10
+	expectedIntra := float64(gaps) * (1 - q) * intraMean
+	interCount := float64(gaps) * q
+	interMean := float64(DefaultCutoffMs) * 2
+	if interCount > 0 {
+		budget := float64(p.DurationMs)*0.8 - expectedIntra
+		if budget/interCount > interMean {
+			interMean = budget / interCount
+		}
+	}
+
+	out := make([]Packet, 0, flows*packetsPerFlow)
+	for f := 0; f < flows; f++ {
+		// Stagger flow start times across the first fifth of the window.
+		t := rng.Int63n(p.DurationMs / 5)
+		for i := 0; i < packetsPerFlow; i++ {
+			if t >= p.DurationMs {
+				t = p.DurationMs - 1
+			}
+			out = append(out, Packet{Flow: int32(f), Time: t})
+			if i == packetsPerFlow-1 {
+				break
+			}
+			if rng.Float64() < q {
+				gap := int64(DefaultCutoffMs + rng.ExpFloat64()*(interMean-DefaultCutoffMs))
+				if gap < DefaultCutoffMs {
+					gap = DefaultCutoffMs
+				}
+				t += gap
+			} else {
+				gap := int64(rng.ExpFloat64() * intraMean)
+				if gap >= DefaultCutoffMs {
+					gap = DefaultCutoffMs - 1
+				}
+				t += gap
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return out[i].Flow < out[j].Flow
+	})
+	return out, nil
+}
+
+// BuildTrains groups each flow's packets into packet trains: a new train
+// starts whenever the gap to the previous packet of the same flow is at
+// least cutoffMs (the paper's threshold is "less than" for staying in the
+// train). It returns the train duration intervals [first arrival, last
+// arrival], sorted by start.
+func BuildTrains(packets []Packet, cutoffMs int64) []interval.Interval {
+	if cutoffMs <= 0 {
+		cutoffMs = DefaultCutoffMs
+	}
+	// Gather per-flow arrival lists.
+	byFlow := make(map[int32][]int64)
+	for _, p := range packets {
+		byFlow[p.Flow] = append(byFlow[p.Flow], p.Time)
+	}
+	var trains []interval.Interval
+	for _, times := range byFlow {
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		start := times[0]
+		prev := times[0]
+		for _, t := range times[1:] {
+			if t-prev >= cutoffMs {
+				trains = append(trains, interval.New(start, prev))
+				start = t
+			}
+			prev = t
+		}
+		trains = append(trains, interval.New(start, prev))
+	}
+	sort.Slice(trains, func(i, j int) bool { return trains[i].Compare(trains[j]) < 0 })
+	return trains
+}
+
+// ReplicateTrains tiles copies of the trains until the target count is
+// reached, the paper's procedure for growing each trace's train set to a
+// fixed 3M-interval dataset. Copies keep the original time window (the
+// joins' temporal density grows, as in the paper); a deterministic jitter
+// below the train granularity decorrelates exact endpoints.
+func ReplicateTrains(trains []interval.Interval, target int, windowMs int64, seed int64) []interval.Interval {
+	if len(trains) == 0 || target <= len(trains) {
+		out := make([]interval.Interval, len(trains))
+		copy(out, trains)
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]interval.Interval, 0, target)
+	out = append(out, trains...)
+	for len(out) < target {
+		src := trains[rng.Intn(len(trains))]
+		jitter := rng.Int63n(21) - 10
+		s := src.Start + jitter
+		e := src.End + jitter
+		if s < 0 {
+			e -= s
+			s = 0
+		}
+		if e >= windowMs {
+			s -= e - (windowMs - 1)
+			e = windowMs - 1
+			if s < 0 {
+				s = 0
+			}
+		}
+		out = append(out, interval.New(s, e))
+	}
+	return out
+}
+
+// TrainsRelation wraps train intervals as a single-attribute relation.
+func TrainsRelation(name string, trains []interval.Interval) *relation.Relation {
+	return relation.FromIntervals(name, trains)
+}

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"testing"
+
+	"intervaljoin/internal/interval"
+)
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("P04")
+	if err != nil || p.Packets != 200_000 || p.Trains != 18_000 {
+		t.Fatalf("P04 = %+v, %v", p, err)
+	}
+	if _, err := ProfileByName("P99"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if len(MAWI) != 6 {
+		t.Fatalf("MAWI profiles = %d, want 6 (Table 2)", len(MAWI))
+	}
+}
+
+func TestBuildTrainsHandConstructed(t *testing.T) {
+	// Flow 0: gaps 100, 600, 100 -> two trains [0,200] and [800,900].
+	// Flow 1: single packet -> one point train.
+	// Boundary: a gap of exactly the cut-off starts a new train.
+	packets := []Packet{
+		{Flow: 0, Time: 0}, {Flow: 0, Time: 100}, {Flow: 0, Time: 200},
+		{Flow: 0, Time: 800}, {Flow: 0, Time: 900},
+		{Flow: 1, Time: 50},
+		{Flow: 2, Time: 0}, {Flow: 2, Time: 500}, // gap == cutoff: split
+	}
+	trains := BuildTrains(packets, 500)
+	want := []interval.Interval{
+		{Start: 0, End: 0}, {Start: 0, End: 200}, {Start: 50, End: 50},
+		{Start: 500, End: 500}, {Start: 800, End: 900},
+	}
+	if len(trains) != len(want) {
+		t.Fatalf("trains = %v, want %v", trains, want)
+	}
+	for i := range want {
+		if trains[i] != want[i] {
+			t.Fatalf("trains = %v, want %v", trains, want)
+		}
+	}
+}
+
+func TestBuildTrainsUnsortedInput(t *testing.T) {
+	packets := []Packet{
+		{Flow: 0, Time: 900}, {Flow: 0, Time: 0}, {Flow: 0, Time: 100},
+	}
+	trains := BuildTrains(packets, 500)
+	if len(trains) != 2 || trains[0] != interval.New(0, 100) || trains[1] != interval.New(900, 900) {
+		t.Fatalf("trains = %v", trains)
+	}
+}
+
+func TestBuildTrainsDefaultCutoff(t *testing.T) {
+	packets := []Packet{{Flow: 0, Time: 0}, {Flow: 0, Time: 499}, {Flow: 0, Time: 1100}}
+	trains := BuildTrains(packets, 0) // default 500
+	if len(trains) != 2 {
+		t.Fatalf("trains = %v, want 2 with default cut-off", trains)
+	}
+}
+
+func TestSynthesizeCalibration(t *testing.T) {
+	for _, p := range MAWI {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			const scale = 0.02
+			packets, err := Synthesize(p, scale, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantPackets := float64(p.Packets) * scale
+			if f := float64(len(packets)) / wantPackets; f < 0.9 || f > 1.1 {
+				t.Errorf("packets = %d, want ~%.0f", len(packets), wantPackets)
+			}
+			trains := BuildTrains(packets, DefaultCutoffMs)
+			wantTrains := float64(p.Trains) * scale
+			if f := float64(len(trains)) / wantTrains; f < 0.7 || f > 1.3 {
+				t.Errorf("trains = %d, want ~%.0f (ratio %.2f)", len(trains), wantTrains, f)
+			}
+			for _, iv := range trains {
+				if iv.Start < 0 || iv.End >= p.DurationMs {
+					t.Fatalf("train %v outside the capture window", iv)
+				}
+			}
+			// Sorted by arrival time.
+			for i := 1; i < len(packets); i++ {
+				if packets[i].Time < packets[i-1].Time {
+					t.Fatal("packets not sorted")
+				}
+			}
+		})
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	p, _ := ProfileByName("P04")
+	a, err := Synthesize(p, 0.05, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Synthesize(p, 0.05, 9)
+	if len(a) != len(b) {
+		t.Fatal("same seed produced different sizes")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different packets")
+		}
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	p, _ := ProfileByName("P04")
+	if _, err := Synthesize(p, 0, 1); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := Synthesize(p, 1.5, 1); err == nil {
+		t.Error("scale > 1 accepted")
+	}
+	if _, err := Synthesize(p, 0.000001, 1); err == nil {
+		t.Error("scale that leaves no trains accepted")
+	}
+}
+
+func TestReplicateTrains(t *testing.T) {
+	trains := []interval.Interval{{Start: 10, End: 20}, {Start: 100, End: 400}}
+	out := ReplicateTrains(trains, 1000, 900_000, 3)
+	if len(out) != 1000 {
+		t.Fatalf("replicated to %d, want 1000", len(out))
+	}
+	for _, iv := range out {
+		if iv.Start < 0 || iv.End >= 900_000 || !iv.Valid() {
+			t.Fatalf("replicated train %v out of window", iv)
+		}
+	}
+	// Originals preserved at the front.
+	if out[0] != trains[0] || out[1] != trains[1] {
+		t.Fatal("original trains not preserved")
+	}
+	// No-op when target below current size.
+	small := ReplicateTrains(trains, 1, 900_000, 3)
+	if len(small) != 2 {
+		t.Fatalf("shrinking replicate returned %d", len(small))
+	}
+	if len(ReplicateTrains(nil, 10, 900_000, 3)) != 0 {
+		t.Fatal("empty input should remain empty")
+	}
+}
+
+func TestTrainsRelation(t *testing.T) {
+	r := TrainsRelation("T", []interval.Interval{{Start: 0, End: 5}})
+	if r.Schema.Name != "T" || r.Len() != 1 {
+		t.Fatalf("relation = %+v", r)
+	}
+}

@@ -1,0 +1,284 @@
+// Package workload generates the synthetic interval datasets of the paper's
+// evaluation. It mirrors the authors' generation script (Section 6.2): the
+// parameters are the number of intervals (nI), the distribution of interval
+// start points (dS), the distribution of interval lengths (dI), the time
+// range [tmin, tmax] within which all intervals lie, and the minimum and
+// maximum interval lengths [imin, imax].
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"intervaljoin/internal/interval"
+	"intervaljoin/internal/relation"
+)
+
+// Distribution selects how starts or lengths are drawn.
+type Distribution uint8
+
+const (
+	// Uniform draws uniformly over the legal range (the paper's default).
+	Uniform Distribution = iota
+	// Normal draws from a gaussian centred on the range's midpoint with a
+	// σ of one sixth of the range, clamped to the range.
+	Normal
+	// Zipf skews mass towards the low end of the range (rank-1 heaviest),
+	// modelling bursty event times.
+	Zipf
+	// Exponential draws from an exponential with mean one quarter of the
+	// range, offset at the low end and clamped.
+	Exponential
+)
+
+// String names the distribution as accepted by ParseDistribution.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Normal:
+		return "normal"
+	case Zipf:
+		return "zipf"
+	case Exponential:
+		return "exponential"
+	}
+	return fmt.Sprintf("distribution(%d)", uint8(d))
+}
+
+// ParseDistribution maps a name to a Distribution.
+func ParseDistribution(s string) (Distribution, error) {
+	switch s {
+	case "uniform", "u":
+		return Uniform, nil
+	case "normal", "gaussian", "n":
+		return Normal, nil
+	case "zipf", "z":
+		return Zipf, nil
+	case "exponential", "exp", "e":
+		return Exponential, nil
+	}
+	return 0, fmt.Errorf("workload: unknown distribution %q", s)
+}
+
+// Spec is one synthetic relation's generation recipe.
+type Spec struct {
+	// Name is the relation name.
+	Name string
+	// NumIntervals is nI.
+	NumIntervals int
+	// StartDist is dS, the distribution of interval start points.
+	StartDist Distribution
+	// LengthDist is dI, the distribution of interval lengths.
+	LengthDist Distribution
+	// TMin and TMax bound the time range; every generated interval lies
+	// within [TMin, TMax].
+	TMin, TMax int64
+	// IMin and IMax bound the interval length.
+	IMin, IMax int64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Validate reports the first problem with the spec.
+func (s Spec) Validate() error {
+	if s.NumIntervals < 0 {
+		return fmt.Errorf("workload: negative interval count %d", s.NumIntervals)
+	}
+	if s.TMax <= s.TMin {
+		return fmt.Errorf("workload: empty time range [%d, %d]", s.TMin, s.TMax)
+	}
+	if s.IMin < 0 || s.IMax < s.IMin {
+		return fmt.Errorf("workload: bad length range [%d, %d]", s.IMin, s.IMax)
+	}
+	if s.TMin+s.IMin > s.TMax {
+		return fmt.Errorf("workload: minimum length %d does not fit the time range", s.IMin)
+	}
+	return nil
+}
+
+// Generate builds the relation described by the spec. Generation is
+// deterministic in the seed.
+func Generate(s Spec) (*relation.Relation, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	var zipfLen, zipfStart *rand.Zipf
+	if s.LengthDist == Zipf {
+		zipfLen = newZipf(rng, uint64(s.IMax-s.IMin))
+	}
+	ivs := make([]interval.Interval, s.NumIntervals)
+	for i := range ivs {
+		length := drawInRange(rng, s.LengthDist, zipfLen, s.IMin, s.IMax)
+		maxStart := s.TMax - length
+		if s.StartDist == Zipf && zipfStart == nil {
+			zipfStart = newZipf(rng, uint64(s.TMax-s.TMin))
+		}
+		start := drawInRange(rng, s.StartDist, zipfStart, s.TMin, maxStart)
+		ivs[i] = interval.New(start, start+length)
+	}
+	return relation.FromIntervals(s.Name, ivs), nil
+}
+
+// MustGenerate is Generate for tests and examples; it panics on error.
+func MustGenerate(s Spec) *relation.Relation {
+	r, err := Generate(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// newZipf builds a Zipf sampler over [0, span] with the conventional
+// exponent 1.1.
+func newZipf(rng *rand.Rand, span uint64) *rand.Zipf {
+	if span == 0 {
+		span = 1
+	}
+	return rand.NewZipf(rng, 1.1, 1, span)
+}
+
+// drawInRange samples one value in [lo, hi] under dist. A degenerate range
+// returns lo.
+func drawInRange(rng *rand.Rand, dist Distribution, zipf *rand.Zipf, lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	span := hi - lo
+	switch dist {
+	case Uniform:
+		return lo + rng.Int63n(span+1)
+	case Normal:
+		mean := float64(lo) + float64(span)/2
+		sd := float64(span) / 6
+		v := int64(math.Round(rng.NormFloat64()*sd + mean))
+		return clamp(v, lo, hi)
+	case Zipf:
+		v := lo + int64(zipf.Uint64())
+		return clamp(v, lo, hi)
+	case Exponential:
+		v := lo + int64(rng.ExpFloat64()*float64(span)/4)
+		return clamp(v, lo, hi)
+	}
+	panic(fmt.Sprintf("workload: invalid distribution %d", uint8(dist)))
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Table1Spec returns the paper's Table 1 generation parameters for one
+// relation: dS, dI uniform, range [0, 100K], lengths [1, 100].
+func Table1Spec(name string, n int, seed int64) Spec {
+	return Spec{
+		Name: name, NumIntervals: n,
+		StartDist: Uniform, LengthDist: Uniform,
+		TMin: 0, TMax: 100_000, IMin: 1, IMax: 100,
+		Seed: seed,
+	}
+}
+
+// Figure5Spec returns the Figure 5(a) parameters: range [0, 1000], maximum
+// interval length 100, uniform distributions.
+func Figure5Spec(name string, n int, seed int64) Spec {
+	return Spec{
+		Name: name, NumIntervals: n,
+		StartDist: Uniform, LengthDist: Uniform,
+		TMin: 0, TMax: 1000, IMin: 1, IMax: 100,
+		Seed: seed,
+	}
+}
+
+// Table3Spec returns the Table 3 parameters: range [0, 200K], uniform
+// distributions, with the maximum interval length a free parameter.
+func Table3Spec(name string, n int, maxLen, seed int64) Spec {
+	return Spec{
+		Name: name, NumIntervals: n,
+		StartDist: Uniform, LengthDist: Uniform,
+		TMin: 0, TMax: 200_000, IMin: 1, IMax: maxLen,
+		Seed: seed,
+	}
+}
+
+// Table4Specs returns the Table 4 generation parameters for query Q5's
+// three relations: interval attribute I over [0, 100K] with lengths
+// [1, 1000], and uniform real-valued attributes A and B. domainAB bounds the
+// real-valued attribute domain (smaller domains make equality joins denser).
+func Table4Specs(n1, n2, n3 int, domainAB int64, seed int64) []MultiSpec {
+	ival := func() AttrSpec {
+		return AttrSpec{StartDist: Uniform, LengthDist: Uniform, TMin: 0, TMax: 100_000, IMin: 1, IMax: 1000}
+	}
+	point := func() AttrSpec {
+		return AttrSpec{StartDist: Uniform, LengthDist: Uniform, TMin: 0, TMax: domainAB, IMin: 0, IMax: 0}
+	}
+	return []MultiSpec{
+		{Name: "R1", NumTuples: n1, Attrs: map[string]AttrSpec{"I": ival(), "A": point()}, AttrOrder: []string{"I", "A"}, Seed: seed},
+		{Name: "R2", NumTuples: n2, Attrs: map[string]AttrSpec{"I": ival(), "B": point()}, AttrOrder: []string{"I", "B"}, Seed: seed + 1},
+		{Name: "R3", NumTuples: n3, Attrs: map[string]AttrSpec{"I": ival(), "A": point(), "B": point()}, AttrOrder: []string{"I", "A", "B"}, Seed: seed + 2},
+	}
+}
+
+// AttrSpec is the per-attribute recipe of a multi-attribute relation.
+type AttrSpec struct {
+	StartDist, LengthDist Distribution
+	TMin, TMax            int64
+	IMin, IMax            int64
+}
+
+// MultiSpec generates a multi-attribute relation (Gen-Matrix workloads).
+type MultiSpec struct {
+	Name      string
+	NumTuples int
+	Attrs     map[string]AttrSpec
+	// AttrOrder fixes the column order.
+	AttrOrder []string
+	Seed      int64
+}
+
+// GenerateMulti builds the multi-attribute relation described by the spec.
+func GenerateMulti(s MultiSpec) (*relation.Relation, error) {
+	if len(s.AttrOrder) == 0 {
+		return nil, fmt.Errorf("workload: multi spec %s has no attributes", s.Name)
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	rel := relation.New(relation.NewSchema(s.Name, s.AttrOrder...))
+	zipfs := make(map[string][2]*rand.Zipf)
+	for _, a := range s.AttrOrder {
+		as, ok := s.Attrs[a]
+		if !ok {
+			return nil, fmt.Errorf("workload: multi spec %s missing attribute %s", s.Name, a)
+		}
+		single := Spec{Name: s.Name, TMin: as.TMin, TMax: as.TMax, IMin: as.IMin, IMax: as.IMax}
+		if err := single.Validate(); err != nil {
+			return nil, err
+		}
+		var zs, zl *rand.Zipf
+		if as.StartDist == Zipf {
+			zs = newZipf(rng, uint64(as.TMax-as.TMin))
+		}
+		if as.LengthDist == Zipf {
+			zl = newZipf(rng, uint64(as.IMax-as.IMin))
+		}
+		zipfs[a] = [2]*rand.Zipf{zs, zl}
+	}
+	for i := 0; i < s.NumTuples; i++ {
+		vals := make([]interval.Interval, len(s.AttrOrder))
+		for j, a := range s.AttrOrder {
+			as := s.Attrs[a]
+			z := zipfs[a]
+			length := drawInRange(rng, as.LengthDist, z[1], as.IMin, as.IMax)
+			start := drawInRange(rng, as.StartDist, z[0], as.TMin, as.TMax-length)
+			vals[j] = interval.New(start, start+length)
+		}
+		rel.Append(vals...)
+	}
+	return rel, nil
+}

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"testing"
+
+	"intervaljoin/internal/relation"
+)
+
+func TestValidate(t *testing.T) {
+	base := Spec{Name: "R", NumIntervals: 10, TMin: 0, TMax: 100, IMin: 1, IMax: 10}
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Spec{
+		{Name: "R", NumIntervals: -1, TMin: 0, TMax: 100, IMin: 1, IMax: 10},
+		{Name: "R", NumIntervals: 1, TMin: 100, TMax: 100, IMin: 1, IMax: 10},
+		{Name: "R", NumIntervals: 1, TMin: 0, TMax: 100, IMin: 5, IMax: 4},
+		{Name: "R", NumIntervals: 1, TMin: 0, TMax: 100, IMin: 200, IMax: 300},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+}
+
+func TestGenerateRespectsBounds(t *testing.T) {
+	for _, ds := range []Distribution{Uniform, Normal, Zipf, Exponential} {
+		for _, di := range []Distribution{Uniform, Normal, Zipf, Exponential} {
+			s := Spec{
+				Name: "R", NumIntervals: 2000,
+				StartDist: ds, LengthDist: di,
+				TMin: 50, TMax: 5000, IMin: 2, IMax: 120, Seed: 1,
+			}
+			r := MustGenerate(s)
+			if r.Len() != 2000 {
+				t.Fatalf("%v/%v: %d intervals", ds, di, r.Len())
+			}
+			for _, iv := range r.Intervals() {
+				if iv.Start < s.TMin || iv.End > s.TMax {
+					t.Fatalf("%v/%v: %v outside [%d,%d]", ds, di, iv, s.TMin, s.TMax)
+				}
+				if iv.Length() < s.IMin || iv.Length() > s.IMax {
+					t.Fatalf("%v/%v: length %d outside [%d,%d]", ds, di, iv.Length(), s.IMin, s.IMax)
+				}
+			}
+			if err := r.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := Table1Spec("R1", 500, 7)
+	a := MustGenerate(s)
+	b := MustGenerate(s)
+	for i := range a.Tuples {
+		if a.Tuples[i].Attrs[0] != b.Tuples[i].Attrs[0] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	s2 := s
+	s2.Seed = 8
+	c := MustGenerate(s2)
+	same := true
+	for i := range a.Tuples {
+		if a.Tuples[i].Attrs[0] != c.Tuples[i].Attrs[0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestUniformIsRoughlyUniform(t *testing.T) {
+	s := Spec{Name: "R", NumIntervals: 20000, StartDist: Uniform, LengthDist: Uniform,
+		TMin: 0, TMax: 1000, IMin: 0, IMax: 0, Seed: 3}
+	r := MustGenerate(s)
+	var sum float64
+	for _, iv := range r.Intervals() {
+		sum += float64(iv.Start)
+	}
+	mean := sum / float64(r.Len())
+	if mean < 450 || mean > 550 {
+		t.Fatalf("uniform start mean = %.1f, want ~500", mean)
+	}
+}
+
+func TestZipfSkewsLow(t *testing.T) {
+	s := Spec{Name: "R", NumIntervals: 20000, StartDist: Zipf, LengthDist: Uniform,
+		TMin: 0, TMax: 1000, IMin: 0, IMax: 0, Seed: 4}
+	r := MustGenerate(s)
+	low := 0
+	for _, iv := range r.Intervals() {
+		if iv.Start < 100 {
+			low++
+		}
+	}
+	if frac := float64(low) / float64(r.Len()); frac < 0.5 {
+		t.Fatalf("zipf low-decile fraction = %.2f, want > 0.5", frac)
+	}
+}
+
+func TestNormalCentres(t *testing.T) {
+	s := Spec{Name: "R", NumIntervals: 20000, StartDist: Normal, LengthDist: Uniform,
+		TMin: 0, TMax: 1000, IMin: 0, IMax: 0, Seed: 5}
+	r := MustGenerate(s)
+	central := 0
+	for _, iv := range r.Intervals() {
+		if iv.Start >= 300 && iv.Start <= 700 {
+			central++
+		}
+	}
+	// ±1.2σ of a gaussian holds ~77% of the mass; uniform would hold 40%.
+	if frac := float64(central) / float64(r.Len()); frac < 0.7 {
+		t.Fatalf("normal central fraction = %.2f, want > 0.7 (±1.2σ)", frac)
+	}
+}
+
+func TestPaperSpecs(t *testing.T) {
+	t1 := Table1Spec("R1", 100, 1)
+	if t1.TMax != 100_000 || t1.IMax != 100 {
+		t.Fatalf("Table1Spec = %+v", t1)
+	}
+	f5 := Figure5Spec("R1", 100, 1)
+	if f5.TMax != 1000 || f5.IMax != 100 {
+		t.Fatalf("Figure5Spec = %+v", f5)
+	}
+	t3 := Table3Spec("R3", 100, 400, 1)
+	if t3.TMax != 200_000 || t3.IMax != 400 {
+		t.Fatalf("Table3Spec = %+v", t3)
+	}
+}
+
+func TestGenerateMulti(t *testing.T) {
+	specs := Table4Specs(200, 20, 200, 100, 9)
+	var rels []*relation.Relation
+	for _, s := range specs {
+		r, err := GenerateMulti(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		rels = append(rels, r)
+	}
+	if rels[0].Schema.Arity() != 2 || rels[2].Schema.Arity() != 3 {
+		t.Fatalf("arities = %d, %d", rels[0].Schema.Arity(), rels[2].Schema.Arity())
+	}
+	// Real-valued attributes are points.
+	ai := rels[0].Schema.AttrIndex("A")
+	for _, tu := range rels[0].Tuples {
+		if !tu.Attrs[ai].IsPoint() {
+			t.Fatalf("attribute A not a point: %v", tu.Attrs[ai])
+		}
+	}
+	// Interval attribute respects its bounds.
+	ii := rels[0].Schema.AttrIndex("I")
+	for _, tu := range rels[0].Tuples {
+		iv := tu.Attrs[ii]
+		if iv.Start < 0 || iv.End > 100_000 || iv.Length() < 1 || iv.Length() > 1000 {
+			t.Fatalf("attribute I out of spec: %v", iv)
+		}
+	}
+}
+
+func TestGenerateMultiErrors(t *testing.T) {
+	if _, err := GenerateMulti(MultiSpec{Name: "R"}); err == nil {
+		t.Error("empty attr order accepted")
+	}
+	if _, err := GenerateMulti(MultiSpec{
+		Name: "R", NumTuples: 1, AttrOrder: []string{"X"},
+		Attrs: map[string]AttrSpec{},
+	}); err == nil {
+		t.Error("missing attribute spec accepted")
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for _, d := range []Distribution{Uniform, Normal, Zipf, Exponential} {
+		got, err := ParseDistribution(d.String())
+		if err != nil || got != d {
+			t.Errorf("ParseDistribution(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if _, err := ParseDistribution("pareto"); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+}

@@ -1,0 +1,45 @@
+// Package mawi exposes the packet-trace simulator as public API: synthetic
+// traces calibrated to the paper's six MAWI trans-Pacific backbone extracts
+// (Table 2), and the packet-train construction the paper derives its
+// real-data intervals from.
+package mawi
+
+import "intervaljoin/internal/trace"
+
+// Packet is one captured packet: a flow id and an arrival time in
+// milliseconds from the window start.
+type Packet = trace.Packet
+
+// Profile is one trace's aggregate statistics, the synthesiser's
+// calibration target.
+type Profile = trace.Profile
+
+// DefaultCutoffMs is the paper's 500 ms packet-train inter-arrival cut-off.
+const DefaultCutoffMs = trace.DefaultCutoffMs
+
+// Profiles lists the six traces of the paper's Table 2 (P03–P08) with their
+// published packet and train counts.
+func Profiles() []Profile {
+	out := make([]Profile, len(trace.MAWI))
+	copy(out, trace.MAWI)
+	return out
+}
+
+// ProfileByName returns the named profile ("P03".."P08").
+var ProfileByName = trace.ProfileByName
+
+// Synthesize generates a packet stream matching the profile's packet and
+// train counts in expectation, scaled by scale in (0, 1].
+var Synthesize = trace.Synthesize
+
+// BuildTrains groups each flow's packets into trains: a new train starts
+// whenever a same-flow gap reaches cutoffMs. It returns the train duration
+// intervals sorted by start.
+var BuildTrains = trace.BuildTrains
+
+// ReplicateTrains tiles jittered copies of the trains up to the target
+// count, the paper's procedure for its fixed 3M-train datasets.
+var ReplicateTrains = trace.ReplicateTrains
+
+// TrainsRelation wraps train intervals as a single-attribute relation.
+var TrainsRelation = trace.TrainsRelation

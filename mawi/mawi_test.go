@@ -1,0 +1,39 @@
+package mawi_test
+
+import (
+	"testing"
+
+	"intervaljoin/mawi"
+)
+
+func TestPublicTracePipeline(t *testing.T) {
+	if len(mawi.Profiles()) != 6 {
+		t.Fatalf("profiles = %d, want 6", len(mawi.Profiles()))
+	}
+	p, err := mawi.ProfileByName("P06")
+	if err != nil {
+		t.Fatal(err)
+	}
+	packets, err := mawi.Synthesize(p, 0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trains := mawi.BuildTrains(packets, mawi.DefaultCutoffMs)
+	if len(trains) == 0 {
+		t.Fatal("no trains built")
+	}
+	dense := mawi.ReplicateTrains(trains, 2*len(trains), p.DurationMs, 1)
+	if len(dense) != 2*len(trains) {
+		t.Fatalf("replicated to %d, want %d", len(dense), 2*len(trains))
+	}
+	rel := mawi.TrainsRelation("T", dense)
+	if rel.Len() != len(dense) {
+		t.Fatal("relation size mismatch")
+	}
+	// Profiles() returns a copy: mutating it must not affect the package.
+	ps := mawi.Profiles()
+	ps[0].Packets = -1
+	if mawi.Profiles()[0].Packets == -1 {
+		t.Fatal("Profiles exposes internal state")
+	}
+}

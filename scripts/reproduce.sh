@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# One-command reproduction: build, test, regenerate every paper table and
+# figure, and run the benchmark counterparts. Results land in ./artifacts.
+set -eu
+
+cd "$(dirname "$0")/.."
+mkdir -p artifacts
+
+echo "== build =="
+go build ./...
+go vet ./...
+
+echo "== tests (unit, integration, property, oracle cross-validation) =="
+go test ./... 2>&1 | tee artifacts/test_output.txt
+
+echo "== paper tables and figures =="
+go run ./cmd/experiments -exp all ${SCALE:+-scale "$SCALE"} 2>&1 | tee artifacts/experiments.txt
+go run ./cmd/experiments -exp all ${SCALE:+-scale "$SCALE"} -json > artifacts/experiments.json
+
+echo "== benchmarks =="
+go test -bench=. -benchmem ./... 2>&1 | tee artifacts/bench_output.txt
+
+echo "done — see artifacts/"
