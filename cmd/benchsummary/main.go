@@ -1,0 +1,171 @@
+// Command benchsummary condenses `go test -bench` output into a small JSON
+// baseline file (benchstat-style medians across -count repetitions).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -count 3 ./... | benchsummary -o BENCH_1.json
+//
+// Each benchmark's metrics (ns/op, B/op, allocs/op and any custom
+// ReportMetric units such as pairs/op) are reduced to the median across
+// repetitions, which is what makes the file stable enough to check in and
+// diff on a noisy single-core machine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed benchmark line.
+type sample struct {
+	pkg        string
+	iterations int64
+	metrics    map[string]float64 // unit -> value, e.g. "ns/op" -> 840123
+}
+
+// entry is one benchmark's reduced record in the output file.
+type entry struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package"`
+	Runs       int                `json:"runs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type baseline struct {
+	Note       string  `json:"note"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+func median(vals []float64) float64 {
+	sort.Float64s(vals)
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// parseLine parses "BenchmarkX-4   100   840 ns/op   32 B/op   1 allocs/op".
+func parseLine(line string) (name string, s sample, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", sample{}, false
+	}
+	// Strip the -GOMAXPROCS suffix so counts on different machines compare.
+	name = fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", sample{}, false
+	}
+	s = sample{iterations: iters, metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", sample{}, false
+		}
+		s.metrics[fields[i+1]] = v
+	}
+	return name, s, len(s.metrics) > 0
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	note := flag.String("note", "benchmark baseline produced by scripts/bench.sh", "note field")
+	flag.Parse()
+
+	byName := make(map[string][]sample)
+	var order []string
+	var cpu, pkg string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		default:
+			if name, s, ok := parseLine(line); ok {
+				s.pkg = pkg
+				if _, seen := byName[name]; !seen {
+					order = append(order, name)
+				}
+				byName[name] = append(byName[name], s)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsummary:", err)
+		os.Exit(1)
+	}
+	if len(order) == 0 {
+		fmt.Fprintln(os.Stderr, "benchsummary: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	b := baseline{
+		Note:      *note,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPU:       cpu,
+	}
+	for _, name := range order {
+		samples := byName[name]
+		units := make(map[string][]float64)
+		var iters int64
+		for _, s := range samples {
+			iters = s.iterations
+			for u, v := range s.metrics {
+				units[u] = append(units[u], v)
+			}
+		}
+		med := make(map[string]float64, len(units))
+		for u, vals := range units {
+			med[u] = median(vals)
+		}
+		b.Benchmarks = append(b.Benchmarks, entry{
+			Name:       name,
+			Package:    samples[0].pkg,
+			Runs:       len(samples),
+			Iterations: iters,
+			Metrics:    med,
+		})
+	}
+
+	enc, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsummary:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsummary:", err)
+		os.Exit(1)
+	}
+}

@@ -413,6 +413,174 @@ func TestRandomQueriesPropertyStyle(t *testing.T) {
 	}
 }
 
+// nestedLoopOracle enumerates the full cross product of the candidate lists
+// and keeps every assignment satisfying all conditions, evaluated directly
+// with Predicate.Eval — no sorting, windows, or pruning. It is the ground
+// truth for the sweep-based join kernel; values are occurrence counts so
+// duplicates are caught too.
+func nestedLoopOracle(conds []query.Condition, cands [][]relation.Tuple) map[string]int {
+	out := make(map[string]int)
+	m := len(cands)
+	asg := make([]relation.Tuple, m)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == m {
+			for _, c := range conds {
+				u := asg[c.Left.Rel].Attrs[c.Left.Attr]
+				v := asg[c.Right.Rel].Attrs[c.Right.Attr]
+				if !c.Pred.Eval(u, v) {
+					return
+				}
+			}
+			key := ""
+			for _, tp := range asg {
+				key += fmt.Sprintf("%d,", tp.ID)
+			}
+			out[key]++
+			return
+		}
+		for _, tp := range cands[i] {
+			asg[i] = tp
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// sweepKernel runs the production enumerator over the same inputs and
+// returns the same keyed occurrence counts.
+func sweepKernel(conds []query.Condition, cands [][]relation.Tuple) map[string]int {
+	rels := make([]int, len(cands))
+	for i := range rels {
+		rels[i] = i
+	}
+	e := newEnumerator(conds, rels)
+	out := make(map[string]int)
+	e.run(cands, func(asg []relation.Tuple) {
+		key := ""
+		for _, tp := range asg {
+			key += fmt.Sprintf("%d,", tp.ID)
+		}
+		out[key]++
+	})
+	return out
+}
+
+func diffAssignmentSets(t *testing.T, label string, want, got map[string]int) {
+	t.Helper()
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("%s: assignment %s: kernel %d, oracle %d", label, k, got[k], n)
+			return
+		}
+	}
+	for k, n := range got {
+		if want[k] != n {
+			t.Errorf("%s: assignment %s: kernel %d, oracle %d", label, k, n, want[k])
+			return
+		}
+	}
+}
+
+// randomTuples builds n single-attribute tuples over a deliberately small
+// domain so exact-boundary predicates (meets, starts, finishes, equals) fire.
+func randomTuples(rng *rand.Rand, n int, domain, maxLen int64) []relation.Tuple {
+	out := make([]relation.Tuple, n)
+	for i := range out {
+		s := rng.Int63n(domain)
+		out[i] = mkTuple(int64(i), interval.New(s, s+rng.Int63n(maxLen+1)))
+	}
+	return out
+}
+
+// TestSweepKernelVsNestedLoopOracle cross-checks the sweep-based join kernel
+// directly (no MR machinery) against the brute-force oracle, over randomized
+// inputs covering every Allen predicate individually, random conjunctions
+// from all four query classes, and multi-attribute conditions that force the
+// probe fallback.
+func TestSweepKernelVsNestedLoopOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+
+	check := func(label string, conds []query.Condition, cands [][]relation.Tuple) {
+		t.Helper()
+		diffAssignmentSets(t, label, nestedLoopOracle(conds, cands), sweepKernel(conds, cands))
+	}
+	cond := func(l int, p interval.Predicate, r int) query.Condition {
+		return query.Condition{Left: query.Operand{Rel: l}, Pred: p, Right: query.Operand{Rel: r}}
+	}
+
+	// Every Allen predicate alone, both orientations, tight domain.
+	for p := interval.Predicate(0); p < interval.NumPredicates; p++ {
+		for trial := 0; trial < 4; trial++ {
+			cands := [][]relation.Tuple{
+				randomTuples(rng, 30, 25, 8),
+				randomTuples(rng, 30, 25, 8),
+			}
+			check("single "+p.String(), []query.Condition{cond(0, p, 1)}, cands)
+			check("single-rev "+p.String(), []query.Condition{cond(1, p, 0)}, cands)
+		}
+	}
+
+	// Random conjunctions over three relations: chains, triangles, and
+	// fan-outs drawn from all 13 predicates — this hits the colocation
+	// sweep, the sequence families, hybrid mixes on one level, and the
+	// multi-condition intersection paths.
+	pairs := [][2]int{{0, 1}, {1, 2}, {0, 2}, {1, 0}, {2, 1}, {2, 0}}
+	for trial := 0; trial < 60; trial++ {
+		nc := 1 + rng.Intn(3)
+		conds := make([]query.Condition, nc)
+		for i := range conds {
+			pr := pairs[rng.Intn(len(pairs))]
+			p := interval.Predicate(rng.Intn(int(interval.NumPredicates)))
+			conds[i] = cond(pr[0], p, pr[1])
+		}
+		cands := [][]relation.Tuple{
+			randomTuples(rng, 20, 30, 10),
+			randomTuples(rng, 20, 30, 10),
+			randomTuples(rng, 20, 30, 10),
+		}
+		check(fmt.Sprintf("random trial %d %v", trial, conds), conds, cands)
+	}
+
+	// Multi-attribute (general class): two-attribute tuples with conditions
+	// targeting different attributes of the same level, which exercises the
+	// probe fallback (no single sort order serves both).
+	mk2 := func(n int) []relation.Tuple {
+		out := make([]relation.Tuple, n)
+		for i := range out {
+			s1 := rng.Int63n(25)
+			out[i] = relation.Tuple{ID: int64(i), Attrs: []interval.Interval{
+				interval.New(s1, s1+rng.Int63n(8)),
+				interval.PointInterval(rng.Int63n(5)),
+			}}
+		}
+		return out
+	}
+	for trial := 0; trial < 20; trial++ {
+		p1 := interval.Predicate(rng.Intn(int(interval.NumPredicates)))
+		p2 := interval.Predicate(rng.Intn(int(interval.NumPredicates)))
+		conds := []query.Condition{
+			{Left: query.Operand{Rel: 0, Attr: 0}, Pred: p1, Right: query.Operand{Rel: 1, Attr: 0}},
+			{Left: query.Operand{Rel: 0, Attr: 1}, Pred: interval.Equals, Right: query.Operand{Rel: 1, Attr: 1}},
+			{Left: query.Operand{Rel: 1, Attr: 0}, Pred: p2, Right: query.Operand{Rel: 2, Attr: 1}},
+		}
+		cands := [][]relation.Tuple{mk2(18), mk2(18), mk2(18)}
+		check(fmt.Sprintf("multiattr trial %d %s/%s", trial, p1, p2), conds, cands)
+	}
+
+	// Degenerate shapes: empty lists, singletons, all-identical intervals.
+	empty := [][]relation.Tuple{{}, randomTuples(rng, 10, 20, 5)}
+	check("empty list", []query.Condition{cond(0, interval.Overlaps, 1)}, empty)
+	same := make([]relation.Tuple, 12)
+	for i := range same {
+		same[i] = mkTuple(int64(i), interval.New(5, 9))
+	}
+	dup := [][]relation.Tuple{same, same, randomTuples(rng, 12, 20, 6)}
+	check("identical intervals",
+		[]query.Condition{cond(0, interval.Equals, 1), cond(1, interval.Overlaps, 2)}, dup)
+}
+
 func TestPlanPicksByClass(t *testing.T) {
 	cases := []struct {
 		q    string

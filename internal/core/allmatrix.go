@@ -74,6 +74,10 @@ func (a AllMatrix) Run(ctx *Context) (*Result, error) {
 		inputs[ri] = mr.Input{File: ctx.inputFile(ri), Tag: ri}
 	}
 
+	// Shared across reduce calls: the plan is static and per-run state is
+	// pooled inside the enumerator.
+	e := newEnumerator(ctx.Query.Conds, allRelations(m))
+
 	job := mr.Job{
 		Name:   opts.Scratch + "/join",
 		Inputs: inputs,
@@ -101,7 +105,6 @@ func (a AllMatrix) Run(ctx *Context) (*Result, error) {
 				}
 				cands[rel] = append(cands[rel], t)
 			}
-			e := newEnumerator(ctx.Query.Conds, allRelations(m))
 			var outErr error
 			e.run(cands, func(asg []relation.Tuple) {
 				if outErr != nil {

@@ -145,6 +145,10 @@ func projectableRightmost(q *query.Query) int {
 // "computing output tuple" rule, which guarantees exactly-once output.
 func reduceJoinAtPartition(ctx *Context, part interval.Partitioning) mr.ReduceFunc {
 	m := len(ctx.Rels)
+	// One shared enumerator: the query plan is static across reduce calls
+	// and the enumerator is safe for concurrent use (all per-run state
+	// lives in pooled preparedJoins).
+	e := newEnumerator(ctx.Query.Conds, allRelations(m))
 	return func(key int64, values []string, write func(string) error) error {
 		cands := make([][]relation.Tuple, m)
 		for _, v := range values {
@@ -154,11 +158,6 @@ func reduceJoinAtPartition(ctx *Context, part interval.Partitioning) mr.ReduceFu
 			}
 			cands[rel] = append(cands[rel], t)
 		}
-		rels := make([]int, m)
-		for i := range rels {
-			rels[i] = i
-		}
-		e := newEnumerator(ctx.Query.Conds, rels)
 		p := int(key)
 		var outErr error
 		e.run(cands, func(asg []relation.Tuple) {

@@ -28,12 +28,13 @@ func BenchmarkEnumeratorChain(b *testing.B) {
 	q := query.MustParse("R1 overlaps R2 and R2 overlaps R3")
 	cands := benchCands(2_000)
 	e := newEnumerator(q.Conds, []int{0, 1, 2})
+	b.ReportAllocs()
 	b.ResetTimer()
 	count := 0
 	for i := 0; i < b.N; i++ {
 		e.run(cands, func([]relation.Tuple) { count++ })
 	}
-	_ = count
+	b.ReportMetric(float64(count)/float64(b.N), "pairs/op")
 }
 
 // BenchmarkEnumeratorSequence: a before-chain, whose output is much denser.
@@ -41,12 +42,29 @@ func BenchmarkEnumeratorSequence(b *testing.B) {
 	q := query.MustParse("R1 before R2 and R2 before R3")
 	cands := benchCands(60)
 	e := newEnumerator(q.Conds, []int{0, 1, 2})
+	b.ReportAllocs()
 	b.ResetTimer()
 	count := 0
 	for i := 0; i < b.N; i++ {
 		e.run(cands, func([]relation.Tuple) { count++ })
 	}
-	_ = count
+	b.ReportMetric(float64(count)/float64(b.N), "pairs/op")
+}
+
+// BenchmarkEnumeratorMixed covers the probe fallback: a query mixing
+// colocation and sequence predicates on the same level so the sweep windows
+// degrade gracefully to binary-searched bounds.
+func BenchmarkEnumeratorMixed(b *testing.B) {
+	q := query.MustParse("R1 overlaps R2 and R1 before R3 and R2 overlaps R3")
+	cands := benchCands(700)
+	e := newEnumerator(q.Conds, []int{0, 1, 2})
+	b.ReportAllocs()
+	b.ResetTimer()
+	count := 0
+	for i := 0; i < b.N; i++ {
+		e.run(cands, func([]relation.Tuple) { count++ })
+	}
+	b.ReportMetric(float64(count)/float64(b.N), "pairs/op")
 }
 
 // BenchmarkSemijoinReduce measures the RCCIS marking primitive.
@@ -70,5 +88,37 @@ func BenchmarkMarkCrossingParticipants(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		markCrossingParticipants(q.Conds, part, 4, rels, uniformAttr0(rels), cands)
+	}
+}
+
+// BenchmarkEncodeTagged measures the hot map-side record codec; the point of
+// interest is allocs/op (one exact-size string per record in steady state).
+func BenchmarkEncodeTagged(b *testing.B) {
+	t := relation.Tuple{ID: 123456, Attrs: []interval.Interval{
+		interval.New(987654, 998765), interval.New(12, 64000),
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := encodeTagged(7, t)
+		if len(s) == 0 {
+			b.Fatal("empty record")
+		}
+	}
+}
+
+// BenchmarkEncodeVector measures the Gen-Matrix flag-vector codec.
+func BenchmarkEncodeVector(b *testing.B) {
+	t := relation.Tuple{ID: 123456, Attrs: []interval.Interval{
+		interval.New(987654, 998765), interval.New(12, 64000),
+	}}
+	flags := []bool{true, false, true, true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := encodeVector(3, flags, t)
+		if len(s) == 0 {
+			b.Fatal("empty record")
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"intervaljoin/internal/relation"
 )
@@ -18,9 +19,28 @@ import (
 // where <tuple> is relation.EncodeTuple's "id|s,e|s,e|..." form and flags
 // are '0'/'1' runes. The tag is the relation's index in the query.
 
+// encBuf pools the scratch buffer the encoders assemble records in, so the
+// only per-record allocation in steady state is the final exact-size string.
+// The map phase emits one record per tuple replica, which made the previous
+// concatenation-based encoders a measurable share of map-side allocation.
+var encBuf = sync.Pool{New: func() any { b := make([]byte, 0, 128); return &b }}
+
+// finishRecord converts the assembled record to a string and recycles the
+// buffer.
+func finishRecord(bp *[]byte, b []byte) string {
+	s := string(b)
+	*bp = b[:0]
+	encBuf.Put(bp)
+	return s
+}
+
 // encodeTagged prefixes a tuple with its relation index.
 func encodeTagged(rel int, t relation.Tuple) string {
-	return strconv.Itoa(rel) + ";" + relation.EncodeTuple(t)
+	bp := encBuf.Get().(*[]byte)
+	b := strconv.AppendInt(*bp, int64(rel), 10)
+	b = append(b, ';')
+	b = relation.AppendTuple(b, t)
+	return finishRecord(bp, b)
 }
 
 // decodeTagged parses encodeTagged's output.
@@ -37,13 +57,20 @@ func decodeTagged(s string) (rel int, t relation.Tuple, err error) {
 	return rel, t, err
 }
 
+func flagByte(f bool) byte {
+	if f {
+		return '1'
+	}
+	return '0'
+}
+
 // encodeFlagged carries a single replicate flag (RCCIS cycle-1 output).
 func encodeFlagged(rel int, replicate bool, t relation.Tuple) string {
-	flag := "0"
-	if replicate {
-		flag = "1"
-	}
-	return strconv.Itoa(rel) + ";" + flag + ";" + relation.EncodeTuple(t)
+	bp := encBuf.Get().(*[]byte)
+	b := strconv.AppendInt(*bp, int64(rel), 10)
+	b = append(b, ';', flagByte(replicate), ';')
+	b = relation.AppendTuple(b, t)
+	return finishRecord(bp, b)
 }
 
 // decodeFlagged parses encodeFlagged's output.
@@ -76,11 +103,13 @@ func decodeFlagged(s string) (rel int, replicate bool, t relation.Tuple, err err
 // encodeVertexFlagged carries a replicate flag for one (relation, attribute)
 // vertex of a tuple — the Gen-Matrix cycle-1 output, one record per vertex.
 func encodeVertexFlagged(rel, attr int, replicate bool, t relation.Tuple) string {
-	flag := "0"
-	if replicate {
-		flag = "1"
-	}
-	return strconv.Itoa(rel) + ";" + strconv.Itoa(attr) + ";" + flag + ";" + relation.EncodeTuple(t)
+	bp := encBuf.Get().(*[]byte)
+	b := strconv.AppendInt(*bp, int64(rel), 10)
+	b = append(b, ';')
+	b = strconv.AppendInt(b, int64(attr), 10)
+	b = append(b, ';', flagByte(replicate), ';')
+	b = relation.AppendTuple(b, t)
+	return finishRecord(bp, b)
 }
 
 // decodeVertexFlagged parses encodeVertexFlagged's output.
@@ -112,19 +141,15 @@ func decodeVertexFlagged(s string) (rel, attr int, replicate bool, t relation.Tu
 // The flag order is the relation's vertex order (sorted by component id then
 // attribute index).
 func encodeVector(rel int, flags []bool, t relation.Tuple) string {
-	var b strings.Builder
-	b.WriteString(strconv.Itoa(rel))
-	b.WriteByte(';')
+	bp := encBuf.Get().(*[]byte)
+	b := strconv.AppendInt(*bp, int64(rel), 10)
+	b = append(b, ';')
 	for _, f := range flags {
-		if f {
-			b.WriteByte('1')
-		} else {
-			b.WriteByte('0')
-		}
+		b = append(b, flagByte(f))
 	}
-	b.WriteByte(';')
-	b.WriteString(relation.EncodeTuple(t))
-	return b.String()
+	b = append(b, ';')
+	b = relation.AppendTuple(b, t)
+	return finishRecord(bp, b)
 }
 
 // decodeVector parses encodeVector's output.

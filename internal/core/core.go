@@ -12,8 +12,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -241,14 +242,13 @@ type Result struct {
 
 // SortTuples orders the output canonically for comparison and display.
 func (r *Result) SortTuples() {
-	sort.Slice(r.Tuples, func(i, j int) bool {
-		a, b := r.Tuples[i], r.Tuples[j]
+	slices.SortFunc(r.Tuples, func(a, b OutputTuple) int {
 		for k := range a {
-			if a[k] != b[k] {
-				return a[k] < b[k]
+			if c := cmp.Compare(a[k], b[k]); c != 0 {
+				return c
 			}
 		}
-		return false
+		return 0
 	})
 }
 

@@ -86,6 +86,12 @@ func (FCTS) componentOutputJob(ctx *Context, opts Options, part interval.Partiti
 		}
 		compConds[ci] = d.SubQueryConds(ci)
 	}
+	// One shared enumerator per component: plans are static and per-run
+	// state is pooled inside each enumerator.
+	enums := make([]*enumerator, len(d.Components))
+	for ci := range d.Components {
+		enums[ci] = newEnumerator(compConds[ci], compRels[ci])
+	}
 
 	return mr.Job{
 		Name:   opts.Scratch + "/component-join",
@@ -123,7 +129,7 @@ func (FCTS) componentOutputJob(ctx *Context, opts Options, part interval.Partiti
 				}
 				cands[pos[rel]] = append(cands[pos[rel]], t)
 			}
-			e := newEnumerator(compConds[ci], rels)
+			e := enums[ci]
 			var outErr error
 			e.run(cands, func(asg []relation.Tuple) {
 				if outErr != nil {

@@ -152,6 +152,10 @@ func (FSTC) sequenceJob(ctx *Context, opts Options, part interval.Partitioning,
 		inputs[i] = mr.Input{File: ctx.inputFile(r), Tag: r}
 	}
 
+	// Shared across reduce calls: the plan is static and per-run state is
+	// pooled inside the enumerator.
+	seqEnum := newEnumerator(conds, seqRels)
+
 	return mr.Job{
 		Name:   opts.Scratch + "/sequence",
 		Inputs: inputs,
@@ -169,18 +173,14 @@ func (FSTC) sequenceJob(ctx *Context, opts Options, part interval.Partitioning,
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {
 			cands := make([][]relation.Tuple, len(seqRels))
-			byRel := make(map[int]int, len(seqRels))
-			for i, r := range seqRels {
-				byRel[r] = i
-			}
 			for _, v := range values {
 				rel, t, err := decodeTagged(v)
 				if err != nil {
 					return err
 				}
-				cands[byRel[rel]] = append(cands[byRel[rel]], t)
+				cands[dim[rel]] = append(cands[dim[rel]], t)
 			}
-			e := newEnumerator(conds, seqRels)
+			e := seqEnum
 			var outErr error
 			e.run(cands, func(asg []relation.Tuple) {
 				if outErr != nil {

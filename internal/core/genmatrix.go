@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"intervaljoin/internal/grid"
 	"intervaljoin/internal/interval"
@@ -48,11 +49,11 @@ func relVertices(d *query.Decomposition, m int) [][]vertexInfo {
 	}
 	for r := range out {
 		vs := out[r]
-		sort.Slice(vs, func(i, j int) bool {
-			if vs[i].comp != vs[j].comp {
-				return vs[i].comp < vs[j].comp
+		slices.SortFunc(vs, func(a, b vertexInfo) int {
+			if c := cmp.Compare(a.comp, b.comp); c != 0 {
+				return c
 			}
-			return vs[i].attr < vs[j].attr
+			return cmp.Compare(a.attr, b.attr)
 		})
 	}
 	return out
@@ -236,7 +237,7 @@ func (GenMatrix) markJob(ctx *Context, opts Options, d *query.Decomposition,
 	}
 	reducers := make([]mr.ReduceFunc, len(d.Components))
 	for ci := range d.Components {
-		sort.Ints(relsOfComp[ci])
+		slices.Sort(relsOfComp[ci])
 		inner := markReducerAttrs(d.SubQueryConds(ci), parts[ci], relsOfComp[ci], attrOfComp[ci])
 		ci := ci
 		reducers[ci] = func(key int64, values []string, write func(string) error) error {
@@ -376,6 +377,9 @@ func (GenMatrix) joinJob(ctx *Context, opts Options, d *query.Decomposition,
 		return nil
 	}
 
+	// Shared across reduce calls: the plan is static and per-run state is
+	// pooled inside the enumerator.
+	e := newEnumerator(ctx.Query.Conds, allRelations(m))
 	reduceFn := func(key int64, values []string, write func(string) error) error {
 		coord := g.Coord(key, nil)
 		cands := make([][]relation.Tuple, m)
@@ -386,7 +390,6 @@ func (GenMatrix) joinJob(ctx *Context, opts Options, d *query.Decomposition,
 			}
 			cands[rel] = append(cands[rel], t)
 		}
-		e := newEnumerator(ctx.Query.Conds, allRelations(m))
 		var outErr error
 		e.run(cands, func(asg []relation.Tuple) {
 			if outErr != nil {

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
+	"sync"
 
 	"intervaljoin/internal/interval"
 	"intervaljoin/internal/query"
@@ -15,12 +18,58 @@ import (
 //
 // Relations are bound in the order given at construction; each condition is
 // checked as soon as both of its operands are bound, pruning the search.
+//
+// Construction derives a static plan (per-level sort attribute, condition
+// orientation, sweep eligibility) that is immutable afterwards, so one
+// enumerator can be shared by concurrent reduce tasks; all per-run state
+// lives in the preparedJoin that prepare returns.
 type enumerator struct {
 	rels []int // relation indices, in binding order
 	pos  map[int]int
 	// condsAt[i] lists the conditions checkable once binding position i is
 	// filled.
 	condsAt [][]query.Condition
+	// plans[i] is the compiled form of condsAt[i].
+	plans []levelPlan
+	// pool recycles preparedJoins (and all their sort/window buffers)
+	// across the single-shot runs reduce functions issue.
+	pool sync.Pool
+}
+
+// condEval is a condition compiled for the inner enumeration loop: operand
+// positions resolved to binding levels so no map lookups happen per
+// candidate.
+type condEval struct {
+	lLevel, lAttr int
+	rLevel, rAttr int
+	pred          interval.Predicate
+}
+
+// plannedCond is one condition applicable at a binding level, oriented so
+// that pred(bound, candidate) is the application whose startRange bounds the
+// candidate side: partner/battr locate the already-bound operand, and onSort
+// reports whether the candidate-side operand is the level's sort attribute
+// (only those conditions can prune by start range).
+type plannedCond struct {
+	eval    condEval
+	partner int
+	battr   int
+	pred    interval.Predicate
+	onSort  bool
+}
+
+// levelPlan is the static per-binding-level plan.
+type levelPlan struct {
+	// sortAttr is the attribute the level's candidate list is sorted by
+	// (the first applicable condition's operand attribute), or -1 when the
+	// level has no applicable conditions.
+	sortAttr int
+	conds    []plannedCond
+	// sweep is true when every applicable condition constrains the single
+	// sort attribute: the level then uses precomputed sweep windows.
+	// Multi-attribute levels (General-class queries) fall back to the
+	// binary-search probe, which handles per-condition attributes.
+	sweep bool
 }
 
 // newEnumerator prepares an enumerator over the given relation indices using
@@ -30,6 +79,7 @@ func newEnumerator(conds []query.Condition, rels []int) *enumerator {
 		rels:    rels,
 		pos:     make(map[int]int, len(rels)),
 		condsAt: make([][]query.Condition, len(rels)),
+		plans:   make([]levelPlan, len(rels)),
 	}
 	for i, r := range rels {
 		e.pos[r] = i
@@ -46,112 +96,264 @@ func newEnumerator(conds []query.Condition, rels []int) *enumerator {
 		}
 		e.condsAt[later] = append(e.condsAt[later], c)
 	}
+	for i := range e.rels {
+		e.plans[i] = e.compileLevel(i)
+	}
 	return e
 }
 
-// run enumerates every assignment (one tuple per relation, from cands, which
-// is parallel to the constructor's rels) satisfying all applicable
-// conditions, invoking fn with the assignment parallel to rels. fn must not
-// retain asg.
-//
-// Each candidate list is sorted by the start point of the attribute its
-// first applicable condition constrains; at every level, the Allen
-// predicates against already-bound operands bound the legal start range, so
-// only the candidates inside the intersected range are visited (a binary
-// search plus a bounded scan rather than a full pass).
-func (e *enumerator) run(cands [][]relation.Tuple, fn func(asg []relation.Tuple)) {
-	if len(cands) != len(e.rels) {
+// compileLevel builds the static plan for binding level i.
+func (e *enumerator) compileLevel(i int) levelPlan {
+	lp := levelPlan{sortAttr: -1}
+	conds := e.condsAt[i]
+	if len(conds) == 0 {
+		return lp
+	}
+	// The level's candidates are sorted by the attribute the first
+	// applicable condition constrains.
+	first := conds[0]
+	if e.pos[first.Left.Rel] == i {
+		lp.sortAttr = first.Left.Attr
+	} else {
+		lp.sortAttr = first.Right.Attr
+	}
+	lp.sweep = true
+	for _, c := range conds {
+		pc := plannedCond{
+			eval: condEval{
+				lLevel: e.pos[c.Left.Rel], lAttr: c.Left.Attr,
+				rLevel: e.pos[c.Right.Rel], rAttr: c.Right.Attr,
+				pred: c.Pred,
+			},
+		}
+		if e.pos[c.Left.Rel] == i {
+			// Candidate is the left operand: p(x, b) == p'(b, x).
+			pc.partner = e.pos[c.Right.Rel]
+			pc.battr = c.Right.Attr
+			pc.pred = c.Pred.Inverse()
+			pc.onSort = c.Left.Attr == lp.sortAttr
+		} else {
+			pc.partner = e.pos[c.Left.Rel]
+			pc.battr = c.Left.Attr
+			pc.pred = c.Pred
+			pc.onSort = c.Right.Attr == lp.sortAttr
+		}
+		if !pc.onSort {
+			lp.sweep = false
+		}
+		lp.conds = append(lp.conds, pc)
+	}
+	return lp
+}
+
+// preparedJoin carries one run's mutable state: the start-sorted candidate
+// lists (hoisted out of the enumeration so repeated runs over the same
+// candidates sort once) and the lazily built sweep windows. A preparedJoin
+// belongs to a single goroutine; the enumerator it came from may be shared.
+type preparedJoin struct {
+	e     *enumerator
+	lists [][]relation.Tuple
+	// bufs[i] is the owned backing array lists[i] points at when level i is
+	// sorted (lists[i] aliases the caller's slice otherwise); kept separate
+	// so pooled reuse never writes into caller-owned memory.
+	bufs [][]relation.Tuple
+	// starts[i] is the sorted column lists[i][.].Attrs[sortAttr].Start —
+	// the only data the sweeps and probes touch, so window building never
+	// walks tuple structs. nil for unconstrained levels.
+	starts [][]int64
+	// wins[i][k] is condition k's window table at level i: per partner
+	// tuple (by its index in lists[plans[i].conds[k].partner]), the first
+	// candidate index and the start bound the enumeration scan stops at.
+	// Built on the first visit to level i, so candidate sets pruned away by
+	// earlier levels never pay for their windows.
+	wins  [][]condWindow
+	built []bool
+	pairs []keyIdx // sort scratch
+	los   []int64  // window-build scratch
+	asg   []relation.Tuple
+	idx   []int // idx[j]: current index of asg[j] within lists[j]
+	fn    func(asg []relation.Tuple)
+}
+
+// prepare sorts each level's candidate list by its sort attribute and
+// returns the reusable per-run state. cands is parallel to the constructor's
+// rels; levels with no applicable condition keep their input order.
+func (e *enumerator) prepare(cands [][]relation.Tuple) *preparedJoin {
+	p := &preparedJoin{e: e}
+	p.load(cands)
+	return p
+}
+
+// load (re)initialises the prepared state for a fresh candidate set,
+// reusing every buffer whose capacity suffices. The sort permutes packed
+// (start, index) pairs and gathers the tuples once, which is markedly
+// cheaper than sorting the tuple structs directly.
+func (p *preparedJoin) load(cands [][]relation.Tuple) {
+	if len(cands) != len(p.e.rels) {
 		panic("core: enumerator candidate arity mismatch")
 	}
-	// Sort level i's candidates by the attribute constrained at level i
-	// (the first applicable condition's operand attribute); levels with no
-	// condition stay unsorted.
-	sortAttr := make([]int, len(e.rels))
-	for i := range e.rels {
-		sortAttr[i] = -1
-		if len(e.condsAt[i]) > 0 {
-			c := e.condsAt[i][0]
-			if e.pos[c.Left.Rel] == i {
-				sortAttr[i] = c.Left.Attr
-			} else {
-				sortAttr[i] = c.Right.Attr
-			}
-		}
-	}
-	sorted := make([][]relation.Tuple, len(cands))
+	n := len(cands)
+	p.lists = sized(p.lists, n)
+	p.bufs = sized(p.bufs, n)
+	p.starts = sized(p.starts, n)
+	p.wins = sized(p.wins, n)
+	p.built = sized(p.built, n)
+	p.asg = sized(p.asg, n)
+	p.idx = sized(p.idx, n)
 	for i := range cands {
-		if sortAttr[i] < 0 {
-			sorted[i] = cands[i]
+		p.built[i] = false
+		attr := p.e.plans[i].sortAttr
+		if attr < 0 {
+			p.lists[i] = cands[i]
+			p.starts[i] = nil
 			continue
 		}
-		cp := make([]relation.Tuple, len(cands[i]))
-		copy(cp, cands[i])
-		attr := sortAttr[i]
-		sort.Slice(cp, func(a, b int) bool { return cp[a].Attrs[attr].Start < cp[b].Attrs[attr].Start })
-		sorted[i] = cp
+		src := cands[i]
+		p.pairs = sized(p.pairs, len(src))
+		pairs := p.pairs
+		for k := range src {
+			pairs[k] = keyIdx{key: src[k].Attrs[attr].Start, idx: int32(k)}
+		}
+		slices.SortFunc(pairs, func(a, b keyIdx) int { return cmp.Compare(a.key, b.key) })
+		cp := sized(p.bufs[i], len(src))
+		col := sized(p.starts[i], len(src))
+		for k, pr := range pairs {
+			cp[k] = src[pr.idx]
+			col[k] = pr.key
+		}
+		p.bufs[i] = cp
+		p.lists[i] = cp
+		p.starts[i] = col
 	}
+}
 
-	asg := make([]relation.Tuple, len(e.rels))
-	var rec func(i int)
-	rec = func(i int) {
-		if i == len(e.rels) {
-			fn(asg)
+// buildWindows runs the endpoint sweeps for level i: one window table per
+// applicable condition, each mapping a partner tuple to its candidate
+// window.
+func (p *preparedJoin) buildWindows(i int) {
+	lp := &p.e.plans[i]
+	p.wins[i] = sized(p.wins[i], len(lp.conds))
+	for k := range lp.conds {
+		c := &lp.conds[k]
+		w := &p.wins[i][k]
+		plist := p.lists[c.partner]
+		nt := len(plist)
+		fam := familyOf(c.pred)
+		if fam == sweepLoOnly {
+			w.hi = nil
+		} else {
+			w.hi = sized(w.hi, nt)
+		}
+		p.los = sized(p.los, nt)
+		for t := range plist {
+			lo, hi := startRange(c.pred, plist[t].Attrs[c.battr])
+			p.los[t] = lo
+			if w.hi != nil {
+				w.hi[t] = hi
+			}
+		}
+		w.from = sized(w.from, nt)
+		if fam == sweepHiOnly {
+			clear(w.from) // every window starts at 0
+		} else {
+			sweepFromsInto(w.from, p.los, p.starts[i])
+		}
+	}
+	p.built[i] = true
+}
+
+// run enumerates every assignment (one tuple per relation, from the prepared
+// candidate lists) satisfying all applicable conditions, invoking fn with
+// the assignment parallel to rels. fn must not retain asg. run may be called
+// repeatedly; the sorted orders and sweep windows are reused.
+func (p *preparedJoin) run(fn func(asg []relation.Tuple)) {
+	p.fn = fn
+	p.rec(0)
+	p.fn = nil
+}
+
+func (p *preparedJoin) rec(i int) {
+	if i == len(p.lists) {
+		p.fn(p.asg)
+		return
+	}
+	lp := &p.e.plans[i]
+	list := p.lists[i]
+	from := 0
+	hiBound := int64(math.MaxInt64)
+	switch {
+	case lp.sweep && len(lp.conds) > 0:
+		// Sweep path: intersect the precomputed per-partner windows.
+		if !p.built[i] {
+			p.buildWindows(i)
+		}
+		wins := p.wins[i]
+		for k := range lp.conds {
+			w := &wins[k]
+			t := p.idx[lp.conds[k].partner]
+			if f := int(w.from[t]); f > from {
+				from = f
+			}
+			if w.hi != nil && w.hi[t] < hiBound {
+				hiBound = w.hi[t]
+			}
+		}
+	case lp.sortAttr >= 0:
+		// Probe fallback (multi-attribute levels): intersect the start
+		// ranges the sort-attribute conditions impose, binary-search the
+		// window start and let the scan break on the upper bound.
+		lo := int64(math.MinInt64)
+		for k := range lp.conds {
+			c := &lp.conds[k]
+			if !c.onSort {
+				continue
+			}
+			l, h := startRange(c.pred, p.asg[c.partner].Attrs[c.battr])
+			if l > lo {
+				lo = l
+			}
+			if h < hiBound {
+				hiBound = h
+			}
+		}
+		if lo > hiBound {
 			return
 		}
-		list := sorted[i]
-		lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
-		if sortAttr[i] >= 0 {
-			// Intersect the start ranges the conditions impose on this
-			// level's sort attribute.
-			for _, c := range e.condsAt[i] {
-				var l, h interval.Point
-				if e.pos[c.Left.Rel] == i {
-					if c.Left.Attr != sortAttr[i] {
-						continue
-					}
-					b := asg[e.pos[c.Right.Rel]].Attrs[c.Right.Attr]
-					l, h = startRange(c.Pred.Inverse(), b)
-				} else {
-					if c.Right.Attr != sortAttr[i] {
-						continue
-					}
-					b := asg[e.pos[c.Left.Rel]].Attrs[c.Left.Attr]
-					l, h = startRange(c.Pred, b)
-				}
-				if l > lo {
-					lo = l
-				}
-				if h < hi {
-					hi = h
-				}
-			}
-			if lo > hi {
-				return
-			}
-		}
-		start := 0
-		if sortAttr[i] >= 0 && lo > math.MinInt64 {
-			attr := sortAttr[i]
-			start = sort.Search(len(list), func(k int) bool { return list[k].Attrs[attr].Start >= lo })
-		}
-	next:
-		for k := start; k < len(list); k++ {
-			t := list[k]
-			if sortAttr[i] >= 0 && t.Attrs[sortAttr[i]].Start > hi {
-				break
-			}
-			asg[i] = t
-			for _, c := range e.condsAt[i] {
-				u := asg[e.pos[c.Left.Rel]].Attrs[c.Left.Attr]
-				v := asg[e.pos[c.Right.Rel]].Attrs[c.Right.Attr]
-				if !c.Pred.Eval(u, v) {
-					continue next
-				}
-			}
-			rec(i + 1)
+		if lo > math.MinInt64 {
+			col := p.starts[i]
+			from = sort.Search(len(col), func(k int) bool { return col[k] >= lo })
 		}
 	}
-	rec(0)
+	col := p.starts[i] // nil only for unconstrained levels, where hiBound stays +inf
+next:
+	for k := from; k < len(list); k++ {
+		if col != nil && col[k] > hiBound {
+			break
+		}
+		p.asg[i] = list[k]
+		p.idx[i] = k
+		for _, c := range lp.conds {
+			u := p.asg[c.eval.lLevel].Attrs[c.eval.lAttr]
+			v := p.asg[c.eval.rLevel].Attrs[c.eval.rAttr]
+			if !c.eval.pred.Eval(u, v) {
+				continue next
+			}
+		}
+		p.rec(i + 1)
+	}
+}
+
+// run prepares cands and enumerates once — the single-shot form used by
+// reduce functions, which see each candidate set exactly once. The prepared
+// state comes from a pool, so steady-state runs allocate nothing.
+func (e *enumerator) run(cands [][]relation.Tuple, fn func(asg []relation.Tuple)) {
+	p, _ := e.pool.Get().(*preparedJoin)
+	if p == nil {
+		p = &preparedJoin{e: e}
+	}
+	p.load(cands)
+	p.run(fn)
+	e.pool.Put(p)
 }
 
 // startRange bounds the start point of the unbound interval x for the
@@ -209,9 +411,11 @@ func satAdd(a interval.Point, d int64) interval.Point {
 // a superset (safe for RCCIS: replicating extra intervals never loses
 // output, it only costs communication). All paper queries are acyclic.
 //
-// Partner search uses the same start-range bounds as the enumerator: the
-// partner list is kept sorted by the start of the condition's attribute, so
-// each existence check is a binary search plus a bounded scan.
+// Partner search uses the same sweep kernel as the enumerator: one endpoint
+// sweep per pruning pass computes every tuple's candidate window into the
+// partner list (sorted by the condition's attribute start), so each
+// existence check is a bounded scan of its precomputed window rather than a
+// fresh binary search.
 //
 // conds must only mention relations in rels. cands is parallel to rels and
 // is not modified; the pruned lists are returned. If any list empties, all
@@ -244,50 +448,35 @@ func semijoinReduce(conds []query.Condition, rels []int, cands [][]relation.Tupl
 			side{li, c.Left.Attr, ri, c.Right.Attr, c.Pred, true},
 			side{ri, c.Right.Attr, li, c.Left.Attr, c.Pred, false})
 	}
-	hasPartner := func(s side, u relation.Tuple, other []relation.Tuple) bool {
-		b := u.Attrs[s.attr]
-		// Range of the partner's start: partner is the opposite operand.
-		p := s.pred
-		if !s.uIsLeft {
-			p = p.Inverse() // partner is the left operand: p(x, b) == p'(b, x)
-		}
-		lo, hi := startRange(p, b)
-		start := 0
-		if lo > math.MinInt64 {
-			start = sort.Search(len(other), func(k int) bool {
-				return other[k].Attrs[s.otherAttr].Start >= lo
-			})
-		}
-		for k := start; k < len(other); k++ {
-			v := other[k]
-			if v.Attrs[s.otherAttr].Start > hi {
-				return false
-			}
-			var ok bool
-			if s.uIsLeft {
-				ok = s.pred.Eval(b, v.Attrs[s.otherAttr])
-			} else {
-				ok = s.pred.Eval(v.Attrs[s.otherAttr], b)
-			}
-			if ok {
-				return true
-			}
-		}
-		return false
-	}
 	// sortedByStart caches, per (relPos, attr), the current list sorted by
-	// that attribute's start; invalidated when the list shrinks.
-	sortCache := make(map[[2]int][]relation.Tuple)
-	sortedByStart := func(relPos, attr int) []relation.Tuple {
+	// that attribute's start plus the sorted start column; invalidated when
+	// the list shrinks.
+	type sortedList struct {
+		tuples []relation.Tuple
+		starts []int64
+	}
+	sortCache := make(map[[2]int]sortedList)
+	sortedByStart := func(relPos, attr int) sortedList {
 		key := [2]int{relPos, attr}
 		if s, ok := sortCache[key]; ok {
 			return s
 		}
-		cp := make([]relation.Tuple, len(cur[relPos]))
-		copy(cp, cur[relPos])
-		sort.Slice(cp, func(a, b int) bool { return cp[a].Attrs[attr].Start < cp[b].Attrs[attr].Start })
-		sortCache[key] = cp
-		return cp
+		src := cur[relPos]
+		pairs := make([]keyIdx, len(src))
+		for k := range src {
+			pairs[k] = keyIdx{key: src[k].Attrs[attr].Start, idx: int32(k)}
+		}
+		slices.SortFunc(pairs, func(a, b keyIdx) int { return cmp.Compare(a.key, b.key) })
+		s := sortedList{
+			tuples: make([]relation.Tuple, len(src)),
+			starts: make([]int64, len(src)),
+		}
+		for k, pr := range pairs {
+			s.tuples[k] = src[pr.idx]
+			s.starts[k] = pr.key
+		}
+		sortCache[key] = s
+		return s
 	}
 	invalidate := func(relPos int) {
 		for key := range sortCache {
@@ -300,10 +489,40 @@ func semijoinReduce(conds []query.Condition, rels []int, cands [][]relation.Tupl
 		changed = false
 		for _, s := range sides {
 			src := cur[s.relPos]
-			other := sortedByStart(s.otherPos, s.otherAttr)
+			if len(src) == 0 {
+				continue
+			}
+			sorted := sortedByStart(s.otherPos, s.otherAttr)
+			other := sorted.tuples
+			// Partner start ranges come from the application with u bound:
+			// p(u, x) when u is the left operand, p'(u, x) otherwise.
+			p := s.pred
+			if !s.uIsLeft {
+				p = p.Inverse()
+			}
+			los := make([]int64, len(src))
+			his := make([]int64, len(src))
+			for ui := range src {
+				los[ui], his[ui] = startRange(p, src[ui].Attrs[s.attr])
+			}
+			froms := sweepFroms(los, sorted.starts)
 			kept := src[:0:0]
-			for _, u := range src {
-				if hasPartner(s, u, other) {
+			for ui, u := range src {
+				b := u.Attrs[s.attr]
+				found := false
+				hi := his[ui]
+				for k := int(froms[ui]); k < len(other) && sorted.starts[k] <= hi; k++ {
+					v := other[k].Attrs[s.otherAttr]
+					if s.uIsLeft {
+						found = s.pred.Eval(b, v)
+					} else {
+						found = s.pred.Eval(v, b)
+					}
+					if found {
+						break
+					}
+				}
+				if found {
 					kept = append(kept, u)
 				}
 			}

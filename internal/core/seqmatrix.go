@@ -170,6 +170,9 @@ func componentJoinJob(ctx *Context, opts Options, part interval.Partitioning,
 		return nil
 	}
 
+	// Shared across reduce calls: the plan is static and per-run state is
+	// pooled inside the enumerator.
+	e := newEnumerator(ctx.Query.Conds, allRelations(m))
 	reduceFn := func(key int64, values []string, write func(string) error) error {
 		coord := g.Coord(key, nil)
 		cands := make([][]relation.Tuple, m)
@@ -180,7 +183,6 @@ func componentJoinJob(ctx *Context, opts Options, part interval.Partitioning,
 			}
 			cands[rel] = append(cands[rel], t)
 		}
-		e := newEnumerator(ctx.Query.Conds, allRelations(m))
 		var outErr error
 		e.run(cands, func(asg []relation.Tuple) {
 			if outErr != nil {

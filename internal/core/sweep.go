@@ -1,0 +1,149 @@
+package core
+
+// Sweep-based reduce-side join kernel.
+//
+// Every reducer joins its received tuples with the backtracking enumerator
+// (join.go). Its hot operation is: given a bound partner tuple, find the
+// candidates of the next binding level whose constrained attribute starts
+// inside the legal range [lo, hi] the Allen predicate imposes. The original
+// kernel answered that with one binary search per partial assignment plus a
+// bounded scan over tuple structs; this file replaces it with an
+// endpoint-ordered plane sweep in the style of Piatov et al.,
+// "Cache-Efficient Sweeping-Based Interval Joins for Extended Allen
+// Relation Predicates": every partner's window start into the start-sorted
+// candidate column is precomputed by advancing one cursor over two
+// endpoint-ordered int64 sequences (the flattened form of a sweep's gapless
+// active list), and the window end is enforced during enumeration by
+// breaking the scan on the precomputed per-partner upper bound — exactly
+// the bounded scan the probe did, but over a contiguous int64 column
+// instead of tuple structs.
+//
+// startRange is monotone in the partner endpoint it reads, so when the
+// partner list is sorted by the attribute the lower bound derives from
+// (colocation predicates constrain the candidate start by the partner's
+// start, and partner lists are start-sorted), the bound sequence is already
+// nondecreasing and the whole window table costs one linear two-cursor
+// pass with no sorting and no searching — the common case for the paper's
+// single-attribute queries, detected by a linear monotonicity scan. Bounds
+// that arrive out of order (the sequence family's end-derived lower
+// bounds) fall back to one inline binary search per partner, still touching
+// only the int64 column.
+//
+// The predicate families need different window shapes:
+//
+//   - colocation predicates (overlaps / contains / starts / finishes /
+//     meets / equals families) bound the candidate start on both sides;
+//   - the sequence predicate before only bounds it from below (the match
+//     may lie arbitrarily far right), and the after / met-by /
+//     overlapped-by / contained-by / finishes applications only from above,
+//     so one window edge is the whole list.
+//
+// Exactness is preserved for all 13 Allen relations because the window is
+// only the start-coordinate filter the probe used; the residual predicate
+// conditions are still evaluated on every windowed candidate.
+
+import (
+	"intervaljoin/internal/interval"
+)
+
+// sweepFamily classifies a predicate application p(bound, candidate) by
+// which edges of the candidate start range are real bounds.
+type sweepFamily uint8
+
+const (
+	// sweepBoth: the colocation and meets/equals families — the candidate
+	// start is bounded on both sides by the partner's endpoints.
+	sweepBoth sweepFamily = iota
+	// sweepLoOnly: the "before" application — only a lower bound.
+	sweepLoOnly
+	// sweepHiOnly: the "after"-side family — only an upper bound.
+	sweepHiOnly
+)
+
+// familyOf returns the sweep family of the application p(bound, candidate),
+// mirroring the ranges startRange produces.
+func familyOf(p interval.Predicate) sweepFamily {
+	switch p {
+	case interval.Before:
+		return sweepLoOnly
+	case interval.After, interval.MetBy, interval.OverlappedBy,
+		interval.ContainedBy, interval.Finishes:
+		return sweepHiOnly
+	default:
+		return sweepBoth
+	}
+}
+
+// condWindow is one condition's window table: for partner tuple t (by its
+// index in the partner's prepared list), candidates from[t] onward start no
+// earlier than the partner's lower bound, and the enumeration scan stops
+// once a candidate start exceeds hi[t]. hi is nil for lower-bound-only
+// (before) applications, whose scans run to the end of the list.
+type condWindow struct {
+	from []int32
+	hi   []int64
+}
+
+// keyIdx pairs a range endpoint with the partner index it belongs to.
+type keyIdx struct {
+	key int64
+	idx int32
+}
+
+// sweepFroms computes, for every lower bound, the index of the first
+// candidate start >= it.
+func sweepFroms(los []int64, candStarts []int64) []int32 {
+	froms := make([]int32, len(los))
+	sweepFromsInto(froms, los, candStarts)
+	return froms
+}
+
+// sweepFromsInto fills froms[t] with the index of the first candidate start
+// >= los[t]. Nondecreasing bounds (the sorted-partner fast path) take a
+// single two-cursor sweep; out-of-order bounds take one inline binary
+// search each.
+func sweepFromsInto(froms []int32, los []int64, candStarts []int64) {
+	nc := int32(len(candStarts))
+	if nonDecreasing(los) {
+		k := int32(0)
+		for t, lo := range los {
+			for k < nc && candStarts[k] < lo {
+				k++
+			}
+			froms[t] = k
+		}
+		return
+	}
+	for t, lo := range los {
+		i, j := int32(0), nc
+		for i < j {
+			h := (i + j) >> 1
+			if candStarts[h] < lo {
+				i = h + 1
+			} else {
+				j = h
+			}
+		}
+		froms[t] = i
+	}
+}
+
+// nonDecreasing reports whether vals is already in sweep order.
+func nonDecreasing(vals []int64) bool {
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// sized returns s with length n, reusing the backing array when it has the
+// capacity. Callers fully overwrite the returned slice: stale contents are
+// not cleared.
+func sized[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}

@@ -11,9 +11,10 @@
 package cost
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"intervaljoin/internal/grid"
 	"intervaljoin/internal/query"
@@ -260,11 +261,11 @@ func Advise(q *query.Query, rels []*relation.Relation, k, o int) ([]Estimate, er
 	}
 	// Rank by the straggler load (what determines cluster makespan), then
 	// by total communication.
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].MaxReducerLoad != out[j].MaxReducerLoad {
-			return out[i].MaxReducerLoad < out[j].MaxReducerLoad
+	slices.SortFunc(out, func(a, b Estimate) int {
+		if c := cmp.Compare(a.MaxReducerLoad, b.MaxReducerLoad); c != 0 {
+			return c
 		}
-		return out[i].Pairs < out[j].Pairs
+		return cmp.Compare(a.Pairs, b.Pairs)
 	})
 	return out, nil
 }

@@ -2,6 +2,7 @@ package interval
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -66,7 +67,7 @@ func NewEquiDepth(t0, tn Point, n int, sample []Point) (Partitioning, error) {
 	}
 	sorted := make([]Point, len(sample))
 	copy(sorted, sample)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	bounds := make([]Point, 0, n+1)
 	bounds = append(bounds, t0)
 	for i := 1; i < n; i++ {

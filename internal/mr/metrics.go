@@ -2,7 +2,7 @@ package mr
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 )
@@ -36,6 +36,11 @@ type Metrics struct {
 	MaxReducerTime time.Duration
 	// MapWall, ReduceWall and TotalWall are local wall-clock phases.
 	MapWall, ReduceWall, TotalWall time.Duration
+	// FeedWall is the wall-clock time the map phase spent reading input
+	// records off the store — the I/O component of MapWall. The feed runs
+	// one reader per input file, so this tracks the slowest file, not the
+	// sum.
+	FeedWall time.Duration
 	// TaskRetries counts task attempts that failed transiently and were
 	// re-run.
 	TaskRetries int64
@@ -69,6 +74,7 @@ func (m *Metrics) Merge(other *Metrics) {
 	m.IntermediateBytes += other.IntermediateBytes
 	m.OutputRecords = other.OutputRecords // the chain's output is the last job's
 	m.MapWall += other.MapWall
+	m.FeedWall += other.FeedWall
 	m.ReduceWall += other.ReduceWall
 	m.TotalWall += other.TotalWall
 	m.MaxReducerTime += other.MaxReducerTime // stragglers serialise across cycles
@@ -137,7 +143,7 @@ func (m *Metrics) ReducerLoadVector() []int64 {
 	for k := range m.ReducerPairs {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 	out := make([]int64, len(keys))
 	for i, k := range keys {
 		out[i] = m.ReducerPairs[k]

@@ -20,12 +20,14 @@
 package mr
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"intervaljoin/internal/dfs"
@@ -213,11 +215,22 @@ type taggedRecord struct {
 const mapBatchSize = 256
 
 // shuffleState carries the map output to the reduce phase: either fully
-// in-memory groups, or spilled sorted runs plus in-memory leftovers.
+// in-memory groups partitioned into key shards, or spilled sorted runs plus
+// in-memory leftovers.
 type shuffleState struct {
-	groups   map[int64][]string // in-memory mode
-	runFiles []string           // spill mode
-	leftover [][]kvPair         // spill mode: per-worker sorted tails
+	shards   []map[int64][]string // in-memory mode, shards[shardOf(k)] holds k
+	runFiles []string             // spill mode
+	leftover [][]kvPair           // spill mode: per-worker sorted tails
+}
+
+// shardOf partitions reduce keys across n shards. Map workers bucket their
+// local output by shard, so the post-map merge parallelises with one merge
+// task per shard and no locking.
+func shardOf(key int64, n int) int { return int(uint64(key) % uint64(n)) }
+
+// group returns the value list shuffled to key.
+func (s *shuffleState) group(key int64) []string {
+	return s.shards[shardOf(key, len(s.shards))][key]
 }
 
 func (s *shuffleState) spilled() bool { return s.runFiles != nil || s.leftover != nil }
@@ -229,14 +242,40 @@ func (s *shuffleState) cleanup(store dfs.Store) {
 	}
 }
 
+// batchPool recycles map-input batches: the feed hands each filled batch to
+// a map worker, which returns it after the task completes.
+var batchPool = sync.Pool{
+	New: func() any { return make([]taggedRecord, 0, mapBatchSize) },
+}
+
+// feedFile is one resolved input file with its map tag.
+type feedFile struct {
+	name string
+	tag  int
+}
+
 func (e *Engine) mapPhase(job Job, m *Metrics) (*shuffleState, error) {
 	mapStart := time.Now()
+	// Resolve every input to its file list up front so the feed can read
+	// files concurrently.
+	var files []feedFile
+	for _, in := range job.Inputs {
+		fs, err := in.expand(e.store)
+		if err != nil {
+			return nil, fmt.Errorf("mr: job %s: %w", job.Name, err)
+		}
+		for _, f := range fs {
+			files = append(files, feedFile{name: f, tag: in.Tag})
+		}
+	}
+
+	nshards := e.workers
 	work := make(chan []taggedRecord, 2*e.workers)
-	errc := make(chan error, e.workers+1)
+	errc := make(chan error, 2*e.workers)
 
 	type workerState struct {
-		local      map[int64][]string // in-memory mode
-		buf        []kvPair           // spill mode buffer
+		local      []map[int64][]string // in-memory mode, bucketed by key shard
+		buf        []kvPair             // spill mode buffer
 		runs       []string
 		pairs      int64
 		bytes      int64
@@ -263,7 +302,10 @@ func (e *Engine) mapPhase(job Job, m *Metrics) (*shuffleState, error) {
 			defer wg.Done()
 			st := &workerState{}
 			if e.spill == 0 {
-				st.local = make(map[int64][]string)
+				st.local = make([]map[int64][]string, nshards)
+				for p := range st.local {
+					st.local[p] = make(map[int64][]string)
+				}
 			}
 			states[w] = st
 			var attemptBuf []kvPair
@@ -284,6 +326,7 @@ func (e *Engine) mapPhase(job Job, m *Metrics) (*shuffleState, error) {
 					}
 					st.retries++
 				}
+				batchPool.Put(batch[:0])
 				// Fold the attempt's pairs through the combiner, then into
 				// the worker shuffle.
 				pairs := attemptBuf
@@ -296,7 +339,8 @@ func (e *Engine) mapPhase(job Job, m *Metrics) (*shuffleState, error) {
 				}
 				if e.spill == 0 {
 					for _, p := range pairs {
-						st.local[p.key] = append(st.local[p.key], p.value)
+						shard := st.local[shardOf(p.key, nshards)]
+						shard[p.key] = append(shard[p.key], p.value)
 					}
 					continue
 				}
@@ -317,66 +361,50 @@ func (e *Engine) mapPhase(job Job, m *Metrics) (*shuffleState, error) {
 		}(w)
 	}
 
-	// Feed batches of records from every input.
-	var records int64
-	feedErr := func() error {
-		defer close(work)
-		batch := make([]taggedRecord, 0, mapBatchSize)
-		flush := func() {
-			if len(batch) > 0 {
-				cp := make([]taggedRecord, len(batch))
-				copy(cp, batch)
-				work <- cp
-				batch = batch[:0]
-			}
-		}
-		for _, in := range job.Inputs {
-			files, err := in.expand(e.store)
-			if err != nil {
-				return fmt.Errorf("mr: job %s: %w", job.Name, err)
-			}
-			for _, file := range files {
-				it, err := e.store.Open(file)
-				if err != nil {
-					return fmt.Errorf("mr: job %s: %w", job.Name, err)
+	// Feed record batches with one reader per file (bounded by the worker
+	// count), so multi-file and multi-input jobs are not throttled by a
+	// single reader goroutine.
+	var records atomic.Int64
+	feedErrc := make(chan error, len(files))
+	filec := make(chan feedFile)
+	readers := e.workers
+	if readers > len(files) {
+		readers = len(files)
+	}
+	var feedWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		feedWG.Add(1)
+		go func() {
+			defer feedWG.Done()
+			for f := range filec {
+				if err := e.feedFile(job, f, work, &records); err != nil {
+					feedErrc <- err
+					// Keep draining so the dispatcher never blocks.
 				}
-				for {
-					rec, ok, err := it.Next()
-					if err != nil {
-						it.Close()
-						return fmt.Errorf("mr: job %s: read %s: %w", job.Name, file, err)
-					}
-					if !ok {
-						break
-					}
-					records++
-					batch = append(batch, taggedRecord{tag: in.Tag, record: rec})
-					if len(batch) == mapBatchSize {
-						flush()
-					}
-				}
-				it.Close()
 			}
-		}
-		flush()
-		return nil
-	}()
+		}()
+	}
+	for _, f := range files {
+		filec <- f
+	}
+	close(filec)
+	feedWG.Wait()
+	m.FeedWall = time.Since(mapStart)
+	close(work)
 	wg.Wait()
 	close(errc)
-	if feedErr != nil {
-		return nil, feedErr
+	close(feedErrc)
+	if err := <-feedErrc; err != nil {
+		return nil, err
 	}
 	if err := <-errc; err != nil {
 		return nil, err
 	}
 
-	m.MapInputRecords = records
+	m.MapInputRecords = records.Load()
 	m.MapWall = time.Since(mapStart)
 
 	shuffle := &shuffleState{}
-	if e.spill == 0 {
-		shuffle.groups = make(map[int64][]string)
-	}
 	for _, st := range states {
 		if st == nil {
 			continue
@@ -387,15 +415,12 @@ func (e *Engine) mapPhase(job Job, m *Metrics) (*shuffleState, error) {
 		m.CombineInputPairs += st.combineIn
 		m.CombineOutputPairs += st.combineOut
 		if e.spill == 0 {
-			for k, vs := range st.local {
-				shuffle.groups[k] = append(shuffle.groups[k], vs...)
-			}
 			continue
 		}
 		shuffle.runFiles = append(shuffle.runFiles, st.runs...)
 		m.SpillRuns += len(st.runs)
 		if len(st.buf) > 0 {
-			sort.Slice(st.buf, func(i, j int) bool { return st.buf[i].key < st.buf[j].key })
+			slices.SortFunc(st.buf, func(a, b kvPair) int { return cmp.Compare(a.key, b.key) })
 			shuffle.leftover = append(shuffle.leftover, st.buf)
 		}
 	}
@@ -405,14 +430,72 @@ func (e *Engine) mapPhase(job Job, m *Metrics) (*shuffleState, error) {
 			spilledPairs -= int64(len(l))
 		}
 		m.SpilledPairs = spilledPairs
+		return shuffle, nil
 	}
-	if shuffle.groups != nil {
-		m.DistinctKeys = len(shuffle.groups)
-		for k, vs := range shuffle.groups {
+
+	// Merge the worker-local buckets into per-shard groups, one merge task
+	// per shard on its own goroutine — no shard is touched by two tasks, so
+	// the merge needs no locks.
+	shuffle.shards = make([]map[int64][]string, nshards)
+	var mergeWG sync.WaitGroup
+	for p := 0; p < nshards; p++ {
+		mergeWG.Add(1)
+		go func(p int) {
+			defer mergeWG.Done()
+			shard := make(map[int64][]string)
+			for _, st := range states {
+				if st == nil {
+					continue
+				}
+				for k, vs := range st.local[p] {
+					shard[k] = append(shard[k], vs...)
+				}
+			}
+			shuffle.shards[p] = shard
+		}(p)
+	}
+	mergeWG.Wait()
+	for _, shard := range shuffle.shards {
+		m.DistinctKeys += len(shard)
+		for k, vs := range shard {
 			m.ReducerPairs[k] = int64(len(vs))
 		}
 	}
 	return shuffle, nil
+}
+
+// feedFile streams one input file into map batches.
+func (e *Engine) feedFile(job Job, f feedFile, work chan<- []taggedRecord, records *atomic.Int64) error {
+	it, err := e.store.Open(f.name)
+	if err != nil {
+		return fmt.Errorf("mr: job %s: %w", job.Name, err)
+	}
+	defer it.Close()
+	batch := batchPool.Get().([]taggedRecord)
+	n := int64(0)
+	for {
+		rec, ok, err := it.Next()
+		if err != nil {
+			batchPool.Put(batch[:0])
+			return fmt.Errorf("mr: job %s: read %s: %w", job.Name, f.name, err)
+		}
+		if !ok {
+			break
+		}
+		n++
+		batch = append(batch, taggedRecord{tag: f.tag, record: rec})
+		if len(batch) == mapBatchSize {
+			work <- batch
+			batch = batchPool.Get().([]taggedRecord)
+		}
+	}
+	records.Add(n)
+	if len(batch) > 0 {
+		work <- batch
+	} else {
+		batchPool.Put(batch)
+	}
+	return nil
 }
 
 // runMapAttempt executes one map task attempt over a record batch,
@@ -468,12 +551,12 @@ func (e *Engine) reducePhase(job Job, shuffle *shuffleState, m *Metrics) error {
 	if shuffle.spilled() {
 		results, err = e.reduceStreaming(job, shuffle, m)
 	} else {
-		results, err = e.reduceInMemory(job, shuffle.groups, m)
+		results, err = e.reduceInMemory(job, shuffle, m)
 	}
 	if err != nil {
 		return err
 	}
-	sort.Slice(results, func(i, j int) bool { return results[i].key < results[j].key })
+	slices.SortFunc(results, func(a, b reduceResult) int { return cmp.Compare(a.key, b.key) })
 
 	for _, res := range results {
 		m.ReducerTime[res.key] = res.duration
@@ -560,7 +643,7 @@ func (e *Engine) writeOutput(job Job, results []reduceResult) error {
 // runReduceTask executes one reduce task with retry semantics.
 func (e *Engine) runReduceTask(job Job, task int, key int64, values []string, m *retryCounter) (reduceResult, error) {
 	if job.SortValues {
-		sort.Strings(values)
+		slices.Sort(values)
 	}
 	for attempt := 1; ; attempt++ {
 		var out []string
@@ -599,12 +682,14 @@ func (rc *retryCounter) add(d int64) {
 	rc.mu.Unlock()
 }
 
-func (e *Engine) reduceInMemory(job Job, groups map[int64][]string, m *Metrics) ([]reduceResult, error) {
-	keys := make([]int64, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
+func (e *Engine) reduceInMemory(job Job, shuffle *shuffleState, m *Metrics) ([]reduceResult, error) {
+	keys := make([]int64, 0, m.DistinctKeys)
+	for _, shard := range shuffle.shards {
+		for k := range shard {
+			keys = append(keys, k)
+		}
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 
 	results := make([]reduceResult, len(keys))
 	errc := make(chan error, e.workers)
@@ -617,7 +702,7 @@ func (e *Engine) reduceInMemory(job Job, groups map[int64][]string, m *Metrics) 
 			defer wg.Done()
 			for ki := range keyc {
 				key := keys[ki]
-				res, err := e.runReduceTask(job, ki, key, groups[key], &retries)
+				res, err := e.runReduceTask(job, ki, key, shuffle.group(key), &retries)
 				if err != nil {
 					errc <- err
 					for range keyc {

@@ -1,9 +1,10 @@
 package mr
 
 import (
+	"cmp"
 	"container/heap"
 	"fmt"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -26,7 +27,7 @@ type kvPair struct {
 // name. Spilled keys must be non-negative (every algorithm in this module
 // uses partition / grid-cell ids, which are).
 func spillRun(store dfs.Store, name string, pairs []kvPair) error {
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].key < pairs[j].key })
+	slices.SortFunc(pairs, func(a, b kvPair) int { return cmp.Compare(a.key, b.key) })
 	w, err := store.Create(name)
 	if err != nil {
 		return err

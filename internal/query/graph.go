@@ -1,8 +1,9 @@
 package query
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"intervaljoin/internal/interval"
 )
@@ -112,11 +113,11 @@ func Decompose(q *Query) *Decomposition {
 	}
 	for ci := range d.Components {
 		vs := d.Components[ci].Vertices
-		sort.Slice(vs, func(a, b int) bool {
-			if vs[a].Rel != vs[b].Rel {
-				return vs[a].Rel < vs[b].Rel
+		slices.SortFunc(vs, func(a, b Operand) int {
+			if c := cmp.Compare(a.Rel, b.Rel); c != 0 {
+				return c
 			}
-			return vs[a].Attr < vs[b].Attr
+			return cmp.Compare(a.Attr, b.Attr)
 		})
 	}
 	for i, c := range q.Conds {
@@ -154,11 +155,11 @@ func Decompose(q *Query) *Decomposition {
 			d.Less = append(d.Less, [2]int{lesser, greater})
 		}
 	}
-	sort.Slice(d.Less, func(a, b int) bool {
-		if d.Less[a][0] != d.Less[b][0] {
-			return d.Less[a][0] < d.Less[b][0]
+	slices.SortFunc(d.Less, func(a, b [2]int) int {
+		if c := cmp.Compare(a[0], b[0]); c != 0 {
+			return c
 		}
-		return d.Less[a][1] < d.Less[b][1]
+		return cmp.Compare(a[1], b[1])
 	})
 	return d
 }

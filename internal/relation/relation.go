@@ -136,16 +136,21 @@ func (r *Relation) Validate() error {
 // file store: "id|s,e|s,e|...". The relation name is carried by the file,
 // not the record.
 func EncodeTuple(t Tuple) string {
-	var b strings.Builder
-	b.Grow(16 + 24*len(t.Attrs))
-	b.WriteString(strconv.FormatInt(t.ID, 10))
+	return string(AppendTuple(make([]byte, 0, 16+24*len(t.Attrs)), t))
+}
+
+// AppendTuple appends EncodeTuple's form to dst and returns the extended
+// slice — the allocation-free building block for the record codecs, which
+// compose it with tags and flags in one buffer.
+func AppendTuple(dst []byte, t Tuple) []byte {
+	dst = strconv.AppendInt(dst, t.ID, 10)
 	for _, iv := range t.Attrs {
-		b.WriteByte('|')
-		b.WriteString(strconv.FormatInt(iv.Start, 10))
-		b.WriteByte(',')
-		b.WriteString(strconv.FormatInt(iv.End, 10))
+		dst = append(dst, '|')
+		dst = strconv.AppendInt(dst, iv.Start, 10)
+		dst = append(dst, ',')
+		dst = strconv.AppendInt(dst, iv.End, 10)
 	}
-	return b.String()
+	return dst
 }
 
 // DecodeTuple parses the format produced by EncodeTuple.

@@ -7,7 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -70,7 +70,7 @@ func gini(loads []int64) float64 {
 	}
 	sorted := make([]int64, n)
 	copy(sorted, loads)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	var cum, weighted float64
 	for i, v := range sorted {
 		cum += float64(v)

@@ -13,9 +13,10 @@
 package trace
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"intervaljoin/internal/interval"
 	"intervaljoin/internal/relation"
@@ -157,11 +158,11 @@ func Synthesize(p Profile, scale float64, seed int64) ([]Packet, error) {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Time != out[j].Time {
-			return out[i].Time < out[j].Time
+	slices.SortFunc(out, func(a, b Packet) int {
+		if c := cmp.Compare(a.Time, b.Time); c != 0 {
+			return c
 		}
-		return out[i].Flow < out[j].Flow
+		return cmp.Compare(a.Flow, b.Flow)
 	})
 	return out, nil
 }
@@ -182,7 +183,7 @@ func BuildTrains(packets []Packet, cutoffMs int64) []interval.Interval {
 	}
 	var trains []interval.Interval
 	for _, times := range byFlow {
-		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		slices.Sort(times)
 		start := times[0]
 		prev := times[0]
 		for _, t := range times[1:] {
@@ -194,7 +195,7 @@ func BuildTrains(packets []Packet, cutoffMs int64) []interval.Interval {
 		}
 		trains = append(trains, interval.New(start, prev))
 	}
-	sort.Slice(trains, func(i, j int) bool { return trains[i].Compare(trains[j]) < 0 })
+	slices.SortFunc(trains, interval.Interval.Compare)
 	return trains
 }
 

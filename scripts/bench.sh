@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Benchmark baseline emitter: runs the join-kernel, codec and MR-engine
+# microbenchmarks with fixed iteration counts (stable on small/shared
+# machines, where time-based -benchtime makes run-to-run noise dominate),
+# repeats each REPS times, and reduces to per-benchmark medians in a JSON
+# baseline via cmd/benchsummary.
+#
+# Usage: scripts/bench.sh [output.json]     (default BENCH_1.json)
+#        REPS=5 scripts/bench.sh            (more repetitions)
+set -eu
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_1.json}"
+REPS="${REPS:-3}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# Reduce-side join kernel: enumerator sweeps, semijoin marking, RCCIS
+# crossing decisions. Heavy per-op cost, so 100 fixed iterations.
+go test -run '^$' -bench 'Enumerator|SemijoinReduce|MarkCrossing' \
+    -benchmem -benchtime 100x -count "$REPS" ./internal/core/ | tee -a "$tmp"
+
+# Record codecs: sub-microsecond ops need many iterations for resolution.
+go test -run '^$' -bench 'Encode' \
+    -benchmem -benchtime 20000x -count "$REPS" ./internal/core/ | tee -a "$tmp"
+
+# MR engine end-to-end: parallel feed, sharded shuffle, spilling.
+go test -run '^$' -bench 'Engine' \
+    -benchmem -benchtime 20x -count "$REPS" ./internal/mr/ | tee -a "$tmp"
+
+go run ./cmd/benchsummary -o "$OUT" < "$tmp"
+echo "wrote $OUT"

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Tier-1 gate: everything that must be green before a change lands.
+#
+#   1. go vet        — static checks
+#   2. go build      — the whole module compiles
+#   3. go test -race — full suite (unit, integration, property, oracle
+#                      cross-validation) under the race detector; the MR
+#                      engine is deliberately concurrent, so -race is part
+#                      of the gate, not an optional extra
+#   4. bench emitter — regenerates the benchmark baseline so perf-sensitive
+#                      changes ship with fresh numbers (scripts/bench.sh)
+#
+# Usage: scripts/check.sh            (full gate)
+#        SKIP_BENCH=1 scripts/check.sh   (skip the baseline regeneration)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+if [ "${SKIP_BENCH:-0}" != "1" ]; then
+    echo "== benchmark baseline =="
+    sh scripts/bench.sh BENCH_1.json
+fi
+
+echo "check.sh: all green"
