@@ -1,14 +1,21 @@
 // Command benchsummary condenses `go test -bench` output into a small JSON
-// baseline file (benchstat-style medians across -count repetitions).
+// baseline file (benchstat-style medians across -count repetitions) and
+// diffs two such baselines.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem -count 3 ./... | benchsummary -o BENCH_1.json
+//	benchsummary -compare BENCH_1.json BENCH_2.json [-threshold 15] [-fail]
 //
 // Each benchmark's metrics (ns/op, B/op, allocs/op and any custom
 // ReportMetric units such as pairs/op) are reduced to the median across
 // repetitions, which is what makes the file stable enough to check in and
 // diff on a noisy single-core machine.
+//
+// -compare prints a per-benchmark regression table (old/new ns/op and
+// delta) plus added and removed benchmarks; deltas beyond -threshold
+// percent are flagged, and -fail turns any flagged regression into a
+// non-zero exit for CI use.
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -88,10 +96,99 @@ func parseLine(line string) (name string, s sample, ok bool) {
 	return name, s, len(s.metrics) > 0
 }
 
+// loadBaseline reads a JSON baseline written by the summarise mode.
+func loadBaseline(path string) (baseline, error) {
+	var b baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// compare prints a regression table between two baselines and returns the
+// number of benchmarks whose ns/op regressed beyond threshold percent.
+func compare(w io.Writer, old, new baseline, threshold float64) int {
+	oldBy := make(map[string]entry, len(old.Benchmarks))
+	for _, e := range old.Benchmarks {
+		oldBy[e.Name] = e
+	}
+	newBy := make(map[string]entry, len(new.Benchmarks))
+	for _, e := range new.Benchmarks {
+		newBy[e.Name] = e
+	}
+
+	fmt.Fprintf(w, "%-34s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	regressions := 0
+	for _, ne := range new.Benchmarks {
+		oe, ok := oldBy[ne.Name]
+		if !ok {
+			continue
+		}
+		ov, nv := oe.Metrics["ns/op"], ne.Metrics["ns/op"]
+		if ov == 0 || nv == 0 {
+			fmt.Fprintf(w, "%-34s %14.0f %14.0f %8s\n", ne.Name, ov, nv, "n/a")
+			continue
+		}
+		delta := (nv - ov) / ov * 100
+		flag := ""
+		switch {
+		case delta > threshold:
+			flag = "  REGRESSION"
+			regressions++
+		case delta < -threshold:
+			flag = "  improved"
+		}
+		fmt.Fprintf(w, "%-34s %14.0f %14.0f %+7.1f%%%s\n", ne.Name, ov, nv, delta, flag)
+	}
+	for _, ne := range new.Benchmarks {
+		if _, ok := oldBy[ne.Name]; !ok {
+			fmt.Fprintf(w, "%-34s %14s %14.0f %8s\n", ne.Name, "-", ne.Metrics["ns/op"], "added")
+		}
+	}
+	for _, oe := range old.Benchmarks {
+		if _, ok := newBy[oe.Name]; !ok {
+			fmt.Fprintf(w, "%-34s %14.0f %14s %8s\n", oe.Name, oe.Metrics["ns/op"], "-", "removed")
+		}
+	}
+	return regressions
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	note := flag.String("note", "benchmark baseline produced by scripts/bench.sh", "note field")
+	cmp := flag.Bool("compare", false, "compare two baseline files given as arguments instead of reading stdin")
+	threshold := flag.Float64("threshold", 15, "percent ns/op delta that counts as a regression or improvement")
+	failOnRegress := flag.Bool("fail", false, "with -compare, exit non-zero if any benchmark regressed beyond the threshold")
 	flag.Parse()
+
+	if *cmp {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchsummary: -compare wants exactly two baseline files")
+			os.Exit(2)
+		}
+		oldB, err := loadBaseline(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsummary:", err)
+			os.Exit(1)
+		}
+		newB, err := loadBaseline(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsummary:", err)
+			os.Exit(1)
+		}
+		n := compare(os.Stdout, oldB, newB, *threshold)
+		if n > 0 {
+			fmt.Printf("%d regression(s) beyond %.0f%%\n", n, *threshold)
+			if *failOnRegress {
+				os.Exit(1)
+			}
+		}
+		return
+	}
 
 	byName := make(map[string][]sample)
 	var order []string

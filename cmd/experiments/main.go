@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments [-exp table1|table2|figure4|figure5a|figure5b|table3|table4|all|list] \
-//	            [-scale 0.002] [-seed 1] [-workers N] [-verify]
+//	            [-scale 0.002] [-seed 1] [-workers N] [-verify] [-materialize]
 //
 // Scale multiplies the paper's dataset sizes; the default keeps every
 // experiment in seconds. -verify additionally checks every algorithm's
@@ -26,6 +26,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload seed")
 		workers = flag.Int("workers", 0, "engine parallelism (0 = GOMAXPROCS)")
 		verify  = flag.Bool("verify", false, "cross-check every run against the oracle")
+		materal = flag.Bool("materialize", false, "materialize every MR cycle boundary instead of streaming it")
 		asJSON  = flag.Bool("json", false, "emit JSON instead of aligned text")
 	)
 	flag.Parse()
@@ -36,7 +37,7 @@ func main() {
 		}
 		return
 	}
-	cfg := exp.Config{Scale: *scale, Seed: *seed, Workers: *workers, Verify: *verify}
+	cfg := exp.Config{Scale: *scale, Seed: *seed, Workers: *workers, Verify: *verify, Materialize: *materal}
 	var exps []exp.Experiment
 	if *id == "all" {
 		exps = exp.All()

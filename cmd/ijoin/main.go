@@ -6,7 +6,7 @@
 //	ijoin -query "R1 overlaps R2 and R2 overlaps R3" \
 //	      -rel R1=a.txt -rel R2=b.txt -rel R3=c.txt \
 //	      [-algorithm rccis] [-partitions 16] [-per-dim 6] \
-//	      [-data-dir /tmp/ij] [-o out.txt] [-stats]
+//	      [-data-dir /tmp/ij] [-o out.txt] [-stats] [-materialize]
 //
 // Input files hold one tuple per line; each attribute is "start,end" and
 // attributes are separated by '|'. A self-join registers the same file
@@ -40,6 +40,7 @@ func main() {
 		perDim     = flag.Int("per-dim", 6, "partitions per grid dimension for matrix algorithms")
 		workers    = flag.Int("workers", 0, "engine parallelism (0 = GOMAXPROCS)")
 		equiDepth  = flag.Bool("equi-depth", false, "derive partition boundaries from start-point quantiles (for skewed data)")
+		material   = flag.Bool("materialize", false, "write every MR cycle boundary to the store instead of streaming it (Hadoop parity)")
 		dataDir    = flag.String("data-dir", "", "spill intermediates to this directory instead of RAM")
 		oPath      = flag.String("o", "-", "output file ('-' = stdout)")
 		emit       = flag.String("emit", "ids", "output format: ids (line numbers) | tuples (full interval values)")
@@ -110,7 +111,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := intervaljoin.RunOptions{Partitions: *partitions, PartitionsPerDim: *perDim, EquiDepth: *equiDepth}
+	opts := intervaljoin.RunOptions{Partitions: *partitions, PartitionsPerDim: *perDim, EquiDepth: *equiDepth, Materialize: *material}
 
 	var res *intervaljoin.Result
 	if *algorithm == "" {

@@ -4,7 +4,9 @@ import (
 	"math/rand"
 	"testing"
 
+	"intervaljoin/internal/dfs"
 	"intervaljoin/internal/interval"
+	"intervaljoin/internal/mr"
 	"intervaljoin/internal/query"
 	"intervaljoin/internal/relation"
 )
@@ -122,3 +124,47 @@ func BenchmarkEncodeVector(b *testing.B) {
 		}
 	}
 }
+
+// benchChainAlg runs a multi-cycle algorithm end-to-end on a fresh engine,
+// either pipelined (the default) or with materialised cycle boundaries
+// (sequential RunChain, Hadoop parity). The delta between the two is what
+// the pipelined executor buys on a whole chain.
+func benchChainAlg(b *testing.B, alg Algorithm, materialize bool) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2))
+	q := query.MustParse("R1 overlaps R2 and R2 overlaps R3")
+	rels := make([]*relation.Relation, len(q.Relations))
+	for i, s := range q.Relations {
+		rels[i] = randomRelation(rng, s.Name, 20_000, 400_000, 12)
+	}
+	opts := Options{Partitions: 16, Materialize: materialize}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Disk-backed store: cycle boundaries cost what they cost on a real
+		// cluster filesystem, which is exactly what pipelining elides.
+		store, err := dfs.NewDisk(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		engine := mr.NewEngine(mr.Config{Store: store})
+		ctx, err := NewContext(engine, q, rels, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := alg.Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tuples) == 0 {
+			b.Fatal("empty join output")
+		}
+	}
+}
+
+func BenchmarkChainRCCISSequential(b *testing.B) { benchChainAlg(b, RCCIS{}, true) }
+func BenchmarkChainRCCISPipelined(b *testing.B)  { benchChainAlg(b, RCCIS{}, false) }
+func BenchmarkChainPASMSequential(b *testing.B)  { benchChainAlg(b, PASM{}, true) }
+func BenchmarkChainPASMPipelined(b *testing.B)   { benchChainAlg(b, PASM{}, false) }

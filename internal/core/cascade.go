@@ -63,8 +63,10 @@ func (c Cascade) Run(ctx *Context) (*Result, error) {
 		return nil, err
 	}
 
-	res := &Result{Algorithm: c.Name(), Metrics: mr.NewMetrics(c.Name())}
-	res.Metrics.Cycles = 0
+	// Build every step's job up front; each step's partial-assignment
+	// input is the previous step's output, which the pipelined executor
+	// streams instead of materialising.
+	jobs := make([]mr.Job, len(steps))
 	current := "" // intermediate file of partial assignments
 	bound := []int{steps[0].existing}
 	for si, step := range steps {
@@ -74,16 +76,23 @@ func (c Cascade) Run(ctx *Context) (*Result, error) {
 		if last {
 			output = opts.Scratch + "/output"
 		}
-		job := c.stepJob(ctx, opts, part, gridPart, jobName, output, current, bound, step, last)
-		metrics, err := ctx.Engine.Run(job)
-		if err != nil {
-			return nil, err
-		}
-		res.PerCycle = append(res.PerCycle, metrics)
-		res.Metrics.Merge(metrics)
+		jobs[si] = c.stepJob(ctx, opts, part, gridPart, jobName, output, current, bound, step, last)
 		bound = append(bound, step.novel)
 		current = output
 	}
+
+	var perCycle []*mr.Metrics
+	var agg *mr.Metrics
+	if opts.Materialize {
+		perCycle, agg, err = ctx.Engine.RunChain(jobs...)
+	} else {
+		perCycle, agg, err = ctx.Engine.RunPipeline(mr.ChainStages(jobs...)...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	agg.Job = c.Name()
+	res := &Result{Algorithm: c.Name(), Metrics: agg, PerCycle: perCycle}
 	if err := readOutput(ctx, current, res); err != nil {
 		return nil, err
 	}

@@ -50,6 +50,12 @@ type Options struct {
 	// that "uniformly distributed data vs skewed data will need to be
 	// processed differently").
 	EquiDepth bool
+	// Materialize runs multi-cycle algorithms as sequential MR cycles with
+	// every cycle boundary written to the store and re-read — Hadoop's
+	// HDFS-barrier behaviour. By default the cycles run on the engine's
+	// pipelined executor, which streams cycle boundaries and overlaps one
+	// cycle's reduce phase with the next cycle's map phase.
+	Materialize bool
 }
 
 // scratchSeq disambiguates the scratch namespaces of concurrent runs that
@@ -267,6 +273,51 @@ type Algorithm interface {
 	Name() string
 	// Run executes the algorithm and returns its result.
 	Run(ctx *Context) (*Result, error)
+}
+
+// runMarkedChain executes a mark cycle followed by downstream cycles. In
+// the default pipelined mode the marking output streams straight into the
+// next cycle's map feed and the replicate-flag count is computed by a tap
+// on the fly; under Options.Materialize the chain runs sequentially and the
+// count is read back from the marked file, exactly as a Hadoop driver would
+// re-scan the HDFS intermediate.
+func runMarkedChain(ctx *Context, opts Options, marked string, markJob mr.Job,
+	rest ...mr.Stage) ([]*mr.Metrics, *mr.Metrics, int64, error) {
+
+	if opts.Materialize {
+		jobs := make([]mr.Job, 0, len(rest)+1)
+		jobs = append(jobs, markJob)
+		for _, s := range rest {
+			jobs = append(jobs, s.Job)
+		}
+		perCycle, agg, err := ctx.Engine.RunChain(jobs...)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		replicated, err := countFlagged(ctx, marked)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return perCycle, agg, replicated, nil
+	}
+	var replicated int64
+	stages := append([]mr.Stage{{Job: markJob, Tap: replicateFlagTap(&replicated)}}, rest...)
+	perCycle, agg, err := ctx.Engine.RunPipeline(stages...)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return perCycle, agg, replicated, nil
+}
+
+// replicateFlagTap counts replicate-flagged records streaming out of a mark
+// cycle — the pipelined stand-in for countFlagged, which would force the
+// marked intermediate onto the store. Records are "<rel>;<flag>;<tuple>".
+func replicateFlagTap(n *int64) func(string) {
+	return func(rec string) {
+		if i := strings.IndexByte(rec, ';'); i >= 0 && i+2 < len(rec) && rec[i+1] == '1' && rec[i+2] == ';' {
+			*n++
+		}
+	}
 }
 
 // readOutput decodes the final job output file into Result.Tuples.

@@ -53,15 +53,12 @@ func (a FCTS) Run(ctx *Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	perCycle, agg, err := ctx.Engine.RunChain(markJob, compJob, seqJob)
+	perCycle, agg, replicated, err := runMarkedChain(ctx, opts, marked, markJob,
+		mr.Stage{Job: compJob}, mr.Stage{Job: seqJob})
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Algorithm: a.Name(), Metrics: agg, PerCycle: perCycle}
-	res.ReplicatedIntervals, err = countFlagged(ctx, marked)
-	if err != nil {
-		return nil, err
-	}
+	res := &Result{Algorithm: a.Name(), Metrics: agg, PerCycle: perCycle, ReplicatedIntervals: replicated}
 	if err := readOutput(ctx, seqJob.Output, res); err != nil {
 		return nil, err
 	}

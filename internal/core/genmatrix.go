@@ -97,15 +97,40 @@ func (a GenMatrix) Run(ctx *Context) (*Result, error) {
 		return nil, err
 	}
 
-	perCycle, agg, err := ctx.Engine.RunChain(markJob, mergeJob, joinJob)
-	if err != nil {
-		return nil, err
+	var perCycle []*mr.Metrics
+	var agg *mr.Metrics
+	var replicated int64
+	if opts.Materialize {
+		perCycle, agg, err = ctx.Engine.RunChain(markJob, mergeJob, joinJob)
+		if err != nil {
+			return nil, err
+		}
+		replicated, err = a.countReplicated(ctx, merged)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		perCycle, agg, err = ctx.Engine.RunPipeline(
+			mr.Stage{Job: markJob},
+			mr.Stage{Job: mergeJob, Tap: func(rec string) {
+				// Count tuples with a replicate-flagged vertex on the fly
+				// (countReplicated's store scan, without the store).
+				if _, flags, _, err := decodeVector(rec); err == nil {
+					for _, f := range flags {
+						if f {
+							replicated++
+							break
+						}
+					}
+				}
+			}},
+			mr.Stage{Job: joinJob},
+		)
+		if err != nil {
+			return nil, err
+		}
 	}
-	res := &Result{Algorithm: a.Name(), Metrics: agg, PerCycle: perCycle}
-	res.ReplicatedIntervals, err = a.countReplicated(ctx, merged)
-	if err != nil {
-		return nil, err
-	}
+	res := &Result{Algorithm: a.Name(), Metrics: agg, PerCycle: perCycle, ReplicatedIntervals: replicated}
 	if err := readOutput(ctx, joinJob.Output, res); err != nil {
 		return nil, err
 	}

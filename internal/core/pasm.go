@@ -54,50 +54,103 @@ func (a PASM) Run(ctx *Context) (*Result, error) {
 	marked := opts.Scratch + "/marked"
 	prunedFile := opts.Scratch + "/pruned"
 	markJob := componentMarkJob(ctx, opts, part, d, marked)
-	pruneJob := pruneJob(ctx, opts, part, d, marked, prunedFile)
+	pJob := pruneJob(ctx, opts, part, d, marked, prunedFile)
+	output := opts.Scratch + "/output"
 
-	perCycle := []*mr.Metrics{}
-	agg := mr.NewMetrics(a.Name())
-	agg.Cycles = 0
-	for _, job := range []mr.Job{markJob, pruneJob} {
-		m, err := ctx.Engine.Run(job)
+	var (
+		perCycle     []*mr.Metrics
+		agg          *mr.Metrics
+		prunedCounts map[int]int64
+		replicated   int64
+	)
+	if opts.Materialize {
+		perCycle, agg, err = ctx.Engine.RunChain(markJob, pJob)
+		if err != nil {
+			return nil, err
+		}
+		pruned, counts, err := loadPruned(ctx, prunedFile, len(ctx.Rels))
+		if err != nil {
+			return nil, err
+		}
+		prunedCounts = counts
+		joinJob, err := componentJoinJob(ctx, opts, part, d, marked, output, pruned)
+		if err != nil {
+			return nil, err
+		}
+		m, err := ctx.Engine.Run(joinJob)
 		if err != nil {
 			return nil, err
 		}
 		perCycle = append(perCycle, m)
 		agg.Merge(m)
+		replicated, err = countFlagged(ctx, marked)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Pipelined: the marking streams into the prune cycle (and is
+		// still materialised because the join cycle re-reads it), the
+		// prune records never touch the store — a tap fills the id sets
+		// the join cycle's map consults — and the prune→join boundary is
+		// a barrier, so the sets are complete before any join map runs.
+		pruned := make([]map[int64]bool, len(ctx.Rels))
+		prunedCounts = make(map[int]int64)
+		pJob.Output = ""
+		joinJob, err := componentJoinJob(ctx, opts, part, d, marked, output, pruned)
+		if err != nil {
+			return nil, err
+		}
+		perCycle, agg, err = ctx.Engine.RunPipeline(
+			mr.Stage{Job: markJob, Tap: replicateFlagTap(&replicated)},
+			mr.Stage{Job: pJob, Tap: prunedTap(pruned, prunedCounts)},
+			mr.Stage{Job: joinJob},
+		)
+		if err != nil {
+			return nil, err
+		}
 	}
-
-	pruned, prunedCounts, err := loadPruned(ctx, prunedFile, len(ctx.Rels))
-	if err != nil {
-		return nil, err
-	}
-	joinJob, err := componentJoinJob(ctx, opts, part, d, marked, opts.Scratch+"/output", pruned)
-	if err != nil {
-		return nil, err
-	}
-	m, err := ctx.Engine.Run(joinJob)
-	if err != nil {
-		return nil, err
-	}
-	perCycle = append(perCycle, m)
-	agg.Merge(m)
 
 	res := &Result{
-		Algorithm:       a.Name(),
-		Metrics:         agg,
-		PerCycle:        perCycle,
-		PrunedIntervals: prunedCounts,
+		Algorithm:           a.Name(),
+		Metrics:             agg,
+		PerCycle:            perCycle,
+		PrunedIntervals:     prunedCounts,
+		ReplicatedIntervals: replicated,
 	}
-	res.ReplicatedIntervals, err = countFlagged(ctx, marked)
-	if err != nil {
-		return nil, err
-	}
-	if err := readOutput(ctx, joinJob.Output, res); err != nil {
+	if err := readOutput(ctx, output, res); err != nil {
 		return nil, err
 	}
 	res.SortTuples()
 	return res, nil
+}
+
+// prunedTap collects the prune records streaming out of cycle 2 into the
+// per-relation id sets the join cycle's map consults — the pipelined
+// stand-in for loadPruned's distributed-cache read. Malformed records are
+// impossible by construction (the tap sees exactly what the prune reducer
+// wrote) and are ignored.
+func prunedTap(pruned []map[int64]bool, counts map[int]int64) func(string) {
+	return func(rec string) {
+		comma := strings.IndexByte(rec, ',')
+		if comma < 0 {
+			return
+		}
+		rel, err := strconv.Atoi(rec[:comma])
+		if err != nil || rel < 0 || rel >= len(pruned) {
+			return
+		}
+		id, err := strconv.ParseInt(rec[comma+1:], 10, 64)
+		if err != nil {
+			return
+		}
+		if pruned[rel] == nil {
+			pruned[rel] = make(map[int64]bool)
+		}
+		if !pruned[rel][id] {
+			pruned[rel][id] = true
+			counts[rel]++
+		}
+	}
 }
 
 // pruneJob builds PASM's cycle 2. Key space: component*o + partition. Each

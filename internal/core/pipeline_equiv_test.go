@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"intervaljoin/internal/dfs"
+	"intervaljoin/internal/mr"
+	"intervaljoin/internal/query"
+	"intervaljoin/internal/relation"
+)
+
+// runSingle executes one algorithm on a fresh store with a pinned scratch
+// directory and returns the result plus the final output file's lines.
+func runSingle(t *testing.T, alg Algorithm, q *query.Query, rels []*relation.Relation, opts Options) (*Result, []string) {
+	t.Helper()
+	store := dfs.NewMem()
+	engine := mr.NewEngine(mr.Config{Store: store, Workers: 4})
+	ctx, err := NewContext(engine, q, rels, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := alg.Run(ctx)
+	if err != nil {
+		t.Fatalf("%s: %v", alg.Name(), err)
+	}
+	lines, err := dfs.ReadAll(store, opts.Scratch+"/output")
+	if err != nil {
+		t.Fatalf("%s: reading output: %v", alg.Name(), err)
+	}
+	return res, lines
+}
+
+// TestPipelinedMatchesMaterialized runs every multi-cycle algorithm twice —
+// once through the pipelined executor (the default) and once with
+// Materialize: true (sequential RunChain, every boundary written) — and
+// requires byte-identical final output plus identical result statistics.
+// SortValues pins reduce-value order so both modes are deterministic.
+func TestPipelinedMatchesMaterialized(t *testing.T) {
+	cases := []struct {
+		name  string
+		alg   Algorithm
+		query string
+	}{
+		{"cascade", Cascade{}, "R1 overlaps R2 and R2 overlaps R3"},
+		{"cascade-matrix", Cascade{MatrixSteps: true}, "R1 before R2 and R2 before R3"},
+		{"rccis", RCCIS{}, "R1 overlaps R2 and R2 overlaps R3"},
+		{"all-seq-matrix", SeqMatrix{}, "R1 overlaps R2 and R2 overlaps R3"},
+		{"all-seq-matrix-hybrid", SeqMatrix{}, "R1 before R2 and R1 overlaps R3"},
+		{"fcts", FCTS{}, "R1 overlaps R2 and R2 overlaps R3"},
+		{"fcts-hybrid", FCTS{}, "R1 before R2 and R1 overlaps R3"},
+		{"pasm", PASM{}, "R1 overlaps R2 and R2 overlaps R3"},
+		{"pasm-hybrid", PASM{}, "R1 before R2 and R1 overlaps R3"},
+		{"gen-matrix", GenMatrix{}, "R1 before R2 and R1 overlaps R3"},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := query.MustParse(tc.query)
+			rels := make([]*relation.Relation, len(q.Relations))
+			for i, s := range q.Relations {
+				rels[i] = randomRelation(rng, s.Name, 45, 160, 30)
+			}
+			opts := Options{
+				Partitions: 6, PartitionsPerDim: 4,
+				Scratch: "equiv", SortValues: true,
+			}
+			seq := opts
+			seq.Materialize = true
+			wantRes, wantLines := runSingle(t, tc.alg, q, rels, seq)
+			gotRes, gotLines := runSingle(t, tc.alg, q, rels, opts)
+
+			if len(gotLines) != len(wantLines) {
+				t.Fatalf("output has %d lines pipelined, %d materialized", len(gotLines), len(wantLines))
+			}
+			for i := range gotLines {
+				if gotLines[i] != wantLines[i] {
+					t.Fatalf("output line %d differs:\npipelined:    %q\nmaterialized: %q",
+						i, gotLines[i], wantLines[i])
+				}
+			}
+			if len(gotRes.Tuples) != len(wantRes.Tuples) {
+				t.Errorf("tuples: %d pipelined, %d materialized", len(gotRes.Tuples), len(wantRes.Tuples))
+			}
+			if gotRes.ReplicatedIntervals != wantRes.ReplicatedIntervals {
+				t.Errorf("replicated: %d pipelined, %d materialized",
+					gotRes.ReplicatedIntervals, wantRes.ReplicatedIntervals)
+			}
+			for _, rels := range [][]map[int]int64{{gotRes.PrunedIntervals, wantRes.PrunedIntervals}} {
+				got, want := rels[0], rels[1]
+				for k, v := range want {
+					if got[k] != v {
+						t.Errorf("pruned[%d]: %d pipelined, %d materialized", k, got[k], v)
+					}
+				}
+				for k, v := range got {
+					if v != 0 && want[k] != v {
+						t.Errorf("pruned[%d]: %d pipelined, %d materialized", k, v, want[k])
+					}
+				}
+			}
+			if gotRes.Metrics.StreamedPairs == 0 {
+				t.Error("pipelined run streamed no pairs across cycle boundaries")
+			}
+			if wantRes.Metrics.StreamedPairs != 0 {
+				t.Errorf("materialized run streamed %d pairs, want 0", wantRes.Metrics.StreamedPairs)
+			}
+			if gotRes.Metrics.Cycles != wantRes.Metrics.Cycles {
+				t.Errorf("cycles: %d pipelined, %d materialized",
+					gotRes.Metrics.Cycles, wantRes.Metrics.Cycles)
+			}
+		})
+	}
+}

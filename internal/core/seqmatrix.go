@@ -57,15 +57,11 @@ func (s SeqMatrix) Run(ctx *Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	perCycle, agg, err := ctx.Engine.RunChain(markJob, joinJob)
+	perCycle, agg, replicated, err := runMarkedChain(ctx, opts, marked, markJob, mr.Stage{Job: joinJob})
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Algorithm: s.Name(), Metrics: agg, PerCycle: perCycle}
-	res.ReplicatedIntervals, err = countFlagged(ctx, marked)
-	if err != nil {
-		return nil, err
-	}
+	res := &Result{Algorithm: s.Name(), Metrics: agg, PerCycle: perCycle, ReplicatedIntervals: replicated}
 	if err := readOutput(ctx, joinJob.Output, res); err != nil {
 		return nil, err
 	}

@@ -40,6 +40,10 @@ type Config struct {
 	// experiment if any algorithm's output differs. Expensive; intended
 	// for tests.
 	Verify bool
+	// Materialize runs multi-cycle algorithms with every cycle boundary
+	// written to the store (sequential RunChain) instead of the default
+	// pipelined executor — for measuring what the pipelining buys.
+	Materialize bool
 }
 
 func (c Config) withDefaults() Config {
@@ -159,6 +163,7 @@ type Run struct {
 // execute runs one algorithm on a fresh in-memory engine and profiles it.
 func execute(cfg Config, alg core.Algorithm, q *query.Query, rels []*relation.Relation, opts core.Options) (Run, error) {
 	engine := mr.NewEngine(mr.Config{Store: dfs.NewMem(), Workers: cfg.Workers})
+	opts.Materialize = cfg.Materialize
 	ctx, err := core.NewContext(engine, q, rels, opts)
 	if err != nil {
 		return Run{}, err

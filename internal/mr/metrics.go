@@ -52,6 +52,26 @@ type Metrics struct {
 	// combiner's fold (equal when no combiner is set — both zero).
 	CombineInputPairs  int64
 	CombineOutputPairs int64
+	// PipelineWall is the wall-clock of a whole pipelined chain (set on the
+	// aggregate returned by RunPipeline; zero on per-cycle metrics). Unlike
+	// TotalWall, overlapping cycles are not double counted.
+	PipelineWall time.Duration
+	// OverlapSaved is the wall-clock recovered by overlapping cycle k's
+	// reduce with cycle k+1's map: the sum of per-cycle TotalWall minus
+	// PipelineWall.
+	OverlapSaved time.Duration
+	// StreamedPairs / StreamedBytes count reduce output records that were
+	// short-circuited directly into the next cycle's map feed instead of
+	// being materialised to the store and re-parsed.
+	StreamedPairs int64
+	StreamedBytes int64
+	// MakespanKeyOrder / MakespanLPT model the reduce phase's makespan on
+	// this engine's worker pool under two dispatch orders, using the
+	// measured per-task durations: ascending key order (naive FIFO) versus
+	// the longest-processing-time-first order the engine actually uses.
+	// LPT ≤ key-order; the gap is the straggler tail the ordering shaved.
+	MakespanKeyOrder time.Duration
+	MakespanLPT      time.Duration
 }
 
 func newMetrics(job string) *Metrics {
@@ -84,6 +104,12 @@ func (m *Metrics) Merge(other *Metrics) {
 	m.SpillRuns += other.SpillRuns
 	m.CombineInputPairs += other.CombineInputPairs
 	m.CombineOutputPairs += other.CombineOutputPairs
+	m.PipelineWall += other.PipelineWall
+	m.OverlapSaved += other.OverlapSaved
+	m.StreamedPairs += other.StreamedPairs
+	m.StreamedBytes += other.StreamedBytes
+	m.MakespanKeyOrder += other.MakespanKeyOrder // cycles serialise
+	m.MakespanLPT += other.MakespanLPT
 	for k, v := range other.ReducerPairs {
 		m.ReducerPairs[k] += v
 	}
@@ -136,6 +162,34 @@ func (m *Metrics) LoadImbalance() float64 {
 // does. For chained jobs, cycle stragglers add up.
 func (m *Metrics) SimulatedMakespan() time.Duration { return m.MaxReducerTime }
 
+// listMakespan models greedy list scheduling: tasks are dispatched in the
+// given order, each to the worker that frees up first, and the makespan is
+// the time the last worker finishes. This is how the engine's reduce pool
+// behaves, so feeding it measured task durations in two different orders
+// quantifies what a dispatch ordering is worth.
+func listMakespan(durations []time.Duration, workers int) time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	free := make([]time.Duration, workers)
+	for _, d := range durations {
+		wi := 0
+		for i := 1; i < workers; i++ {
+			if free[i] < free[wi] {
+				wi = i
+			}
+		}
+		free[wi] += d
+	}
+	var span time.Duration
+	for _, f := range free {
+		if f > span {
+			span = f
+		}
+	}
+	return span
+}
+
 // ReducerLoadVector returns per-reducer pair counts sorted by key — the load
 // distribution plotted in Figure 4.
 func (m *Metrics) ReducerLoadVector() []int64 {
@@ -158,5 +212,10 @@ func (m *Metrics) String() string {
 		m.Job, m.Cycles, m.MapInputRecords, m.IntermediatePairs, m.DistinctKeys,
 		m.OutputRecords, m.TotalWall.Round(time.Millisecond),
 		m.SimulatedMakespan().Round(time.Millisecond), m.LoadImbalance())
+	if m.PipelineWall > 0 {
+		fmt.Fprintf(&b, " pipeline=%s overlap=%s streamed=%d",
+			m.PipelineWall.Round(time.Millisecond),
+			m.OverlapSaved.Round(time.Millisecond), m.StreamedPairs)
+	}
 	return b.String()
 }

@@ -135,15 +135,20 @@ type Config struct {
 	// may return an error (typically wrapping ErrTransient) to simulate
 	// task failures. Used by the failure-injection tests.
 	FailureInjector func(phase Phase, task, attempt int) error
+	// MaterializeBoundaries forces RunPipeline to write every streamed
+	// cycle boundary to the store as well — Hadoop-parity behaviour for
+	// debugging and post-mortem inspection of intermediates.
+	MaterializeBoundaries bool
 }
 
 // Engine executes jobs.
 type Engine struct {
-	store    dfs.Store
-	workers  int
-	spill    int
-	attempts int
-	inject   func(phase Phase, task, attempt int) error
+	store       dfs.Store
+	workers     int
+	spill       int
+	attempts    int
+	inject      func(phase Phase, task, attempt int) error
+	materialize bool
 }
 
 // NewEngine returns an engine over the given store.
@@ -157,11 +162,12 @@ func NewEngine(cfg Config) *Engine {
 		a = 1
 	}
 	return &Engine{
-		store:    cfg.Store,
-		workers:  w,
-		spill:    cfg.SpillPairThreshold,
-		attempts: a,
-		inject:   cfg.FailureInjector,
+		store:       cfg.Store,
+		workers:     w,
+		spill:       cfg.SpillPairThreshold,
+		attempts:    a,
+		inject:      cfg.FailureInjector,
+		materialize: cfg.MaterializeBoundaries,
 	}
 }
 
@@ -170,17 +176,25 @@ func (e *Engine) Store() dfs.Store { return e.store }
 
 // Run executes one job and returns its metrics.
 func (e *Engine) Run(job Job) (*Metrics, error) {
+	return e.runJob(job, nil, nil, true)
+}
+
+// runJob executes one job. stream, when non-nil, feeds extra map input
+// records alongside the job's file inputs (the pipelined cycle boundary);
+// snk, when non-nil, observes every reduce task's committed output; writeOut
+// false suppresses writing Job.Output (the records only travel through snk).
+func (e *Engine) runJob(job Job, stream <-chan []taggedRecord, snk *sink, writeOut bool) (*Metrics, error) {
 	if job.Map == nil || job.Reduce == nil {
 		return nil, fmt.Errorf("mr: job %s: Map and Reduce are required", job.Name)
 	}
 	m := newMetrics(job.Name)
 	start := time.Now()
 
-	shuffle, err := e.mapPhase(job, m)
+	shuffle, err := e.mapPhase(job, m, stream)
 	if err != nil {
 		return nil, err
 	}
-	if err := e.reducePhase(job, shuffle, m); err != nil {
+	if err := e.reducePhase(job, shuffle, m, snk, writeOut); err != nil {
 		return nil, err
 	}
 	shuffle.cleanup(e.store)
@@ -254,7 +268,7 @@ type feedFile struct {
 	tag  int
 }
 
-func (e *Engine) mapPhase(job Job, m *Metrics) (*shuffleState, error) {
+func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord) (*shuffleState, error) {
 	mapStart := time.Now()
 	// Resolve every input to its file list up front so the feed can read
 	// files concurrently.
@@ -381,6 +395,20 @@ func (e *Engine) mapPhase(job Job, m *Metrics) (*shuffleState, error) {
 					feedErrc <- err
 					// Keep draining so the dispatcher never blocks.
 				}
+			}
+		}()
+	}
+	// A streamed boundary feeds upstream reduce batches straight into the
+	// same work queue the file readers fill: upstream batches are already
+	// the retry unit, so a failed downstream map attempt re-runs from the
+	// buffered batch without touching the store.
+	if stream != nil {
+		feedWG.Add(1)
+		go func() {
+			defer feedWG.Done()
+			for batch := range stream {
+				records.Add(int64(len(batch)))
+				work <- batch
 			}
 		}()
 	}
@@ -544,14 +572,14 @@ type reduceResult struct {
 	pairs    int64
 }
 
-func (e *Engine) reducePhase(job Job, shuffle *shuffleState, m *Metrics) error {
+func (e *Engine) reducePhase(job Job, shuffle *shuffleState, m *Metrics, snk *sink, writeOut bool) error {
 	reduceStart := time.Now()
 	var results []reduceResult
 	var err error
 	if shuffle.spilled() {
-		results, err = e.reduceStreaming(job, shuffle, m)
+		results, err = e.reduceStreaming(job, shuffle, m, snk)
 	} else {
-		results, err = e.reduceInMemory(job, shuffle, m)
+		results, err = e.reduceInMemory(job, shuffle, m, snk)
 	}
 	if err != nil {
 		return err
@@ -565,11 +593,40 @@ func (e *Engine) reducePhase(job Job, shuffle *shuffleState, m *Metrics) error {
 		}
 		m.OutputRecords += int64(len(res.output))
 	}
-	if err := e.writeOutput(job, results); err != nil {
-		return err
+	m.MakespanKeyOrder, m.MakespanLPT = modelDispatchOrders(results, e.workers)
+	if writeOut {
+		if err := e.writeOutput(job, results); err != nil {
+			return err
+		}
 	}
 	m.ReduceWall = time.Since(reduceStart)
 	return nil
+}
+
+// modelDispatchOrders replays the measured reduce task durations through the
+// list scheduler in ascending key order and in the longest-first order the
+// engine dispatches (by shuffled value count), quantifying the straggler
+// tail the LPT ordering removes.
+func modelDispatchOrders(results []reduceResult, workers int) (keyOrder, lpt time.Duration) {
+	durs := make([]time.Duration, len(results))
+	for i, r := range results {
+		durs[i] = r.duration
+	}
+	keyOrder = listMakespan(durs, workers)
+	order := make([]int, len(results))
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortFunc(order, func(a, b int) int {
+		if c := cmp.Compare(results[b].pairs, results[a].pairs); c != 0 {
+			return c
+		}
+		return cmp.Compare(results[a].key, results[b].key)
+	})
+	for i, oi := range order {
+		durs[i] = results[oi].duration
+	}
+	return keyOrder, listMakespan(durs, workers)
 }
 
 // writeOutput commits the buffered reduce outputs: a single file, or — for
@@ -682,7 +739,7 @@ func (rc *retryCounter) add(d int64) {
 	rc.mu.Unlock()
 }
 
-func (e *Engine) reduceInMemory(job Job, shuffle *shuffleState, m *Metrics) ([]reduceResult, error) {
+func (e *Engine) reduceInMemory(job Job, shuffle *shuffleState, m *Metrics, snk *sink) ([]reduceResult, error) {
 	keys := make([]int64, 0, m.DistinctKeys)
 	for _, shard := range shuffle.shards {
 		for k := range shard {
@@ -690,6 +747,21 @@ func (e *Engine) reduceInMemory(job Job, shuffle *shuffleState, m *Metrics) ([]r
 		}
 	}
 	slices.Sort(keys)
+
+	// Dispatch longest-processing-time first (by shuffled value count):
+	// classic list scheduling, which keeps the heaviest reduce task from
+	// landing last and stretching the phase by a whole straggler. keys
+	// stays key-sorted so results/output ordering is unaffected.
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortFunc(order, func(a, b int) int {
+		if c := cmp.Compare(len(shuffle.group(keys[b])), len(shuffle.group(keys[a]))); c != 0 {
+			return c
+		}
+		return cmp.Compare(keys[a], keys[b])
+	})
 
 	results := make([]reduceResult, len(keys))
 	errc := make(chan error, e.workers)
@@ -710,10 +782,11 @@ func (e *Engine) reduceInMemory(job Job, shuffle *shuffleState, m *Metrics) ([]r
 					return
 				}
 				results[ki] = res
+				snk.deliver(res.output)
 			}
 		}()
 	}
-	for ki := range keys {
+	for _, ki := range order {
 		keyc <- ki
 	}
 	close(keyc)
@@ -729,7 +802,7 @@ func (e *Engine) reduceInMemory(job Job, shuffle *shuffleState, m *Metrics) ([]r
 // reduceStreaming merges the spilled runs and in-memory leftovers in key
 // order, dispatching each key's values to the worker pool as it completes —
 // only one in-flight key list per worker is materialised.
-func (e *Engine) reduceStreaming(job Job, shuffle *shuffleState, m *Metrics) ([]reduceResult, error) {
+func (e *Engine) reduceStreaming(job Job, shuffle *shuffleState, m *Metrics, snk *sink) ([]reduceResult, error) {
 	cursors := make([]cursor, 0, len(shuffle.runFiles)+len(shuffle.leftover))
 	for _, f := range shuffle.runFiles {
 		rc, err := openRun(e.store, f)
@@ -771,6 +844,7 @@ func (e *Engine) reduceStreaming(job Job, shuffle *shuffleState, m *Metrics) ([]
 				mu.Lock()
 				results = append(results, res)
 				mu.Unlock()
+				snk.deliver(res.output)
 			}
 		}()
 	}

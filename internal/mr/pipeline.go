@@ -1,0 +1,259 @@
+package mr
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Pipelined chain execution. RunChain materialises every cycle boundary on
+// the store and re-parses it — Hadoop's HDFS barrier between chained jobs.
+// RunPipeline short-circuits those boundaries: when stage k's single-file
+// output is consumed by stage k+1, each completed reduce task of stage k
+// streams its records directly into stage k+1's map feed over a bounded
+// channel, so k's reduce phase overlaps k+1's map phase and the store
+// round-trip (write, re-open, re-parse) is elided. Fault tolerance is
+// preserved because the streamed batch is the same retry unit as a file
+// batch: a transient downstream map failure re-runs from the buffered
+// batch, and an upstream reduce task only delivers output after its attempt
+// has succeeded.
+
+// Stage is one cycle of a pipelined chain.
+type Stage struct {
+	// Job is the cycle's job.
+	Job Job
+	// Materialize forces the stage's output file to be written even when
+	// its records are streamed to the next stage — for when the driver (or
+	// a debugging session) reads the intermediate afterwards. Outputs that
+	// are not streamed, or that a stage after the immediate successor also
+	// reads, are always written regardless of this flag.
+	Materialize bool
+	// Tap, when non-nil, observes every output record of the stage as its
+	// reduce task commits, before (or instead of) materialisation. Calls
+	// are serialised by the engine. Taps let drivers compute statistics
+	// over intermediates without forcing them onto the store.
+	Tap func(record string)
+}
+
+// ChainStages wraps plain jobs as pipeline stages with default behaviour.
+func ChainStages(jobs ...Job) []Stage {
+	stages := make([]Stage, len(jobs))
+	for i, j := range jobs {
+		stages[i] = Stage{Job: j}
+	}
+	return stages
+}
+
+// sink receives the committed output of each reduce task: it feeds the
+// records to the stage's Tap and, at a streamed boundary, batches them onto
+// the bounded channel that the next stage's map feed consumes.
+type sink struct {
+	mu    sync.Mutex
+	tag   int
+	out   chan<- []taggedRecord
+	tap   func(record string)
+	pairs int64
+	bytes int64
+}
+
+// deliver hands one reduce task's committed output downstream. Called only
+// after the task attempt succeeded, so retried attempts never leak partial
+// output past the boundary. Sends block when the channel is full — the
+// backpressure that bounds how far the producer cycle can run ahead.
+func (s *sink) deliver(records []string) {
+	if s == nil || len(records) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tap != nil {
+		for _, rec := range records {
+			s.tap(rec)
+		}
+	}
+	if s.out == nil {
+		return
+	}
+	batch := batchPool.Get().([]taggedRecord)
+	for _, rec := range records {
+		s.pairs++
+		s.bytes += int64(len(rec))
+		batch = append(batch, taggedRecord{tag: s.tag, record: rec})
+		if len(batch) == mapBatchSize {
+			s.out <- batch
+			batch = batchPool.Get().([]taggedRecord)
+		}
+	}
+	if len(batch) > 0 {
+		s.out <- batch
+	} else {
+		batchPool.Put(batch)
+	}
+}
+
+// boundaryPlan describes the edge from stage i to stage i+1.
+type boundaryPlan struct {
+	stream bool // reduce output of i feeds the map of i+1 directly
+	tag    int  // map tag the streamed records carry downstream
+}
+
+// RunPipeline executes a chain of stages, streaming every cycle boundary it
+// can and running the stages on both sides of a streamed boundary
+// concurrently. It returns per-stage metrics (indexed like stages; nil for
+// stages not reached after an error) and an aggregate whose PipelineWall,
+// OverlapSaved and StreamedPairs/StreamedBytes fields record what the
+// pipelining bought.
+//
+// A boundary i→i+1 streams when stage i writes a single (non-directory)
+// output file that stage i+1 lists among its inputs. The file itself is
+// written only if Stage.Materialize is set, Config.MaterializeBoundaries is
+// set, or a stage after i+1 also reads it; otherwise the store round-trip
+// is elided entirely. A boundary that does not stream is a barrier, exactly
+// like RunChain.
+func (e *Engine) RunPipeline(stages ...Stage) ([]*Metrics, *Metrics, error) {
+	agg := newMetrics("pipeline")
+	agg.Cycles = 0
+	if len(stages) == 0 {
+		return nil, agg, nil
+	}
+	n := len(stages)
+	bounds := make([]boundaryPlan, n)
+	write := make([]bool, n)
+	for i := range write {
+		write[i] = true
+	}
+	for i := 0; i < n-1; i++ {
+		out := stages[i].Job.Output
+		if out == "" || strings.HasSuffix(out, "/") {
+			continue // discarded or part-file output: nothing to stream
+		}
+		tag, ok := consumes(stages[i+1].Job, out)
+		if !ok {
+			continue
+		}
+		bounds[i] = boundaryPlan{stream: true, tag: tag}
+		write[i] = stages[i].Materialize || e.materialize || consumedLater(stages, i+2, out)
+	}
+
+	start := time.Now()
+	all := make([]*Metrics, n)
+	var firstErr error
+	// Stages joined by streamed boundaries form a group that runs
+	// concurrently; a non-streamed boundary is a barrier (the downstream
+	// stage reads files from the store, so its producers must finish).
+	for lo := 0; lo < n && firstErr == nil; {
+		hi := lo
+		for hi < n-1 && bounds[hi].stream {
+			hi++
+		}
+		firstErr = e.runGroup(stages, bounds, write, lo, hi, all)
+		lo = hi + 1
+	}
+	var sumWall time.Duration
+	for _, m := range all {
+		if m == nil {
+			continue
+		}
+		agg.Merge(m)
+		sumWall += m.TotalWall
+	}
+	agg.PipelineWall = time.Since(start)
+	if sumWall > agg.PipelineWall {
+		agg.OverlapSaved = sumWall - agg.PipelineWall
+	}
+	return all, agg, firstErr
+}
+
+// runGroup runs stages lo..hi concurrently, wired together by streamed
+// boundaries, and records their metrics into all.
+func (e *Engine) runGroup(stages []Stage, bounds []boundaryPlan, write []bool, lo, hi int, all []*Metrics) error {
+	errs := make([]error, hi-lo+1)
+	var wg sync.WaitGroup
+	var upstream chan []taggedRecord
+	for k := lo; k <= hi; k++ {
+		job := stages[k].Job
+		in := upstream
+		if in != nil {
+			// The streamed input arrives over the channel; drop it from
+			// the file inputs so it is neither re-read nor required to
+			// exist on the store.
+			job.Inputs = dropInput(job.Inputs, stages[k-1].Job.Output)
+		}
+		var snk *sink
+		var out chan []taggedRecord
+		if k < hi {
+			out = make(chan []taggedRecord, 2*e.workers)
+			snk = &sink{tag: bounds[k].tag, out: out, tap: stages[k].Tap}
+		} else if stages[k].Tap != nil {
+			snk = &sink{tap: stages[k].Tap}
+		}
+		wg.Add(1)
+		go func(k int, job Job, in, out chan []taggedRecord, snk *sink, writeOut bool) {
+			defer wg.Done()
+			m, err := e.runJob(job, in, snk, writeOut)
+			if out != nil {
+				// Wake the downstream stage's feed even on failure.
+				close(out)
+			}
+			if in != nil {
+				// If the job bailed before consuming its stream, drain it
+				// so the upstream stage is never blocked on a full channel.
+				for range in {
+				}
+			}
+			if m != nil && snk != nil {
+				m.StreamedPairs = snk.pairs
+				m.StreamedBytes = snk.bytes
+			}
+			all[k] = m
+			if err != nil {
+				errs[k-lo] = fmt.Errorf("mr: pipeline stage %d: %w", k, err)
+			}
+		}(k, job, in, out, snk, write[k])
+		upstream = out
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// consumes reports whether job reads file as one of its inputs, returning
+// that input's map tag.
+func consumes(job Job, file string) (int, bool) {
+	for _, in := range job.Inputs {
+		if in.File == file {
+			return in.Tag, true
+		}
+	}
+	return 0, false
+}
+
+// consumedLater reports whether any stage from idx on reads file, directly
+// or through a directory-input prefix — in which case a streamed boundary
+// must still materialise it.
+func consumedLater(stages []Stage, idx int, file string) bool {
+	for i := idx; i < len(stages); i++ {
+		for _, in := range stages[i].Job.Inputs {
+			if in.File == file || (strings.HasSuffix(in.File, "/") && strings.HasPrefix(file, in.File)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dropInput returns inputs without the entries reading file.
+func dropInput(inputs []Input, file string) []Input {
+	out := make([]Input, 0, len(inputs))
+	for _, in := range inputs {
+		if in.File != file {
+			out = append(out, in)
+		}
+	}
+	return out
+}

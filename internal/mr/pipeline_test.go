@@ -1,0 +1,376 @@
+package mr
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"intervaljoin/internal/dfs"
+)
+
+// chainJobs builds a 3-cycle chain over integer records: each cycle
+// transforms and re-keys every record, so the boundary traffic is
+// substantial and any record lost or duplicated at a boundary shows up in
+// the final histogram.
+func chainJobs() []Job {
+	passThrough := func(key int64, values []string, write func(string) error) error {
+		for _, v := range values {
+			if err := write(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	parse := func(rec string) (int64, error) { return strconv.ParseInt(rec, 10, 64) }
+	j1 := Job{
+		Name:   "t/j1",
+		Inputs: []Input{{File: "in"}},
+		Map: func(_ int, rec string, emit Emit) error {
+			v, err := parse(rec)
+			if err != nil {
+				return err
+			}
+			emit(v%17, strconv.FormatInt(v*3+1, 10))
+			return nil
+		},
+		Reduce:     passThrough,
+		Output:     "t/inter-1",
+		SortValues: true,
+	}
+	j2 := Job{
+		Name:   "t/j2",
+		Inputs: []Input{{File: "t/inter-1"}},
+		Map: func(_ int, rec string, emit Emit) error {
+			v, err := parse(rec)
+			if err != nil {
+				return err
+			}
+			emit(v%13, strconv.FormatInt(v/2, 10))
+			return nil
+		},
+		Reduce:     passThrough,
+		Output:     "t/inter-2",
+		SortValues: true,
+	}
+	j3 := Job{
+		Name:   "t/j3",
+		Inputs: []Input{{File: "t/inter-2"}},
+		Map: func(_ int, rec string, emit Emit) error {
+			v, err := parse(rec)
+			if err != nil {
+				return err
+			}
+			emit(v%7, rec)
+			return nil
+		},
+		Reduce: func(key int64, values []string, write func(string) error) error {
+			return write(fmt.Sprintf("%d:%d", key, len(values)))
+		},
+		Output:     "t/out",
+		SortValues: true,
+	}
+	return []Job{j1, j2, j3}
+}
+
+func stageInput(n int) []string {
+	recs := make([]string, n)
+	for i := range recs {
+		recs[i] = strconv.Itoa(i)
+	}
+	return recs
+}
+
+func runChainOn(t *testing.T, cfg Config) ([]string, []*Metrics, *Metrics) {
+	t.Helper()
+	store := dfs.NewMem()
+	cfg.Store = store
+	dfs.WriteAll(store, "in", stageInput(5000))
+	per, agg, err := NewEngine(cfg).RunChain(chainJobs()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dfs.ReadAll(store, "t/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, per, agg
+}
+
+func runPipelineOn(t *testing.T, cfg Config, stages []Stage) (dfs.Store, []string, []*Metrics, *Metrics) {
+	t.Helper()
+	store := dfs.NewMem()
+	cfg.Store = store
+	dfs.WriteAll(store, "in", stageInput(5000))
+	per, agg, err := NewEngine(cfg).RunPipeline(stages...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dfs.ReadAll(store, "t/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, out, per, agg
+}
+
+func sameLines(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("output length %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("output line %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPipelineMatchesChain is the engine-level equivalence check: the
+// pipelined executor must produce byte-identical final output while never
+// touching the store for the streamed boundaries.
+func TestPipelineMatchesChain(t *testing.T) {
+	want, _, _ := runChainOn(t, Config{Workers: 4})
+	store, got, per, agg := runPipelineOn(t, Config{Workers: 4}, ChainStages(chainJobs()...))
+	sameLines(t, got, want)
+
+	for _, f := range []string{"t/inter-1", "t/inter-2"} {
+		if store.Exists(f) {
+			t.Errorf("boundary %s was materialised despite streaming", f)
+		}
+	}
+	if agg.Cycles != 3 {
+		t.Errorf("aggregate cycles = %d, want 3", agg.Cycles)
+	}
+	if agg.StreamedPairs == 0 {
+		t.Error("no pairs streamed across boundaries")
+	}
+	if agg.PipelineWall == 0 {
+		t.Error("PipelineWall not recorded")
+	}
+	if len(per) != 3 {
+		t.Fatalf("per-cycle metrics length %d, want 3", len(per))
+	}
+	// Streamed counters live on the producing stages; the last stage
+	// streams nothing.
+	if per[0].StreamedPairs == 0 || per[1].StreamedPairs == 0 {
+		t.Errorf("producer stages streamed %d / %d pairs, want > 0",
+			per[0].StreamedPairs, per[1].StreamedPairs)
+	}
+	if per[2].StreamedPairs != 0 {
+		t.Errorf("final stage streamed %d pairs, want 0", per[2].StreamedPairs)
+	}
+}
+
+// TestPipelineMaterializeBoundaries checks the Hadoop-parity flag: every
+// boundary is still written, and its contents equal the sequential run's.
+func TestPipelineMaterializeBoundaries(t *testing.T) {
+	chainStore := dfs.NewMem()
+	dfs.WriteAll(chainStore, "in", stageInput(5000))
+	if _, _, err := NewEngine(Config{Store: chainStore, Workers: 4}).RunChain(chainJobs()...); err != nil {
+		t.Fatal(err)
+	}
+	store, _, _, agg := runPipelineOn(t,
+		Config{Workers: 4, MaterializeBoundaries: true}, ChainStages(chainJobs()...))
+	if agg.StreamedPairs == 0 {
+		t.Error("materialized boundaries should still stream")
+	}
+	for _, f := range []string{"t/inter-1", "t/inter-2", "t/out"} {
+		want, err := dfs.ReadAll(chainStore, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dfs.ReadAll(store, f)
+		if err != nil {
+			t.Fatalf("boundary %s: %v", f, err)
+		}
+		sameLines(t, got, want)
+	}
+}
+
+// TestPipelineStageMaterialize checks the per-stage override.
+func TestPipelineStageMaterialize(t *testing.T) {
+	stages := ChainStages(chainJobs()...)
+	stages[0].Materialize = true
+	store, _, _, _ := runPipelineOn(t, Config{Workers: 4}, stages)
+	if !store.Exists("t/inter-1") {
+		t.Error("Stage.Materialize did not write the boundary file")
+	}
+	if store.Exists("t/inter-2") {
+		t.Error("unmarked boundary was materialised")
+	}
+}
+
+// TestPipelineSpill runs the pipelined chain with the external sort-merge
+// shuffle engaged in every stage.
+func TestPipelineSpill(t *testing.T) {
+	want, _, _ := runChainOn(t, Config{Workers: 4})
+	_, got, _, agg := runPipelineOn(t,
+		Config{Workers: 4, SpillPairThreshold: 200}, ChainStages(chainJobs()...))
+	sameLines(t, got, want)
+	if agg.SpillRuns == 0 {
+		t.Error("spill threshold never triggered")
+	}
+	if agg.StreamedPairs == 0 {
+		t.Error("no pairs streamed")
+	}
+}
+
+// TestPipelineTap checks that a Tap observes every output record of its
+// stage — streamed, materialised, or discarded.
+func TestPipelineTap(t *testing.T) {
+	var mu sync.Mutex
+	counts := make([]int64, 3)
+	stages := ChainStages(chainJobs()...)
+	for i := range stages {
+		i := i
+		stages[i].Tap = func(string) {
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+		}
+	}
+	_, _, per, _ := runPipelineOn(t, Config{Workers: 4}, stages)
+	for i, m := range per {
+		if counts[i] != m.OutputRecords {
+			t.Errorf("stage %d tap saw %d records, OutputRecords = %d", i, counts[i], m.OutputRecords)
+		}
+	}
+}
+
+// firstAttemptInjector fails the first attempt of every task in every phase
+// of every job — so both sides of every streamed boundary retry.
+type firstAttemptInjector struct {
+	mu     sync.Mutex
+	failed int64
+}
+
+func (f *firstAttemptInjector) inject(_ Phase, _, attempt int) error {
+	if attempt > 1 {
+		return nil
+	}
+	f.mu.Lock()
+	f.failed++
+	f.mu.Unlock()
+	return fmt.Errorf("injected: %w", ErrTransient)
+}
+
+// TestPipelineFaultInjection kills the first attempt of every map and
+// reduce task mid-pipeline and checks the chain still converges to the
+// sequential no-fault output: upstream reduce tasks re-run before handing
+// output downstream, downstream map tasks re-run from the buffered batch.
+func TestPipelineFaultInjection(t *testing.T) {
+	want, _, _ := runChainOn(t, Config{Workers: 4})
+	inj := &firstAttemptInjector{}
+	_, got, _, agg := runPipelineOn(t,
+		Config{Workers: 4, MaxTaskAttempts: 3, FailureInjector: inj.inject},
+		ChainStages(chainJobs()...))
+	sameLines(t, got, want)
+	if inj.failed == 0 {
+		t.Fatal("injector never fired")
+	}
+	if agg.TaskRetries != inj.failed {
+		t.Errorf("retries = %d, injected failures = %d", agg.TaskRetries, inj.failed)
+	}
+}
+
+// TestPipelinePersistentFailure checks a non-recoverable mid-pipeline
+// failure surfaces as an error (from the failing stage) without
+// deadlocking the stages around it.
+func TestPipelinePersistentFailure(t *testing.T) {
+	for _, phase := range []Phase{PhaseMap, PhaseReduce} {
+		t.Run(string(phase), func(t *testing.T) {
+			store := dfs.NewMem()
+			dfs.WriteAll(store, "in", stageInput(5000))
+			jobs := chainJobs()
+			// Poison stage 2 only: stage 1 must still complete and stage 3
+			// must not hang on its never-filled feed.
+			switch phase {
+			case PhaseMap:
+				jobs[1].Map = func(_ int, _ string, _ Emit) error {
+					return errors.New("boom")
+				}
+			case PhaseReduce:
+				jobs[1].Reduce = func(_ int64, _ []string, _ func(string) error) error {
+					return errors.New("boom")
+				}
+			}
+			e := NewEngine(Config{Store: store, Workers: 4})
+			done := make(chan error, 1)
+			go func() {
+				_, _, err := e.RunPipeline(ChainStages(jobs...)...)
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if err == nil || !strings.Contains(err.Error(), "boom") {
+					t.Fatalf("err = %v, want the injected failure", err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("pipeline deadlocked on persistent failure")
+			}
+		})
+	}
+}
+
+// TestPipelineBarrierBoundary checks that a non-streamable boundary (the
+// downstream job does not read the upstream output) degrades to RunChain
+// semantics: sequential execution with the file written.
+func TestPipelineBarrierBoundary(t *testing.T) {
+	jobs := chainJobs()
+	// Break the 1→2 edge: job 2 reads a copy staged up front, not job 1's
+	// output, so nothing can stream across.
+	store := dfs.NewMem()
+	dfs.WriteAll(store, "in", stageInput(2000))
+	jobs[1].Inputs = []Input{{File: "side"}}
+	dfs.WriteAll(store, "side", stageInput(100))
+	per, agg, err := NewEngine(Config{Store: store, Workers: 4}).RunPipeline(ChainStages(jobs...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !store.Exists("t/inter-1") {
+		t.Error("non-streamed boundary must be materialised")
+	}
+	if per[0].StreamedPairs != 0 {
+		t.Errorf("stage 1 streamed %d pairs across a barrier", per[0].StreamedPairs)
+	}
+	if per[1].StreamedPairs == 0 || agg.StreamedPairs == 0 {
+		t.Error("the 2→3 boundary should still stream")
+	}
+}
+
+// TestListMakespan pins the list-scheduling model used for the reduce
+// dispatch-order metrics.
+func TestListMakespan(t *testing.T) {
+	d := func(n int) time.Duration { return time.Duration(n) }
+	// LPT order: {8} | {5,3} → 8. FIFO order 3,5,8 on 2 workers: w0=3+8, w1=5 → 11.
+	if got := listMakespan([]time.Duration{d(3), d(5), d(8)}, 2); got != d(11) {
+		t.Errorf("key-order makespan = %d, want 11", got)
+	}
+	if got := listMakespan([]time.Duration{d(8), d(5), d(3)}, 2); got != d(8) {
+		t.Errorf("LPT makespan = %d, want 8", got)
+	}
+	if got := listMakespan(nil, 4); got != 0 {
+		t.Errorf("empty makespan = %d, want 0", got)
+	}
+}
+
+// TestDispatchOrderMetrics checks a run records both modelled makespans and
+// that the LPT model never exceeds the key-order model by construction of
+// the sort (identical durations ⇒ equal).
+func TestDispatchOrderMetrics(t *testing.T) {
+	store := dfs.NewMem()
+	dfs.WriteAll(store, "in", stageInput(3000))
+	job, _ := histogramJob(3000, 9)
+	dfs.WriteAll(store, "in", stageInput(3000))
+	m, err := NewEngine(Config{Store: store, Workers: 4}).Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MakespanKeyOrder == 0 || m.MakespanLPT == 0 {
+		t.Errorf("dispatch-order makespans not recorded: key=%v lpt=%v",
+			m.MakespanKeyOrder, m.MakespanLPT)
+	}
+}

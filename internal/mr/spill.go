@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"slices"
 	"strconv"
-	"strings"
 
 	"intervaljoin/internal/dfs"
 )
@@ -23,6 +22,11 @@ type kvPair struct {
 	value string
 }
 
+// Spill records are length-prefixed: one byte 'A'+len(digits), the key's
+// decimal digits, then the value — so the reader slices the key out by
+// offset instead of scanning every record for a separator byte. An int64
+// key has at most 19 digits, so the prefix stays printable.
+
 // spillRun writes pairs (sorted by key) as one run file and returns its
 // name. Spilled keys must be non-negative (every algorithm in this module
 // uses partition / grid-cell ids, which are).
@@ -32,12 +36,17 @@ func spillRun(store dfs.Store, name string, pairs []kvPair) error {
 	if err != nil {
 		return err
 	}
+	buf := make([]byte, 0, 64)
 	for _, p := range pairs {
 		if p.key < 0 {
 			w.Close()
 			return fmt.Errorf("mr: spilled key %d is negative", p.key)
 		}
-		if err := w.Write(strconv.FormatInt(p.key, 10) + ";" + p.value); err != nil {
+		buf = append(buf[:0], 0)
+		buf = strconv.AppendInt(buf, p.key, 10)
+		buf[0] = 'A' + byte(len(buf)-1)
+		buf = append(buf, p.value...)
+		if err := w.Write(string(buf)); err != nil {
 			w.Close()
 			return err
 		}
@@ -74,15 +83,18 @@ func (rc *runCursor) advance() error {
 		rc.done = true
 		return nil
 	}
-	sep := strings.IndexByte(rec, ';')
-	if sep < 0 {
+	if len(rec) < 2 {
 		return fmt.Errorf("mr: malformed spill record %q", rec)
 	}
-	key, err := strconv.ParseInt(rec[:sep], 10, 64)
+	nd := int(rec[0] - 'A')
+	if nd < 1 || nd > len(rec)-1 {
+		return fmt.Errorf("mr: malformed spill record %q", rec)
+	}
+	key, err := strconv.ParseInt(rec[1:1+nd], 10, 64)
 	if err != nil {
 		return fmt.Errorf("mr: malformed spill key in %q: %v", rec, err)
 	}
-	rc.head = kvPair{key: key, value: rec[sep+1:]}
+	rc.head = kvPair{key: key, value: rec[1+nd:]}
 	return nil
 }
 
@@ -115,17 +127,20 @@ func (mc *memCursor) peek() (kvPair, bool) { return mc.headPair() }
 func (mc *memCursor) next() error          { mc.pos++; return nil }
 func (mc *memCursor) close()               {}
 
-// cursorHeap is a min-heap of cursors by head key.
-type cursorHeap []cursor
-
-func (h cursorHeap) Len() int { return len(h) }
-func (h cursorHeap) Less(i, j int) bool {
-	a, _ := h[i].peek()
-	b, _ := h[j].peek()
-	return a.key < b.key
+// heapEntry caches a cursor's head pair so heap comparisons are a plain
+// int64 compare instead of two interface calls per Less.
+type heapEntry struct {
+	c    cursor
+	head kvPair
 }
+
+// cursorHeap is a min-heap of cursors by cached head key.
+type cursorHeap []heapEntry
+
+func (h cursorHeap) Len() int            { return len(h) }
+func (h cursorHeap) Less(i, j int) bool  { return h[i].head.key < h[j].head.key }
 func (h cursorHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *cursorHeap) Push(x interface{}) { *h = append(*h, x.(cursor)) }
+func (h *cursorHeap) Push(x interface{}) { *h = append(*h, x.(heapEntry)) }
 func (h *cursorHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
@@ -139,8 +154,8 @@ func (h *cursorHeap) Pop() interface{} {
 func mergeRuns(cursors []cursor, fn func(key int64, values []string) error) error {
 	h := make(cursorHeap, 0, len(cursors))
 	for _, c := range cursors {
-		if _, ok := c.peek(); ok {
-			h = append(h, c)
+		if p, ok := c.peek(); ok {
+			h = append(h, heapEntry{c: c, head: p})
 		}
 	}
 	heap.Init(&h)
@@ -159,8 +174,7 @@ func mergeRuns(cursors []cursor, fn func(key int64, values []string) error) erro
 		return err
 	}
 	for h.Len() > 0 {
-		c := h[0]
-		p, _ := c.peek()
+		p := h[0].head
 		if have && p.key != curKey {
 			if err := flush(); err != nil {
 				return err
@@ -169,10 +183,11 @@ func mergeRuns(cursors []cursor, fn func(key int64, values []string) error) erro
 		curKey = p.key
 		have = true
 		values = append(values, p.value)
-		if err := c.next(); err != nil {
+		if err := h[0].c.next(); err != nil {
 			return err
 		}
-		if _, ok := c.peek(); ok {
+		if np, ok := h[0].c.peek(); ok {
+			h[0].head = np
 			heap.Fix(&h, 0)
 		} else {
 			heap.Pop(&h)

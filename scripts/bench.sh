@@ -25,9 +25,21 @@ go test -run '^$' -bench 'Enumerator|SemijoinReduce|MarkCrossing' \
 go test -run '^$' -bench 'Encode' \
     -benchmem -benchtime 20000x -count "$REPS" ./internal/core/ | tee -a "$tmp"
 
-# MR engine end-to-end: parallel feed, sharded shuffle, spilling.
+# MR engine end-to-end: parallel feed, sharded shuffle, spilling, and the
+# 3-cycle chain pair (sequential RunChain vs pipelined boundaries).
 go test -run '^$' -bench 'Engine' \
     -benchmem -benchtime 20x -count "$REPS" ./internal/mr/ | tee -a "$tmp"
 
+# Whole multi-cycle algorithm chains (RCCIS, PASM), sequential vs
+# pipelined. Each iteration runs 2-3 full MR cycles, so few iterations.
+go test -run '^$' -bench '^BenchmarkChain' \
+    -benchmem -benchtime 5x -count "$REPS" ./internal/core/ | tee -a "$tmp"
+
 go run ./cmd/benchsummary -o "$OUT" < "$tmp"
 echo "wrote $OUT"
+
+# When regenerating a later baseline, show the regression table against the
+# earliest checked-in one.
+if [ "$OUT" != "BENCH_1.json" ] && [ -f "BENCH_1.json" ]; then
+    go run ./cmd/benchsummary -compare BENCH_1.json "$OUT"
+fi

@@ -27,7 +27,9 @@ go test -race ./...
 
 if [ "${SKIP_BENCH:-0}" != "1" ]; then
     echo "== benchmark baseline =="
-    sh scripts/bench.sh BENCH_1.json
+    # BENCH_1.json is the frozen pre-pipelining reference; current numbers
+    # go to BENCH_2.json and bench.sh prints the regression table.
+    sh scripts/bench.sh BENCH_2.json
 fi
 
 echo "check.sh: all green"
