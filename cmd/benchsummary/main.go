@@ -154,7 +154,36 @@ func compare(w io.Writer, old, new baseline, threshold float64) int {
 			fmt.Fprintf(w, "%-34s %14.0f %14s %8s\n", oe.Name, oe.Metrics["ns/op"], "-", "removed")
 		}
 	}
+	shuffleTable(w, oldBy, new)
 	return regressions
+}
+
+// shuffleTable prints the logical vs physical shuffle volume of every
+// benchmark that reports both (the engine's range-coalesced shuffle emits
+// them as logicalB/op and physB/op custom metrics), with the physical bytes
+// of the old baseline alongside when it recorded them.
+func shuffleTable(w io.Writer, oldBy map[string]entry, new baseline) {
+	header := false
+	for _, ne := range new.Benchmarks {
+		logical, okL := ne.Metrics["logicalB/op"]
+		phys, okP := ne.Metrics["physB/op"]
+		if !okL || !okP || phys == 0 {
+			continue
+		}
+		if !header {
+			fmt.Fprintf(w, "\n%-34s %14s %14s %14s %8s\n",
+				"shuffle volume", "logicalB/op", "old physB/op", "new physB/op", "repl")
+			header = true
+		}
+		oldPhys := "-"
+		if oe, ok := oldBy[ne.Name]; ok {
+			if v, ok := oe.Metrics["physB/op"]; ok && v > 0 {
+				oldPhys = strconv.FormatFloat(v, 'f', 0, 64)
+			}
+		}
+		fmt.Fprintf(w, "%-34s %14.0f %14s %14.0f %7.1fx\n",
+			ne.Name, logical, oldPhys, phys, logical/phys)
+	}
 }
 
 func main() {

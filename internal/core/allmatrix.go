@@ -81,7 +81,7 @@ func (a AllMatrix) Run(ctx *Context) (*Result, error) {
 	job := mr.Job{
 		Name:   opts.Scratch + "/join",
 		Inputs: inputs,
-		Map: func(tag int, record string, emit mr.Emit) error {
+		Map: func(tag int, record string, emit mr.Emitter) error {
 			t, err := relation.DecodeTuple(record)
 			if err != nil {
 				return err
@@ -92,7 +92,7 @@ func (a AllMatrix) Run(ctx *Context) (*Result, error) {
 			if !a.BroadcastAllCells {
 				bounds[tag] = grid.Bound{Min: q, Max: q} // condition D2
 			}
-			g.Enumerate(bounds, cons, func(id int64, _ []int) { emit(id, enc) })
+			g.EnumerateRuns(bounds, cons, func(lo, hi int64) { emit.EmitRange(lo, hi, enc) })
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {

@@ -50,7 +50,7 @@ func (a AllRep) Run(ctx *Context) (*Result, error) {
 	job := mr.Job{
 		Name:   opts.Scratch + "/join",
 		Inputs: inputs,
-		Map: func(tag int, record string, emit mr.Emit) error {
+		Map: func(tag int, record string, emit mr.Emitter) error {
 			t, err := relation.DecodeTuple(record)
 			if err != nil {
 				return err
@@ -60,10 +60,9 @@ func (a AllRep) Run(ctx *Context) (*Result, error) {
 				op = interval.OpProject
 			}
 			first, last := part.Apply(op, t.Key())
-			enc := encodeTagged(tag, t)
-			for p := first; p <= last; p++ {
-				emit(int64(p), enc)
-			}
+			// Destination partitions are contiguous, so one range record
+			// stands in for the per-partition broadcast.
+			emit.EmitRange(int64(first), int64(last), encodeTagged(tag, t))
 			return nil
 		},
 		Reduce:     reduceJoinAtPartition(ctx, part),

@@ -164,6 +164,52 @@ func benchChainAlg(b *testing.B, alg Algorithm, materialize bool) {
 	}
 }
 
+// benchShuffleAlg runs a replication-heavy sequence join and reports the
+// logical vs physical shuffle volume: logicalB/op is what a per-partition
+// emit ships (one record copy per covered reducer), physB/op is what the
+// range-coalesced shuffle actually stores. The Expanded variants run with
+// ExpandRangeEmits for the pre-coalescing baseline, so logicalB == physB
+// there and the coalesced physB/op against it is the measured saving.
+func benchShuffleAlg(b *testing.B, alg Algorithm, expand bool) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	q := query.MustParse("R1 before R2 and R2 before R3")
+	rels := make([]*relation.Relation, len(q.Relations))
+	for i, s := range q.Relations {
+		rels[i] = randomRelation(rng, s.Name, 60, 400_000, 12)
+	}
+	opts := Options{Partitions: 16, PartitionsPerDim: 16}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var m *mr.Metrics
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store := dfs.NewMem()
+		engine := mr.NewEngine(mr.Config{Store: store, ExpandRangeEmits: expand})
+		ctx, err := NewContext(engine, q, rels, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := alg.Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tuples) == 0 {
+			b.Fatal("empty join output")
+		}
+		m = res.Metrics
+	}
+	b.ReportMetric(float64(m.IntermediateBytes), "logicalB/op")
+	b.ReportMetric(float64(m.PhysicalBytes), "physB/op")
+	b.ReportMetric(m.ReplicationFactor(), "repl")
+}
+
+func BenchmarkShuffleAllRep(b *testing.B)            { benchShuffleAlg(b, AllRep{}, false) }
+func BenchmarkShuffleAllRepExpanded(b *testing.B)    { benchShuffleAlg(b, AllRep{}, true) }
+func BenchmarkShuffleAllMatrix(b *testing.B)         { benchShuffleAlg(b, AllMatrix{}, false) }
+func BenchmarkShuffleAllMatrixExpanded(b *testing.B) { benchShuffleAlg(b, AllMatrix{}, true) }
+
 func BenchmarkChainRCCISSequential(b *testing.B) { benchChainAlg(b, RCCIS{}, true) }
 func BenchmarkChainRCCISPipelined(b *testing.B)  { benchChainAlg(b, RCCIS{}, false) }
 func BenchmarkChainPASMSequential(b *testing.B)  { benchChainAlg(b, PASM{}, true) }

@@ -217,17 +217,17 @@ func (c Cascade) stepJob(ctx *Context, opts Options, part, gridPart interval.Par
 	boundLesser := (step.driving.Pred.LessThanOrder() == interval.LeftLess) == boundIsLeft
 	cons := []grid.Less{{A: 0, B: 1}}
 
-	emitMatrix := func(q int, dimIsLesser bool, enc string, emit mr.Emit) {
+	emitMatrix := func(q int, dimIsLesser bool, enc string, emit mr.Emitter) {
 		dim := 0
 		if !dimIsLesser {
 			dim = 1
 		}
 		bounds := g.FreeBounds()
 		bounds[dim] = grid.Bound{Min: q, Max: q}
-		g.Enumerate(bounds, cons, func(id int64, _ []int) { emit(id, enc) })
+		g.EnumerateRuns(bounds, cons, func(lo, hi int64) { emit.EmitRange(lo, hi, enc) })
 	}
 
-	mapFn := func(tag int, record string, emit mr.Emit) error {
+	mapFn := func(tag int, record string, emit mr.Emitter) error {
 		if tag == intermediateTag {
 			var pa partialAssignment
 			var err error
@@ -248,9 +248,7 @@ func (c Cascade) stepJob(ctx *Context, opts Options, part, gridPart interval.Par
 				return nil
 			}
 			first, lastP := part.Apply(boundOp, iv)
-			for p := first; p <= lastP; p++ {
-				emit(int64(p), enc)
-			}
+			emit.EmitRange(int64(first), int64(lastP), enc)
 			return nil
 		}
 		t, err := relation.DecodeTuple(record)
@@ -263,9 +261,7 @@ func (c Cascade) stepJob(ctx *Context, opts Options, part, gridPart interval.Par
 			return nil
 		}
 		first, lastP := part.Apply(novelOp, t.Key())
-		for p := first; p <= lastP; p++ {
-			emit(int64(p), enc)
-		}
+		emit.EmitRange(int64(first), int64(lastP), enc)
 		return nil
 	}
 

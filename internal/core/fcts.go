@@ -93,7 +93,7 @@ func (FCTS) componentOutputJob(ctx *Context, opts Options, part interval.Partiti
 	return mr.Job{
 		Name:   opts.Scratch + "/component-join",
 		Inputs: []mr.Input{{File: marked}},
-		Map: func(_ int, record string, emit mr.Emit) error {
+		Map: func(_ int, record string, emit mr.Emitter) error {
 			rel, replicate, t, err := decodeFlagged(record)
 			if err != nil {
 				return err
@@ -104,10 +104,8 @@ func (FCTS) componentOutputJob(ctx *Context, opts Options, part interval.Partiti
 			if replicate {
 				last = int(o) - 1
 			}
-			enc := encodeTagged(rel, t)
-			for p := q; p <= last; p++ {
-				emit(int64(ci)*o+int64(p), enc)
-			}
+			// Keys within one component block are contiguous.
+			emit.EmitRange(int64(ci)*o+int64(q), int64(ci)*o+int64(last), encodeTagged(rel, t))
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {
@@ -175,7 +173,7 @@ func (FCTS) sequenceJob(ctx *Context, opts Options, part interval.Partitioning,
 		seqConds = append(seqConds, d.Query.Conds[i])
 	}
 
-	mapFn := func(_ int, record string, emit mr.Emit) error {
+	mapFn := func(_ int, record string, emit mr.Emitter) error {
 		pa, err := decodePartial(record)
 		if err != nil {
 			return err
@@ -190,7 +188,7 @@ func (FCTS) sequenceJob(ctx *Context, opts Options, part interval.Partitioning,
 		q := part.IndexOf(maxStart)
 		bounds := g.FreeBounds()
 		bounds[ci] = grid.Bound{Min: q, Max: q}
-		g.Enumerate(bounds, cons, func(id int64, _ []int) { emit(id, record) })
+		g.EnumerateRuns(bounds, cons, func(lo, hi int64) { emit.EmitRange(lo, hi, record) })
 		return nil
 	}
 

@@ -159,7 +159,7 @@ func (FSTC) sequenceJob(ctx *Context, opts Options, part interval.Partitioning,
 	return mr.Job{
 		Name:   opts.Scratch + "/sequence",
 		Inputs: inputs,
-		Map: func(tag int, record string, emit mr.Emit) error {
+		Map: func(tag int, record string, emit mr.Emitter) error {
 			t, err := relation.DecodeTuple(record)
 			if err != nil {
 				return err
@@ -168,7 +168,7 @@ func (FSTC) sequenceJob(ctx *Context, opts Options, part interval.Partitioning,
 			bounds := g.FreeBounds()
 			bounds[dim[tag]] = grid.Bound{Min: q, Max: q}
 			enc := encodeTagged(tag, t)
-			g.Enumerate(bounds, cons, func(id int64, _ []int) { emit(id, enc) })
+			g.EnumerateRuns(bounds, cons, func(lo, hi int64) { emit.EmitRange(lo, hi, enc) })
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {
@@ -246,16 +246,14 @@ func (FSTC) colocStepJob(ctx *Context, opts Options, part interval.Partitioning,
 			{File: current, Tag: intermediateTag},
 			{File: ctx.inputFile(novel), Tag: novel},
 		},
-		Map: func(tag int, record string, emit mr.Emit) error {
+		Map: func(tag int, record string, emit mr.Emitter) error {
 			if tag == intermediateTag {
 				pa, err := decodePartial(record)
 				if err != nil {
 					return err
 				}
 				first, lastP := part.Apply(boundOp, pa.intervalOf(boundRel))
-				for p := first; p <= lastP; p++ {
-					emit(int64(p), record)
-				}
+				emit.EmitRange(int64(first), int64(lastP), record)
 				return nil
 			}
 			t, err := relation.DecodeTuple(record)
@@ -263,10 +261,7 @@ func (FSTC) colocStepJob(ctx *Context, opts Options, part interval.Partitioning,
 				return err
 			}
 			first, lastP := part.Apply(novelOp, t.Key())
-			enc := encodePartial(partialAssignment{{rel: novel, tuple: t}})
-			for p := first; p <= lastP; p++ {
-				emit(int64(p), enc)
-			}
+			emit.EmitRange(int64(first), int64(lastP), encodePartial(partialAssignment{{rel: novel, tuple: t}}))
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {

@@ -283,7 +283,7 @@ func (GenMatrix) markJob(ctx *Context, opts Options, d *query.Decomposition,
 	return mr.Job{
 		Name:   opts.Scratch + "/mark",
 		Inputs: inputs,
-		Map: func(tag int, record string, emit mr.Emit) error {
+		Map: func(tag int, record string, emit mr.Emitter) error {
 			t, err := relation.DecodeTuple(record)
 			if err != nil {
 				return err
@@ -293,10 +293,8 @@ func (GenMatrix) markJob(ctx *Context, opts Options, d *query.Decomposition,
 					continue
 				}
 				first, last := parts[ci].Split(t.Attrs[op.Attr])
-				enc := encodeTagged(tag, t)
-				for p := first; p <= last; p++ {
-					emit(int64(ci)*o+int64(p), enc)
-				}
+				// Keys within one component block are contiguous.
+				emit.EmitRange(int64(ci)*o+int64(first), int64(ci)*o+int64(last), encodeTagged(tag, t))
 			}
 			return nil
 		},
@@ -316,12 +314,12 @@ func (GenMatrix) mergeJob(ctx *Context, opts Options, verts [][]vertexInfo, inpu
 	return mr.Job{
 		Name:   opts.Scratch + "/merge",
 		Inputs: []mr.Input{{File: input}},
-		Map: func(_ int, record string, emit mr.Emit) error {
+		Map: func(_ int, record string, emit mr.Emitter) error {
 			rel, _, _, t, err := decodeVertexFlagged(record)
 			if err != nil {
 				return err
 			}
-			emit(t.ID*m+int64(rel), record)
+			emit.Emit(t.ID*m+int64(rel), record)
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {
@@ -376,7 +374,7 @@ func (GenMatrix) joinJob(ctx *Context, opts Options, d *query.Decomposition,
 	cons := soundComponentLess(d)
 	m := len(ctx.Rels)
 
-	mapFn := func(_ int, record string, emit mr.Emit) error {
+	mapFn := func(_ int, record string, emit mr.Emitter) error {
 		rel, flags, t, err := decodeVector(record)
 		if err != nil {
 			return err
@@ -398,7 +396,7 @@ func (GenMatrix) joinJob(ctx *Context, opts Options, d *query.Decomposition,
 			}
 		}
 		enc := encodeTagged(rel, t)
-		g.Enumerate(bounds, cons, func(id int64, _ []int) { emit(id, enc) })
+		g.EnumerateRuns(bounds, cons, func(lo, hi int64) { emit.EmitRange(lo, hi, enc) })
 		return nil
 	}
 

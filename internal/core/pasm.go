@@ -188,7 +188,7 @@ func pruneJob(ctx *Context, opts Options, part interval.Partitioning,
 	return mr.Job{
 		Name:   opts.Scratch + "/prune",
 		Inputs: []mr.Input{{File: marked}},
-		Map: func(_ int, record string, emit mr.Emit) error {
+		Map: func(_ int, record string, emit mr.Emitter) error {
 			rel, replicate, t, err := decodeFlagged(record)
 			if err != nil {
 				return err
@@ -202,9 +202,8 @@ func pruneJob(ctx *Context, opts Options, part interval.Partitioning,
 			if replicate {
 				last = int(o) - 1
 			}
-			for p := q; p <= last; p++ {
-				emit(int64(ci)*o+int64(p), record)
-			}
+			// Keys within one component block are contiguous.
+			emit.EmitRange(int64(ci)*o+int64(q), int64(ci)*o+int64(last), record)
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {

@@ -50,16 +50,13 @@ func (r RCCIS) Run(ctx *Context) (*Result, error) {
 	markJob := mr.Job{
 		Name:   opts.Scratch + "/mark",
 		Inputs: inputs,
-		Map: func(tag int, record string, emit mr.Emit) error {
+		Map: func(tag int, record string, emit mr.Emitter) error {
 			t, err := relation.DecodeTuple(record)
 			if err != nil {
 				return err
 			}
 			first, last := part.Split(t.Key())
-			enc := encodeTagged(tag, t)
-			for p := first; p <= last; p++ {
-				emit(int64(p), enc)
-			}
+			emit.EmitRange(int64(first), int64(last), encodeTagged(tag, t))
 			return nil
 		},
 		Reduce:     markReducer(ctx.Query, part, allRelations(m)),
@@ -70,7 +67,7 @@ func (r RCCIS) Run(ctx *Context) (*Result, error) {
 	joinJob := mr.Job{
 		Name:   opts.Scratch + "/join",
 		Inputs: []mr.Input{{File: marked}},
-		Map: func(_ int, record string, emit mr.Emit) error {
+		Map: func(_ int, record string, emit mr.Emitter) error {
 			rel, replicate, t, err := decodeFlagged(record)
 			if err != nil {
 				return err
@@ -80,10 +77,7 @@ func (r RCCIS) Run(ctx *Context) (*Result, error) {
 				op = interval.OpReplicate
 			}
 			first, last := part.Apply(op, t.Key())
-			enc := encodeTagged(rel, t)
-			for p := first; p <= last; p++ {
-				emit(int64(p), enc)
-			}
+			emit.EmitRange(int64(first), int64(last), encodeTagged(rel, t))
 			return nil
 		},
 		Reduce:     reduceJoinAtPartition(ctx, part),

@@ -106,17 +106,15 @@ func componentMarkJob(ctx *Context, opts Options, part interval.Partitioning,
 	return mr.Job{
 		Name:   opts.Scratch + "/mark",
 		Inputs: inputs,
-		Map: func(tag int, record string, emit mr.Emit) error {
+		Map: func(tag int, record string, emit mr.Emitter) error {
 			t, err := relation.DecodeTuple(record)
 			if err != nil {
 				return err
 			}
 			ci := comp[tag]
 			first, last := part.Split(t.Key())
-			enc := encodeTagged(tag, t)
-			for p := first; p <= last; p++ {
-				emit(int64(ci)*o+int64(p), enc)
-			}
+			// Keys within one component block are contiguous.
+			emit.EmitRange(int64(ci)*o+int64(first), int64(ci)*o+int64(last), encodeTagged(tag, t))
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {
@@ -145,7 +143,7 @@ func componentJoinJob(ctx *Context, opts Options, part interval.Partitioning,
 	cons := soundComponentLess(d)
 	m := len(ctx.Rels)
 
-	mapFn := func(_ int, record string, emit mr.Emit) error {
+	mapFn := func(_ int, record string, emit mr.Emitter) error {
 		rel, replicate, t, err := decodeFlagged(record)
 		if err != nil {
 			return err
@@ -162,7 +160,7 @@ func componentJoinJob(ctx *Context, opts Options, part interval.Partitioning,
 			bounds[k] = grid.Bound{Min: q, Max: q} // E2, projected
 		}
 		enc := encodeTagged(rel, t)
-		g.Enumerate(bounds, cons, func(id int64, _ []int) { emit(id, enc) })
+		g.EnumerateRuns(bounds, cons, func(lo, hi int64) { emit.EmitRange(lo, hi, enc) })
 		return nil
 	}
 

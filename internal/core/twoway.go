@@ -48,16 +48,13 @@ func (tw TwoWay) Run(ctx *Context) (*Result, error) {
 			{File: ctx.inputFile(0), Tag: 0},
 			{File: ctx.inputFile(1), Tag: 1},
 		},
-		Map: func(tag int, record string, emit mr.Emit) error {
+		Map: func(tag int, record string, emit mr.Emitter) error {
 			t, err := relation.DecodeTuple(record)
 			if err != nil {
 				return err
 			}
 			first, last := part.Apply(opOf[tag], t.Attrs[0])
-			enc := encodeTagged(tag, t)
-			for p := first; p <= last; p++ {
-				emit(int64(p), enc)
-			}
+			emit.EmitRange(int64(first), int64(last), encodeTagged(tag, t))
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {

@@ -147,6 +147,62 @@ func AblationSkew(cfg Config) (*Table, error) {
 	return t, nil
 }
 
+// AblationRangeShuffle measures what the range-coalesced shuffle saves per
+// algorithm: each map function emits one record per contiguous destination
+// range instead of one per reducer, so the physical pair count divided into
+// the logical one is the replication factor recovered. Output is unchanged
+// by construction (the reduce sweep re-expands ranges); this table records
+// the communication side of that trade.
+func AblationRangeShuffle(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.scaled(50_000)
+	rels := make([]*relation.Relation, 3)
+	for i := range rels {
+		r, err := workload.Generate(workload.Figure5Spec(fmt.Sprintf("R%d", i+1), n, cfg.Seed+int64(i)))
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = r
+	}
+	t := &Table{
+		ID:      "ablation-range-shuffle",
+		Title:   "Range-coalesced shuffle: logical vs physically stored pairs per algorithm",
+		Columns: []string{"algorithm", "query", "pairs", "phys_pairs", "repl", "pct_saved"},
+		Notes: []string{
+			"expected shape: replicate-heavy algorithms (all-rep, all-matrix) recover several x; project/split-dominated ones stay near 1x",
+		},
+	}
+	seq := query.MustParse("R1 before R2 and R2 before R3")
+	coloc := query.MustParse("R1 overlaps R2 and R2 overlaps R3")
+	cases := []struct {
+		alg  core.Algorithm
+		q    *query.Query
+		opts core.Options
+	}{
+		{core.AllRep{}, seq, core.Options{Partitions: 16}},
+		// A finer grid lengthens the consistent-cell runs and with them the
+		// coalescing win (cf. the partitions sweep above).
+		{core.AllMatrix{}, seq, core.Options{PartitionsPerDim: 12}},
+		{core.RCCIS{}, coloc, core.Options{Partitions: 16}},
+		{core.SeqMatrix{}, coloc, core.Options{Partitions: 16, PartitionsPerDim: 6}},
+	}
+	for _, c := range cases {
+		run, err := execute(cfg, c.alg, c.q, rels, c.opts)
+		if err != nil {
+			return nil, err
+		}
+		saved := 0.0
+		if run.Pairs > 0 {
+			saved = 100 * float64(run.Pairs-run.PhysPairs) / float64(run.Pairs)
+		}
+		t.AddRow(run.Algorithm, c.q.String(),
+			fmtCount(run.Pairs), fmtCount(run.PhysPairs),
+			fmt.Sprintf("%.2fx", run.ReplFactor),
+			fmt.Sprintf("%.1f", saved))
+	}
+	return t, nil
+}
+
 // AblationPruning runs PASM and All-Seq-Matrix on a Q4 workload where R3 is
 // as large and long as R1, so almost every R1 interval overlaps some R3
 // interval, pruning removes very little, and PASM's third cycle is mostly

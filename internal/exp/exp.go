@@ -150,6 +150,10 @@ type Run struct {
 	WallMs     int64
 	MakespanMs float64
 	Pairs      int64
+	// PhysPairs / ReplFactor profile the range-coalesced shuffle: the
+	// records it actually stored versus the logical Pairs, and their ratio.
+	PhysPairs  int64
+	ReplFactor float64
 	Replicated int64
 	OutputRows int64
 	Imbalance  float64
@@ -196,6 +200,8 @@ func execute(cfg Config, alg core.Algorithm, q *query.Query, rels []*relation.Re
 		WallMs:     wall.Milliseconds(),
 		MakespanMs: float64(res.Metrics.SimulatedMakespan().Microseconds()) / 1000,
 		Pairs:      res.Metrics.IntermediatePairs,
+		PhysPairs:  res.Metrics.PhysicalPairs,
+		ReplFactor: res.Metrics.ReplicationFactor(),
 		Replicated: res.ReplicatedIntervals,
 		OutputRows: int64(len(res.Tuples)),
 		Imbalance:  res.Metrics.LoadImbalance(),
@@ -270,6 +276,7 @@ func All() []Experiment {
 		{"ablation-partitions", "All-Matrix partitions-per-dimension sweep (DESIGN §6)", AblationPartitions},
 		{"ablation-pruning", "PASM under zero-pruning adversarial workload (DESIGN §6)", AblationPruning},
 		{"ablation-skew", "equi-depth vs uniform partitioning on zipf-skewed data (DESIGN §6)", AblationSkew},
+		{"ablation-range-shuffle", "range-coalesced shuffle: logical vs physical volume per algorithm", AblationRangeShuffle},
 		{"advisor", "cost model predictions vs measurements (Section 7.2 future work)", AdvisorValidation},
 	}
 }

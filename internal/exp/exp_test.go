@@ -328,6 +328,34 @@ func TestAblationSkewShape(t *testing.T) {
 	}
 }
 
+func TestAblationRangeShuffleShape(t *testing.T) {
+	tab, err := AblationRangeShuffle(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	for r := range tab.Rows {
+		logical := cellFloat(t, tab, r, "pairs")
+		phys := cellFloat(t, tab, r, "phys_pairs")
+		if phys > logical {
+			t.Errorf("row %d (%s): physical pairs %v exceed logical %v",
+				r, cell(tab, r, "algorithm"), phys, logical)
+		}
+	}
+	// The replicate-heavy baselines (rows 0 and 1) must coalesce
+	// substantially.
+	for r := 0; r < 2; r++ {
+		logical := cellFloat(t, tab, r, "pairs")
+		phys := cellFloat(t, tab, r, "phys_pairs")
+		if phys*2 > logical {
+			t.Errorf("row %d (%s): physical pairs %v not under half of logical %v",
+				r, cell(tab, r, "algorithm"), phys, logical)
+		}
+	}
+}
+
 func TestAdvisorValidationShape(t *testing.T) {
 	cfg := tiny
 	cfg.Scale = 0.002
@@ -382,8 +410,8 @@ func TestRenderAndRegistry(t *testing.T) {
 			t.Errorf("render missing %q in:\n%s", want, out)
 		}
 	}
-	if len(All()) != 13 {
-		t.Fatalf("experiments = %d, want 13", len(All()))
+	if len(All()) != 14 {
+		t.Fatalf("experiments = %d, want 14", len(All()))
 	}
 	if _, err := ByID("table1"); err != nil {
 		t.Fatal(err)

@@ -175,6 +175,31 @@ func (g Grid) Enumerate(bounds []Bound, cons []Less, fn func(id int64, coord []i
 	rec(0)
 }
 
+// EnumerateRuns calls fn with every maximal run [lo, hi] of consecutive
+// cell ids whose cells lie within bounds and satisfy all less constraints.
+// Enumerate visits cells in lexicographic coordinate order, which is
+// strictly increasing id order, so coalescing adjacent ids loses nothing:
+// whenever the innermost dimension is free, a whole row collapses to one
+// run. Feeding the runs to mr.Emitter.EmitRange turns a per-cell broadcast
+// into an emit-once range record.
+func (g Grid) EnumerateRuns(bounds []Bound, cons []Less, fn func(lo, hi int64)) {
+	// hi starts below lo-1 so the first cell can never extend the sentinel.
+	lo, hi := int64(-1), int64(-2)
+	g.Enumerate(bounds, cons, func(id int64, _ []int) {
+		if id == hi+1 {
+			hi = id
+			return
+		}
+		if hi >= lo {
+			fn(lo, hi)
+		}
+		lo, hi = id, id
+	})
+	if hi >= lo {
+		fn(lo, hi)
+	}
+}
+
 // ConsistentCells returns the ids of all cells satisfying the constraints —
 // the "consistent reducers" of the paper. Inconsistent cells are never sent
 // any data.

@@ -24,9 +24,9 @@ func benchEngine(b *testing.B, n, spill int) {
 	job := Job{
 		Name:   "bench",
 		Inputs: []Input{{File: "in"}},
-		Map: func(tag int, record string, emit Emit) error {
+		Map: func(tag int, record string, emit Emitter) error {
 			v, _ := strconv.ParseInt(record, 10, 64)
-			emit(v%64, record)
+			emit.Emit(v%64, record)
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {
@@ -60,9 +60,9 @@ func BenchmarkEngineWithCombiner(b *testing.B) {
 	job := Job{
 		Name:   "bench-combine",
 		Inputs: []Input{{File: "in"}},
-		Map: func(tag int, record string, emit Emit) error {
+		Map: func(tag int, record string, emit Emitter) error {
 			v, _ := strconv.ParseInt(record, 10, 64)
-			emit(v, "1")
+			emit.Emit(v, "1")
 			return nil
 		},
 		Combine: func(key int64, values []string) []string {

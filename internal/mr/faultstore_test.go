@@ -62,9 +62,9 @@ func identityJob(output string) Job {
 	return Job{
 		Name:   "identity",
 		Inputs: []Input{{File: "in"}},
-		Map: func(tag int, record string, emit Emit) error {
+		Map: func(tag int, record string, emit Emitter) error {
 			v, _ := strconv.ParseInt(record, 10, 64)
-			emit(v%4, record)
+			emit.Emit(v%4, record)
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {

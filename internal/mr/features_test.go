@@ -22,9 +22,9 @@ func histogramJob(n, k int) (Job, []string) {
 	return Job{
 		Name:   "hist",
 		Inputs: []Input{{File: "in"}},
-		Map: func(tag int, record string, emit Emit) error {
+		Map: func(tag int, record string, emit Emitter) error {
 			v, _ := strconv.ParseInt(record, 10, 64)
-			emit(v%int64(k), record)
+			emit.Emit(v%int64(k), record)
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {
@@ -124,8 +124,8 @@ func TestSpillRejectsNegativeKeys(t *testing.T) {
 	job := Job{
 		Name:   "neg",
 		Inputs: []Input{{File: "in"}},
-		Map: func(tag int, record string, emit Emit) error {
-			emit(-5, record)
+		Map: func(tag int, record string, emit Emitter) error {
+			emit.Emit(-5, record)
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error { return nil },
@@ -146,9 +146,9 @@ func TestCombinerFoldsMapOutput(t *testing.T) {
 	job := Job{
 		Name:   "combine",
 		Inputs: []Input{{File: "in"}},
-		Map: func(tag int, record string, emit Emit) error {
+		Map: func(tag int, record string, emit Emitter) error {
 			v, _ := strconv.ParseInt(record, 10, 64)
-			emit(v, "1")
+			emit.Emit(v, "1")
 			return nil
 		},
 		// Combiner and reducer both sum partial counts.
@@ -205,9 +205,9 @@ func TestCombinerWithSpill(t *testing.T) {
 	job := Job{
 		Name:   "combspill",
 		Inputs: []Input{{File: "in"}},
-		Map: func(tag int, record string, emit Emit) error {
+		Map: func(tag int, record string, emit Emitter) error {
 			v, _ := strconv.ParseInt(record, 10, 64)
-			emit(v, "1")
+			emit.Emit(v, "1")
 			return nil
 		},
 		Combine: func(key int64, values []string) []string {
@@ -388,10 +388,10 @@ func TestRetryWithSpillStillCorrect(t *testing.T) {
 
 func TestMergeRunsUnit(t *testing.T) {
 	store := dfs.NewMem()
-	if err := spillRun(store, "r1", []kvPair{{3, "c"}, {1, "a"}, {5, "e"}}); err != nil {
+	if err := spillRun(store, "r1", []emission{{3, 3, "c"}, {1, 1, "a"}, {5, 5, "e"}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := spillRun(store, "r2", []kvPair{{1, "A"}, {4, "d"}}); err != nil {
+	if err := spillRun(store, "r2", []emission{{1, 1, "A"}, {4, 4, "d"}}); err != nil {
 		t.Fatal(err)
 	}
 	c1, err := openRun(store, "r1")
@@ -402,7 +402,7 @@ func TestMergeRunsUnit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mem := &memCursor{pairs: []kvPair{{2, "b"}, {5, "E"}}}
+	mem := &memCursor{ems: []emission{{2, 2, "b"}, {5, 5, "E"}}}
 	var got []string
 	err = mergeRuns([]cursor{c1, c2, mem}, func(key int64, values []string) error {
 		sort.Strings(values)

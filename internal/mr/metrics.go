@@ -18,10 +18,19 @@ type Metrics struct {
 	// MapInputRecords counts records read by map tasks across inputs.
 	MapInputRecords int64
 	// IntermediatePairs counts emitted key-value pairs — the map→reduce
-	// communication volume.
+	// communication volume. This is the logical count: a range emission
+	// addressed to r reducers counts r pairs, exactly what the per-key emit
+	// it replaces would have produced.
 	IntermediatePairs int64
-	// IntermediateBytes approximates the shuffled byte volume.
+	// IntermediateBytes approximates the logical shuffled byte volume.
 	IntermediateBytes int64
+	// PhysicalPairs / PhysicalBytes count what the shuffle actually stored
+	// and moved after range coalescing: one record per EmitRange call
+	// instead of one per covered key. Equal to the logical counts when no
+	// map function emits ranges; the logical/physical ratio is the
+	// replication factor the coalescing recovered.
+	PhysicalPairs int64
+	PhysicalBytes int64
 	// DistinctKeys is the number of reduce tasks that received data.
 	DistinctKeys int
 	// OutputRecords counts records written by reduce tasks.
@@ -92,6 +101,8 @@ func (m *Metrics) Merge(other *Metrics) {
 	m.MapInputRecords += other.MapInputRecords
 	m.IntermediatePairs += other.IntermediatePairs
 	m.IntermediateBytes += other.IntermediateBytes
+	m.PhysicalPairs += other.PhysicalPairs
+	m.PhysicalBytes += other.PhysicalBytes
 	m.OutputRecords = other.OutputRecords // the chain's output is the last job's
 	m.MapWall += other.MapWall
 	m.FeedWall += other.FeedWall
@@ -119,6 +130,16 @@ func (m *Metrics) Merge(other *Metrics) {
 	if len(m.ReducerPairs) > m.DistinctKeys {
 		m.DistinctKeys = len(m.ReducerPairs)
 	}
+}
+
+// ReplicationFactor is IntermediatePairs / PhysicalPairs — the average
+// number of reducers each physically shuffled record addressed. 1.0 means
+// no range emission coalesced anything.
+func (m *Metrics) ReplicationFactor() float64 {
+	if m.PhysicalPairs == 0 {
+		return 1
+	}
+	return float64(m.IntermediatePairs) / float64(m.PhysicalPairs)
 }
 
 // MaxReducerPairs returns the heaviest reducer's pair count.
@@ -212,6 +233,9 @@ func (m *Metrics) String() string {
 		m.Job, m.Cycles, m.MapInputRecords, m.IntermediatePairs, m.DistinctKeys,
 		m.OutputRecords, m.TotalWall.Round(time.Millisecond),
 		m.SimulatedMakespan().Round(time.Millisecond), m.LoadImbalance())
+	if m.PhysicalPairs > 0 && m.PhysicalPairs != m.IntermediatePairs {
+		fmt.Fprintf(&b, " phys=%d repl=%.1fx", m.PhysicalPairs, m.ReplicationFactor())
+	}
 	if m.PipelineWall > 0 {
 		fmt.Fprintf(&b, " pipeline=%s overlap=%s streamed=%d",
 			m.PipelineWall.Round(time.Millisecond),

@@ -33,19 +33,50 @@ import (
 	"intervaljoin/internal/dfs"
 )
 
-// Emit publishes one intermediate key-value pair from a map function. The
-// key is the id of the reduce task that will receive the value; keys must
-// be non-negative.
-type Emit func(key int64, value string)
+// Emitter publishes intermediate key-value pairs from a map function. Keys
+// are the ids of the reduce tasks that will receive the value; they must be
+// non-negative.
+type Emitter struct {
+	buf    *[]emission
+	expand bool
+}
+
+// Emit publishes one intermediate key-value pair.
+func (e Emitter) Emit(key int64, value string) {
+	*e.buf = append(*e.buf, emission{lo: key, hi: key, value: value})
+}
+
+// EmitRange publishes value to every reduce key in [lo, hi] — the broadcast
+// every replication-based interval-join strategy performs over a contiguous
+// run of partition ids. The shuffle stores the value once and expands the
+// range lazily at the consuming reduce side, so the physical shuffle cost is
+// one record instead of hi-lo+1 copies, while the logical pair metrics still
+// count the full span. lo must be non-negative; an empty range (hi < lo)
+// emits nothing. Jobs with a combiner, and engines configured with
+// ExpandRangeEmits, expand the range into per-key pairs at emit time
+// instead.
+func (e Emitter) EmitRange(lo, hi int64, value string) {
+	if hi < lo {
+		return
+	}
+	if e.expand || lo < 0 {
+		for k := lo; k <= hi; k++ {
+			*e.buf = append(*e.buf, emission{lo: k, hi: k, value: value})
+		}
+		return
+	}
+	*e.buf = append(*e.buf, emission{lo: lo, hi: hi, value: value})
+}
 
 // MapFunc transforms one input record into intermediate pairs. tag
 // identifies which job input the record came from (the algorithms use it for
 // the relation index), so one job can map several relations with one
 // function, as Hadoop does with multiple input paths.
-type MapFunc func(tag int, record string, emit Emit) error
+type MapFunc func(tag int, record string, emit Emitter) error
 
 // ReduceFunc processes all values received by one reduce task. write appends
-// a record to the job output.
+// a record to the job output. The values slice is scratch the engine reuses
+// across tasks; implementations must not retain it past the call.
 type ReduceFunc func(key int64, values []string, write func(record string) error) error
 
 // CombineFunc folds one map task's values for a key before the shuffle
@@ -139,16 +170,21 @@ type Config struct {
 	// cycle boundary to the store as well — Hadoop-parity behaviour for
 	// debugging and post-mortem inspection of intermediates.
 	MaterializeBoundaries bool
+	// ExpandRangeEmits makes EmitRange materialise one pair per covered key
+	// at emit time instead of shipping a single range record — the legacy
+	// per-partition shuffle, kept for ablations and equivalence tests.
+	ExpandRangeEmits bool
 }
 
 // Engine executes jobs.
 type Engine struct {
-	store       dfs.Store
-	workers     int
-	spill       int
-	attempts    int
-	inject      func(phase Phase, task, attempt int) error
-	materialize bool
+	store        dfs.Store
+	workers      int
+	spill        int
+	attempts     int
+	inject       func(phase Phase, task, attempt int) error
+	materialize  bool
+	expandRanges bool
 }
 
 // NewEngine returns an engine over the given store.
@@ -162,12 +198,13 @@ func NewEngine(cfg Config) *Engine {
 		a = 1
 	}
 	return &Engine{
-		store:       cfg.Store,
-		workers:     w,
-		spill:       cfg.SpillPairThreshold,
-		attempts:    a,
-		inject:      cfg.FailureInjector,
-		materialize: cfg.MaterializeBoundaries,
+		store:        cfg.Store,
+		workers:      w,
+		spill:        cfg.SpillPairThreshold,
+		attempts:     a,
+		inject:       cfg.FailureInjector,
+		materialize:  cfg.MaterializeBoundaries,
+		expandRanges: cfg.ExpandRangeEmits,
 	}
 }
 
@@ -234,13 +271,20 @@ const mapBatchSize = 256
 type shuffleState struct {
 	shards   []map[int64][]string // in-memory mode, shards[shardOf(k)] holds k
 	runFiles []string             // spill mode
-	leftover [][]kvPair           // spill mode: per-worker sorted tails
+	leftover [][]emission         // spill mode: per-worker lo-sorted tails
 }
 
 // shardOf partitions reduce keys across n shards. Map workers bucket their
 // local output by shard, so the post-map merge parallelises with one merge
 // task per shard and no locking.
 func shardOf(key int64, n int) int { return int(uint64(key) % uint64(n)) }
+
+// rangeShardStart returns the smallest key >= lo owned by shard p, so a
+// range expansion visits only the keys of one shard. lo is non-negative
+// (EmitRange expands negative ranges eagerly).
+func rangeShardStart(lo int64, p, n int) int64 {
+	return lo + ((int64(p)-lo)%int64(n)+int64(n))%int64(n)
+}
 
 // group returns the value list shuffled to key.
 func (s *shuffleState) group(key int64) []string {
@@ -260,6 +304,20 @@ func (s *shuffleState) cleanup(store dfs.Store) {
 // a map worker, which returns it after the task completes.
 var batchPool = sync.Pool{
 	New: func() any { return make([]taggedRecord, 0, mapBatchSize) },
+}
+
+// valuesPool recycles the per-task value slices the streaming reduce path
+// hands to reduce tasks (mirroring the sweep kernel's pooled scratch).
+var valuesPool = sync.Pool{
+	New: func() any { return new([]string) },
+}
+
+// recycleValues clears a pooled value slice's string references and returns
+// it to the pool.
+func recycleValues(vs *[]string) {
+	clear(*vs)
+	*vs = (*vs)[:0]
+	valuesPool.Put(vs)
 }
 
 // feedFile is one resolved input file with its map tag.
@@ -288,11 +346,15 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord) (*s
 	errc := make(chan error, 2*e.workers)
 
 	type workerState struct {
-		local      []map[int64][]string // in-memory mode, bucketed by key shard
-		buf        []kvPair             // spill mode buffer
+		local      []map[int64][]string // in-memory mode, point pairs bucketed by key shard
+		ranges     []emission           // in-memory mode, buffered range emissions
+		buf        []emission           // spill mode buffer
 		runs       []string
-		pairs      int64
-		bytes      int64
+		pairs      int64 // logical: one per covered key
+		bytes      int64 // logical: value bytes per covered key
+		physPairs  int64 // physical: one per emission record
+		physBytes  int64 // physical: what the shuffle actually holds
+		spilled    int64 // logical pairs inside spilled runs
 		retries    int64
 		combineIn  int64
 		combineOut int64
@@ -322,7 +384,7 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord) (*s
 				}
 			}
 			states[w] = st
-			var attemptBuf []kvPair
+			var attemptBuf []emission
 			for batch := range work {
 				task := takeTask()
 				var err error
@@ -348,13 +410,20 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord) (*s
 					pairs, st.combineIn, st.combineOut = combinePairs(job.Combine, pairs, st.combineIn, st.combineOut)
 				}
 				for _, p := range pairs {
-					st.pairs++
-					st.bytes += int64(len(p.value)) + 8
+					n := p.span()
+					st.pairs += n
+					st.bytes += n * (int64(len(p.value)) + 8)
+					st.physPairs++
+					st.physBytes += p.physBytes()
 				}
 				if e.spill == 0 {
 					for _, p := range pairs {
-						shard := st.local[shardOf(p.key, nshards)]
-						shard[p.key] = append(shard[p.key], p.value)
+						if p.isRange() {
+							st.ranges = append(st.ranges, p)
+							continue
+						}
+						shard := st.local[shardOf(p.lo, nshards)]
+						shard[p.lo] = append(shard[p.lo], p.value)
 					}
 					continue
 				}
@@ -362,12 +431,17 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord) (*s
 				if len(st.buf) >= e.spill {
 					name := fmt.Sprintf("%s/.spill/w%d-r%d", job.Name, w, st.runSeq)
 					st.runSeq++
+					var logical int64
+					for _, p := range st.buf {
+						logical += p.span()
+					}
 					if err := spillRun(e.store, name, st.buf); err != nil {
 						errc <- fmt.Errorf("mr: job %s: %w", job.Name, err)
 						for range work {
 						}
 						return
 					}
+					st.spilled += logical
 					st.runs = append(st.runs, name)
 					st.buf = st.buf[:0]
 				}
@@ -439,6 +513,9 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord) (*s
 		}
 		m.IntermediatePairs += st.pairs
 		m.IntermediateBytes += st.bytes
+		m.PhysicalPairs += st.physPairs
+		m.PhysicalBytes += st.physBytes
+		m.SpilledPairs += st.spilled
 		m.TaskRetries += st.retries
 		m.CombineInputPairs += st.combineIn
 		m.CombineOutputPairs += st.combineOut
@@ -448,35 +525,68 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord) (*s
 		shuffle.runFiles = append(shuffle.runFiles, st.runs...)
 		m.SpillRuns += len(st.runs)
 		if len(st.buf) > 0 {
-			slices.SortFunc(st.buf, func(a, b kvPair) int { return cmp.Compare(a.key, b.key) })
+			slices.SortFunc(st.buf, func(a, b emission) int {
+				if c := cmp.Compare(a.lo, b.lo); c != 0 {
+					return c
+				}
+				return cmp.Compare(a.hi, b.hi)
+			})
 			shuffle.leftover = append(shuffle.leftover, st.buf)
 		}
 	}
 	if e.spill > 0 {
-		spilledPairs := m.IntermediatePairs
-		for _, l := range shuffle.leftover {
-			spilledPairs -= int64(len(l))
-		}
-		m.SpilledPairs = spilledPairs
 		return shuffle, nil
 	}
 
 	// Merge the worker-local buckets into per-shard groups, one merge task
 	// per shard on its own goroutine — no shard is touched by two tasks, so
-	// the merge needs no locks.
+	// the merge needs no locks. Range emissions expand here: the merge
+	// appends one shared string reference per covered key, stepping through
+	// the range with the shard stride so the per-shard work is proportional
+	// to the keys the shard owns. A first counting pass sizes every value
+	// list exactly, so one contiguous arena backs the whole shard instead of
+	// one growing allocation per key.
 	shuffle.shards = make([]map[int64][]string, nshards)
 	var mergeWG sync.WaitGroup
 	for p := 0; p < nshards; p++ {
 		mergeWG.Add(1)
 		go func(p int) {
 			defer mergeWG.Done()
-			shard := make(map[int64][]string)
+			counts := make(map[int64]int)
+			total := 0
+			for _, st := range states {
+				if st == nil {
+					continue
+				}
+				for k, vs := range st.local[p] {
+					counts[k] += len(vs)
+					total += len(vs)
+				}
+				for _, r := range st.ranges {
+					for k := rangeShardStart(r.lo, p, nshards); k <= r.hi; k += int64(nshards) {
+						counts[k]++
+						total++
+					}
+				}
+			}
+			shard := make(map[int64][]string, len(counts))
+			arena := make([]string, total)
+			off := 0
+			for k, n := range counts {
+				shard[k] = arena[off:off : off+n]
+				off += n
+			}
 			for _, st := range states {
 				if st == nil {
 					continue
 				}
 				for k, vs := range st.local[p] {
 					shard[k] = append(shard[k], vs...)
+				}
+				for _, r := range st.ranges {
+					for k := rangeShardStart(r.lo, p, nshards); k <= r.hi; k += int64(nshards) {
+						shard[k] = append(shard[k], r.value)
+					}
 				}
 			}
 			shuffle.shards[p] = shard
@@ -527,16 +637,16 @@ func (e *Engine) feedFile(job Job, f feedFile, work chan<- []taggedRecord, recor
 }
 
 // runMapAttempt executes one map task attempt over a record batch,
-// buffering its emissions.
-func (e *Engine) runMapAttempt(job Job, batch []taggedRecord, task, attempt int, buf *[]kvPair) error {
+// buffering its emissions. Jobs with a combiner expand range emissions into
+// per-key pairs at emit time: the combiner's fold is defined per key, so the
+// shared-value representation cannot survive it.
+func (e *Engine) runMapAttempt(job Job, batch []taggedRecord, task, attempt int, buf *[]emission) error {
 	if e.inject != nil {
 		if err := e.inject(PhaseMap, task, attempt); err != nil {
 			return err
 		}
 	}
-	emit := func(key int64, value string) {
-		*buf = append(*buf, kvPair{key: key, value: value})
-	}
+	emit := Emitter{buf: buf, expand: e.expandRanges || job.Combine != nil}
 	for _, tr := range batch {
 		if err := job.Map(tr.tag, tr.record, emit); err != nil {
 			return err
@@ -546,11 +656,12 @@ func (e *Engine) runMapAttempt(job Job, batch []taggedRecord, task, attempt int,
 }
 
 // combinePairs groups the attempt's pairs by key and folds each group
-// through the combiner.
-func combinePairs(combine CombineFunc, pairs []kvPair, inAcc, outAcc int64) ([]kvPair, int64, int64) {
+// through the combiner. Range emissions never reach it (runMapAttempt
+// expands them when a combiner is set).
+func combinePairs(combine CombineFunc, pairs []emission, inAcc, outAcc int64) ([]emission, int64, int64) {
 	grouped := make(map[int64][]string)
 	for _, p := range pairs {
-		grouped[p.key] = append(grouped[p.key], p.value)
+		grouped[p.lo] = append(grouped[p.lo], p.value)
 	}
 	out := pairs[:0]
 	for k, vs := range grouped {
@@ -558,7 +669,7 @@ func combinePairs(combine CombineFunc, pairs []kvPair, inAcc, outAcc int64) ([]k
 		folded := combine(k, vs)
 		outAcc += int64(len(folded))
 		for _, v := range folded {
-			out = append(out, kvPair{key: k, value: v})
+			out = append(out, emission{lo: k, hi: k, value: v})
 		}
 	}
 	return out, inAcc, outAcc
@@ -813,13 +924,13 @@ func (e *Engine) reduceStreaming(job Job, shuffle *shuffleState, m *Metrics, snk
 		cursors = append(cursors, rc)
 	}
 	for _, l := range shuffle.leftover {
-		cursors = append(cursors, &memCursor{pairs: l})
+		cursors = append(cursors, &memCursor{ems: l})
 	}
 
 	type task struct {
 		idx    int
 		key    int64
-		values []string
+		values *[]string
 	}
 	taskc := make(chan task, e.workers)
 	errc := make(chan error, e.workers+1)
@@ -834,7 +945,8 @@ func (e *Engine) reduceStreaming(job Job, shuffle *shuffleState, m *Metrics, snk
 		go func() {
 			defer wg.Done()
 			for t := range taskc {
-				res, err := e.runReduceTask(job, t.idx, t.key, t.values, &retries)
+				res, err := e.runReduceTask(job, t.idx, t.key, *t.values, &retries)
+				recycleValues(t.values)
 				if err != nil {
 					errc <- err
 					for range taskc {
@@ -850,9 +962,12 @@ func (e *Engine) reduceStreaming(job Job, shuffle *shuffleState, m *Metrics, snk
 	}
 	idx := 0
 	mergeErr := mergeRuns(cursors, func(key int64, values []string) error {
-		cp := make([]string, len(values))
-		copy(cp, values)
-		m.ReducerPairs[key] = int64(len(cp))
+		// The merge reuses its values slice, so each dispatched task gets a
+		// pooled copy that the worker recycles once the task commits —
+		// bounded scratch instead of a fresh allocation per key.
+		cp := valuesPool.Get().(*[]string)
+		*cp = append((*cp)[:0], values...)
+		m.ReducerPairs[key] = int64(len(values))
 		taskc <- task{idx: idx, key: key, values: cp}
 		idx++
 		return nil

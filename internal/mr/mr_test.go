@@ -32,9 +32,9 @@ func TestWordCount(t *testing.T) {
 			job := Job{
 				Name:   "wordcount",
 				Inputs: []Input{{File: "in"}},
-				Map: func(tag int, record string, emit Emit) error {
+				Map: func(tag int, record string, emit Emitter) error {
 					for _, w := range strings.Fields(record) {
-						emit(int64(w[0]), w)
+						emit.Emit(int64(w[0]), w)
 					}
 					return nil
 				},
@@ -70,8 +70,8 @@ func TestMultipleTaggedInputs(t *testing.T) {
 	job := Job{
 		Name:   "tags",
 		Inputs: []Input{{File: "r1", Tag: 0}, {File: "r2", Tag: 1}},
-		Map: func(tag int, record string, emit Emit) error {
-			emit(0, fmt.Sprintf("%d:%s", tag, record))
+		Map: func(tag int, record string, emit Emitter) error {
+			emit.Emit(0, fmt.Sprintf("%d:%s", tag, record))
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {
@@ -99,8 +99,8 @@ func TestSortValuesDeterminism(t *testing.T) {
 	job := Job{
 		Name:   "det",
 		Inputs: []Input{{File: "in"}},
-		Map: func(tag int, record string, emit Emit) error {
-			emit(0, record)
+		Map: func(tag int, record string, emit Emitter) error {
+			emit.Emit(0, record)
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {
@@ -129,9 +129,9 @@ func TestOutputOrderedByKey(t *testing.T) {
 	job := Job{
 		Name:   "keyorder",
 		Inputs: []Input{{File: "in"}},
-		Map: func(tag int, record string, emit Emit) error {
+		Map: func(tag int, record string, emit Emitter) error {
 			k, _ := strconv.ParseInt(record, 10, 64)
-			emit(k, record)
+			emit.Emit(k, record)
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {
@@ -158,11 +158,11 @@ func TestMapErrorPropagates(t *testing.T) {
 	job := Job{
 		Name:   "maperr",
 		Inputs: []Input{{File: "in"}},
-		Map: func(tag int, record string, emit Emit) error {
+		Map: func(tag int, record string, emit Emitter) error {
 			if record == "c" {
 				return boom
 			}
-			emit(0, record)
+			emit.Emit(0, record)
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error { return nil },
@@ -179,8 +179,8 @@ func TestReduceErrorPropagates(t *testing.T) {
 	job := Job{
 		Name:   "rederr",
 		Inputs: []Input{{File: "in"}},
-		Map: func(tag int, record string, emit Emit) error {
-			emit(int64(record[0]), record)
+		Map: func(tag int, record string, emit Emitter) error {
+			emit.Emit(int64(record[0]), record)
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {
@@ -197,7 +197,7 @@ func TestMissingInputFile(t *testing.T) {
 	job := Job{
 		Name:   "missing",
 		Inputs: []Input{{File: "nope"}},
-		Map:    func(tag int, record string, emit Emit) error { return nil },
+		Map:    func(tag int, record string, emit Emitter) error { return nil },
 		Reduce: func(key int64, values []string, write func(string) error) error { return nil },
 	}
 	if _, err := e.Run(job); err == nil {
@@ -218,8 +218,8 @@ func TestEmptyInputProducesEmptyOutput(t *testing.T) {
 	job := Job{
 		Name:   "empty",
 		Inputs: []Input{{File: "in"}},
-		Map: func(tag int, record string, emit Emit) error {
-			emit(0, record)
+		Map: func(tag int, record string, emit Emitter) error {
+			emit.Emit(0, record)
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {
@@ -249,9 +249,9 @@ func TestRunChain(t *testing.T) {
 	inc := Job{
 		Name:   "inc",
 		Inputs: []Input{{File: "in"}},
-		Map: func(tag int, record string, emit Emit) error {
+		Map: func(tag int, record string, emit Emitter) error {
 			n, _ := strconv.Atoi(record)
-			emit(0, strconv.Itoa(n+1))
+			emit.Emit(0, strconv.Itoa(n+1))
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {
@@ -268,9 +268,9 @@ func TestRunChain(t *testing.T) {
 	double := inc
 	double.Name = "double"
 	double.Inputs = []Input{{File: "mid"}}
-	double.Map = func(tag int, record string, emit Emit) error {
+	double.Map = func(tag int, record string, emit Emitter) error {
 		n, _ := strconv.Atoi(record)
-		emit(0, strconv.Itoa(n*2))
+		emit.Emit(0, strconv.Itoa(n*2))
 		return nil
 	}
 	double.Output = "out"
@@ -349,9 +349,9 @@ func TestLargeShuffle(t *testing.T) {
 	job := Job{
 		Name:   "large",
 		Inputs: []Input{{File: "in"}},
-		Map: func(tag int, record string, emit Emit) error {
+		Map: func(tag int, record string, emit Emitter) error {
 			v, _ := strconv.ParseInt(record, 10, 64)
-			emit(v%16, record)
+			emit.Emit(v%16, record)
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {

@@ -55,9 +55,9 @@ func TestDirectoryInputChain(t *testing.T) {
 	// Job 1 writes part files; job 2 consumes the directory.
 	first, _ := histogramJob(0, 7)
 	first.Inputs = []Input{{File: "in"}}
-	first.Map = func(tag int, record string, emit Emit) error {
+	first.Map = func(tag int, record string, emit Emitter) error {
 		v, _ := strconv.ParseInt(record, 10, 64)
-		emit(v%7, record)
+		emit.Emit(v%7, record)
 		return nil
 	}
 	first.Reduce = func(key int64, values []string, write func(string) error) error {
@@ -72,8 +72,8 @@ func TestDirectoryInputChain(t *testing.T) {
 	second := Job{
 		Name:   "consume",
 		Inputs: []Input{{File: "stage1/"}},
-		Map: func(tag int, record string, emit Emit) error {
-			emit(0, record)
+		Map: func(tag int, record string, emit Emitter) error {
+			emit.Emit(0, record)
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {
@@ -103,7 +103,7 @@ func TestDirectoryInputEmpty(t *testing.T) {
 	job := Job{
 		Name:   "empty-dir",
 		Inputs: []Input{{File: "nothing/"}},
-		Map:    func(tag int, record string, emit Emit) error { return nil },
+		Map:    func(tag int, record string, emit Emitter) error { return nil },
 		Reduce: func(key int64, values []string, write func(string) error) error { return nil },
 	}
 	if _, err := e.Run(job); err == nil {

@@ -18,6 +18,11 @@ import (
 // batch: a transient downstream map failure re-runs from the buffered
 // batch, and an upstream reduce task only delivers output after its attempt
 // has succeeded.
+//
+// Range emissions compose with streaming: a downstream stage's map emits
+// ranges into its own shuffle, which keeps them coalesced until that stage's
+// reduce sweep expands them — so a pipelined chain never materialises the
+// per-key copies at any boundary.
 
 // Stage is one cycle of a pipelined chain.
 type Stage struct {

@@ -29,12 +29,12 @@ func chainJobs() []Job {
 	j1 := Job{
 		Name:   "t/j1",
 		Inputs: []Input{{File: "in"}},
-		Map: func(_ int, rec string, emit Emit) error {
+		Map: func(_ int, rec string, emit Emitter) error {
 			v, err := parse(rec)
 			if err != nil {
 				return err
 			}
-			emit(v%17, strconv.FormatInt(v*3+1, 10))
+			emit.Emit(v%17, strconv.FormatInt(v*3+1, 10))
 			return nil
 		},
 		Reduce:     passThrough,
@@ -44,12 +44,12 @@ func chainJobs() []Job {
 	j2 := Job{
 		Name:   "t/j2",
 		Inputs: []Input{{File: "t/inter-1"}},
-		Map: func(_ int, rec string, emit Emit) error {
+		Map: func(_ int, rec string, emit Emitter) error {
 			v, err := parse(rec)
 			if err != nil {
 				return err
 			}
-			emit(v%13, strconv.FormatInt(v/2, 10))
+			emit.Emit(v%13, strconv.FormatInt(v/2, 10))
 			return nil
 		},
 		Reduce:     passThrough,
@@ -59,12 +59,12 @@ func chainJobs() []Job {
 	j3 := Job{
 		Name:   "t/j3",
 		Inputs: []Input{{File: "t/inter-2"}},
-		Map: func(_ int, rec string, emit Emit) error {
+		Map: func(_ int, rec string, emit Emitter) error {
 			v, err := parse(rec)
 			if err != nil {
 				return err
 			}
-			emit(v%7, rec)
+			emit.Emit(v%7, rec)
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {
@@ -289,7 +289,7 @@ func TestPipelinePersistentFailure(t *testing.T) {
 			// must not hang on its never-filled feed.
 			switch phase {
 			case PhaseMap:
-				jobs[1].Map = func(_ int, _ string, _ Emit) error {
+				jobs[1].Map = func(_ int, _ string, _ Emitter) error {
 					return errors.New("boom")
 				}
 			case PhaseReduce:

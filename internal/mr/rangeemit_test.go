@@ -1,0 +1,314 @@
+package mr
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"testing"
+
+	"intervaljoin/internal/dfs"
+)
+
+// broadcastJob routes each record to a contiguous band of reducers via
+// EmitRange: record i covers keys [i%7, i%7+width-1]. Each reducer reports
+// its sorted value list, so the output is sensitive to exactly which values
+// reached which key.
+func broadcastJob(n, width int) (Job, []string) {
+	recs := make([]string, n)
+	for i := range recs {
+		recs[i] = strconv.Itoa(i)
+	}
+	return Job{
+		Name:   "bcast",
+		Inputs: []Input{{File: "in"}},
+		Map: func(tag int, record string, emit Emitter) error {
+			v, _ := strconv.ParseInt(record, 10, 64)
+			lo := v % 7
+			emit.EmitRange(lo, lo+int64(width)-1, record)
+			return nil
+		},
+		Reduce: func(key int64, values []string, write func(string) error) error {
+			sorted := append([]string(nil), values...)
+			sort.Strings(sorted)
+			return write(fmt.Sprintf("%d:%d:%s", key, len(sorted), joinMax(sorted, 5)))
+		},
+		Output: "out",
+	}, recs
+}
+
+func joinMax(vs []string, max int) string {
+	if len(vs) > max {
+		vs = vs[:max]
+	}
+	s := ""
+	for i, v := range vs {
+		if i > 0 {
+			s += ","
+		}
+		s += v
+	}
+	return s
+}
+
+// TestEmitRangeEquivalence checks the range-coalesced shuffle produces
+// byte-identical reduce output to the eager per-key expansion, in memory and
+// through the spill path, and that the logical pair metrics agree while the
+// physical counts shrink.
+func TestEmitRangeEquivalence(t *testing.T) {
+	const n, width = 3000, 9
+	for _, spill := range []int{0, 100, 4096} {
+		t.Run(fmt.Sprintf("spill=%d", spill), func(t *testing.T) {
+			var out [2][]string
+			var met [2]*Metrics
+			for i, expand := range []bool{false, true} {
+				store := dfs.NewMem()
+				job, recs := broadcastJob(n, width)
+				if err := dfs.WriteAll(store, "in", recs); err != nil {
+					t.Fatal(err)
+				}
+				e := NewEngine(Config{Store: store, Workers: 4,
+					SpillPairThreshold: spill, ExpandRangeEmits: expand})
+				m, err := e.Run(job)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rows, err := dfs.ReadAll(store, "out")
+				if err != nil {
+					t.Fatal(err)
+				}
+				out[i], met[i] = rows, m
+			}
+			if len(out[0]) != len(out[1]) {
+				t.Fatalf("range path %d rows, expanded %d", len(out[0]), len(out[1]))
+			}
+			for i := range out[0] {
+				if out[0][i] != out[1][i] {
+					t.Fatalf("row %d: range %q vs expanded %q", i, out[0][i], out[1][i])
+				}
+			}
+			if met[0].IntermediatePairs != met[1].IntermediatePairs ||
+				met[0].IntermediatePairs != int64(n*width) {
+				t.Fatalf("logical pairs: range %d, expanded %d, want %d",
+					met[0].IntermediatePairs, met[1].IntermediatePairs, n*width)
+			}
+			if met[0].DistinctKeys != met[1].DistinctKeys {
+				t.Fatalf("keys: range %d, expanded %d", met[0].DistinctKeys, met[1].DistinctKeys)
+			}
+			if met[0].PhysicalPairs != int64(n) {
+				t.Fatalf("physical pairs = %d, want one per EmitRange call (%d)", met[0].PhysicalPairs, n)
+			}
+			if met[1].PhysicalPairs != int64(n*width) {
+				t.Fatalf("expanded physical pairs = %d, want %d", met[1].PhysicalPairs, n*width)
+			}
+			if rf := met[0].ReplicationFactor(); rf != float64(width) {
+				t.Fatalf("replication factor = %v, want %d", rf, width)
+			}
+			if met[0].PhysicalBytes*2 > met[0].IntermediateBytes {
+				t.Fatalf("physical bytes %d not under half of logical %d",
+					met[0].PhysicalBytes, met[0].IntermediateBytes)
+			}
+			// Per-reducer accounting counts covered keys in both modes.
+			for _, m := range met {
+				var total int64
+				for _, v := range m.ReducerPairs {
+					total += v
+				}
+				if total != int64(n*width) {
+					t.Fatalf("reducer pairs account for %d of %d", total, n*width)
+				}
+			}
+		})
+	}
+}
+
+// TestRangeSpillRoundtrip spills a mix of point and range emissions and reads
+// them back through the run cursor.
+func TestRangeSpillRoundtrip(t *testing.T) {
+	store := dfs.NewMem()
+	ems := []emission{
+		{lo: 5, hi: 5, value: "point5"},
+		{lo: 0, hi: 3, value: "range0-3"},
+		{lo: 3, hi: 3, value: ""},
+		{lo: 1234567890123, hi: 9876543210987, value: "wide"},
+		{lo: 2, hi: 7, value: "range2-7"},
+	}
+	if err := spillRun(store, "run0", ems); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := openRun(store, "run0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.close()
+	want := []emission{
+		{0, 3, "range0-3"},
+		{2, 7, "range2-7"},
+		{3, 3, ""},
+		{5, 5, "point5"},
+		{1234567890123, 9876543210987, "wide"},
+	}
+	for i, w := range want {
+		got, ok := rc.peek()
+		if !ok {
+			t.Fatalf("cursor exhausted at %d", i)
+		}
+		if got != w {
+			t.Fatalf("emission %d = %+v, want %+v", i, got, w)
+		}
+		if err := rc.next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := rc.peek(); ok {
+		t.Fatal("cursor not exhausted after all emissions")
+	}
+}
+
+// TestMergeRunsRangeSweep drives the sweep directly with overlapping ranges,
+// point pairs, and key gaps across multiple cursors.
+func TestMergeRunsRangeSweep(t *testing.T) {
+	cursors := []cursor{
+		&memCursor{ems: []emission{{1, 4, "a"}, {10, 10, "x"}}},
+		&memCursor{ems: []emission{{2, 2, "b"}, {3, 6, "c"}, {20, 21, "y"}}},
+	}
+	type row struct {
+		key  int64
+		vals []string
+	}
+	var got []row
+	err := mergeRuns(cursors, func(key int64, values []string) error {
+		vs := append([]string(nil), values...)
+		sort.Strings(vs)
+		got = append(got, row{key, vs})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []row{
+		{1, []string{"a"}},
+		{2, []string{"a", "b"}},
+		{3, []string{"a", "c"}},
+		{4, []string{"a", "c"}},
+		{5, []string{"c"}},
+		{6, []string{"c"}},
+		{10, []string{"x"}},
+		{20, []string{"y"}},
+		{21, []string{"y"}},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("swept %d keys, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i].key != want[i].key || fmt.Sprint(got[i].vals) != fmt.Sprint(want[i].vals) {
+			t.Fatalf("key %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestEmitRangeCombinerExpands checks a combiner forces eager per-key
+// expansion (the fold needs every key's values separately) and still counts
+// correctly.
+func TestEmitRangeCombinerExpands(t *testing.T) {
+	store := dfs.NewMem()
+	recs := make([]string, 200)
+	for i := range recs {
+		recs[i] = strconv.Itoa(i)
+	}
+	if err := dfs.WriteAll(store, "in", recs); err != nil {
+		t.Fatal(err)
+	}
+	job := Job{
+		Name:   "combrange",
+		Inputs: []Input{{File: "in"}},
+		Map: func(_ int, record string, emit Emitter) error {
+			emit.EmitRange(0, 4, "1")
+			return nil
+		},
+		Combine: func(key int64, values []string) []string {
+			return []string{strconv.Itoa(len(values))}
+		},
+		Reduce: func(key int64, values []string, write func(string) error) error {
+			var sum int64
+			for _, v := range values {
+				n, _ := strconv.ParseInt(v, 10, 64)
+				sum += n
+			}
+			return write(fmt.Sprintf("%d:%d", key, sum))
+		},
+		Output: "out",
+	}
+	e := NewEngine(Config{Store: store, Workers: 4})
+	m, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dfs.ReadAll(store, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("output rows = %v", out)
+	}
+	for k := 0; k < 5; k++ {
+		if out[k] != fmt.Sprintf("%d:200", k) {
+			t.Fatalf("row %d = %q", k, out[k])
+		}
+	}
+	// The combiner saw the expanded pairs.
+	if m.CombineInputPairs != 1000 {
+		t.Fatalf("combine input pairs = %d, want 1000", m.CombineInputPairs)
+	}
+	if m.PhysicalPairs != m.CombineOutputPairs {
+		t.Fatalf("physical pairs %d, combine output %d — expanded ranges should shuffle per key",
+			m.PhysicalPairs, m.CombineOutputPairs)
+	}
+}
+
+// TestEmitRangeNegativeLo checks ranges dipping below zero fall back to
+// per-key pairs (spill runs reject negative keys, so they must never coalesce).
+func TestEmitRangeNegativeLo(t *testing.T) {
+	store := dfs.NewMem()
+	if err := dfs.WriteAll(store, "in", []string{"only"}); err != nil {
+		t.Fatal(err)
+	}
+	job := Job{
+		Name:   "negrange",
+		Inputs: []Input{{File: "in"}},
+		Map: func(_ int, record string, emit Emitter) error {
+			emit.EmitRange(-2, 2, record)
+			return nil
+		},
+		Reduce: func(key int64, values []string, write func(string) error) error {
+			return write(fmt.Sprintf("%d:%d", key, len(values)))
+		},
+		Output: "out",
+	}
+	e := NewEngine(Config{Store: store, Workers: 2})
+	m, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dfs.ReadAll(store, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 || m.IntermediatePairs != 5 || m.PhysicalPairs != 5 {
+		t.Fatalf("out = %v, metrics = %+v", out, m)
+	}
+}
+
+// TestEmitRangeEmptyAndSingle checks degenerate ranges: hi < lo is a no-op,
+// hi == lo is a plain pair.
+func TestEmitRangeEmptyAndSingle(t *testing.T) {
+	var buf []emission
+	emit := Emitter{buf: &buf}
+	emit.EmitRange(5, 4, "dropped")
+	emit.EmitRange(7, 7, "single")
+	if len(buf) != 1 || buf[0] != (emission{7, 7, "single"}) {
+		t.Fatalf("buf = %+v", buf)
+	}
+	if buf[0].isRange() {
+		t.Fatal("degenerate range should be a point pair")
+	}
+}

@@ -11,40 +11,77 @@ import (
 )
 
 // External shuffle support: when a job's intermediate data exceeds the
-// configured in-memory budget, each map worker writes its buffered pairs as
-// key-sorted runs on the store (what Hadoop's map-side spill does), and the
+// configured in-memory budget, each map worker writes its buffered emissions
+// as lo-sorted runs on the store (what Hadoop's map-side spill does), and the
 // reduce phase streams a k-way merge of the runs so only one key's value
-// list is materialised at a time.
+// list is materialised at a time. Range emissions are written once per run
+// and expanded only as the merge sweep crosses their covered keys.
 
-// kvPair is one buffered intermediate pair.
-type kvPair struct {
-	key   int64
-	value string
+// emission is one buffered intermediate emission: a single key-value pair
+// when hi == lo, or one shared value addressed to every reduce key in
+// [lo, hi] (the map side's replication run, stored once).
+type emission struct {
+	lo, hi int64
+	value  string
 }
 
-// Spill records are length-prefixed: one byte 'A'+len(digits), the key's
-// decimal digits, then the value — so the reader slices the key out by
-// offset instead of scanning every record for a separator byte. An int64
-// key has at most 19 digits, so the prefix stays printable.
+// span is the number of reduce keys the emission addresses — its logical
+// pair count.
+func (p emission) span() int64 { return p.hi - p.lo + 1 }
 
-// spillRun writes pairs (sorted by key) as one run file and returns its
-// name. Spilled keys must be non-negative (every algorithm in this module
-// uses partition / grid-cell ids, which are).
-func spillRun(store dfs.Store, name string, pairs []kvPair) error {
-	slices.SortFunc(pairs, func(a, b kvPair) int { return cmp.Compare(a.key, b.key) })
+// isRange reports whether the emission covers more than one key.
+func (p emission) isRange() bool { return p.hi > p.lo }
+
+// physBytes approximates the bytes the emission occupies in the shuffle:
+// value plus one 8-byte key, or value plus two 8-byte range endpoints.
+func (p emission) physBytes() int64 {
+	if p.isRange() {
+		return int64(len(p.value)) + 16
+	}
+	return int64(len(p.value)) + 8
+}
+
+// Spill records are length-prefixed. A plain pair is one byte 'A'+len(digits),
+// the key's decimal digits, then the value — the reader slices the key out by
+// offset instead of scanning every record for a separator byte. A range
+// emission marks itself with a lowercase prefix: 'a'+len(loDigits), the lo
+// digits, then 'A'+len(hiDigits), the hi digits, then the value — the value
+// is written once no matter how many keys the range covers. An int64 key has
+// at most 19 digits, so both prefixes stay printable.
+
+// spillRun writes emissions (sorted by lo, then hi) as one run file. Spilled
+// keys must be non-negative (every algorithm in this module uses partition /
+// grid-cell ids, which are).
+func spillRun(store dfs.Store, name string, ems []emission) error {
+	slices.SortFunc(ems, func(a, b emission) int {
+		if c := cmp.Compare(a.lo, b.lo); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.hi, b.hi)
+	})
 	w, err := store.Create(name)
 	if err != nil {
 		return err
 	}
 	buf := make([]byte, 0, 64)
-	for _, p := range pairs {
-		if p.key < 0 {
+	for _, p := range ems {
+		if p.lo < 0 {
 			w.Close()
-			return fmt.Errorf("mr: spilled key %d is negative", p.key)
+			return fmt.Errorf("mr: spilled key %d is negative", p.lo)
 		}
-		buf = append(buf[:0], 0)
-		buf = strconv.AppendInt(buf, p.key, 10)
-		buf[0] = 'A' + byte(len(buf)-1)
+		if p.isRange() {
+			buf = append(buf[:0], 0)
+			buf = strconv.AppendInt(buf, p.lo, 10)
+			buf[0] = 'a' + byte(len(buf)-1)
+			mark := len(buf)
+			buf = append(buf, 0)
+			buf = strconv.AppendInt(buf, p.hi, 10)
+			buf[mark] = 'A' + byte(len(buf)-mark-1)
+		} else {
+			buf = append(buf[:0], 0)
+			buf = strconv.AppendInt(buf, p.lo, 10)
+			buf[0] = 'A' + byte(len(buf)-1)
+		}
 		buf = append(buf, p.value...)
 		if err := w.Write(string(buf)); err != nil {
 			w.Close()
@@ -57,7 +94,7 @@ func spillRun(store dfs.Store, name string, pairs []kvPair) error {
 // runCursor streams one spill run.
 type runCursor struct {
 	it   dfs.Iterator
-	head kvPair
+	head emission
 	done bool
 }
 
@@ -86,6 +123,28 @@ func (rc *runCursor) advance() error {
 	if len(rec) < 2 {
 		return fmt.Errorf("mr: malformed spill record %q", rec)
 	}
+	if rec[0] >= 'a' {
+		// Range record: lowercase lo prefix, then uppercase hi prefix.
+		nd := int(rec[0] - 'a')
+		if nd < 1 || nd+1 >= len(rec) {
+			return fmt.Errorf("mr: malformed spill record %q", rec)
+		}
+		lo, err := strconv.ParseInt(rec[1:1+nd], 10, 64)
+		if err != nil {
+			return fmt.Errorf("mr: malformed spill key in %q: %v", rec, err)
+		}
+		rest := rec[1+nd:]
+		hd := int(rest[0] - 'A')
+		if hd < 1 || hd > len(rest)-1 {
+			return fmt.Errorf("mr: malformed spill record %q", rec)
+		}
+		hi, err := strconv.ParseInt(rest[1:1+hd], 10, 64)
+		if err != nil {
+			return fmt.Errorf("mr: malformed spill key in %q: %v", rec, err)
+		}
+		rc.head = emission{lo: lo, hi: hi, value: rest[1+hd:]}
+		return nil
+	}
 	nd := int(rec[0] - 'A')
 	if nd < 1 || nd > len(rec)-1 {
 		return fmt.Errorf("mr: malformed spill record %q", rec)
@@ -94,51 +153,53 @@ func (rc *runCursor) advance() error {
 	if err != nil {
 		return fmt.Errorf("mr: malformed spill key in %q: %v", rec, err)
 	}
-	rc.head = kvPair{key: key, value: rec[1+nd:]}
+	rc.head = emission{lo: key, hi: key, value: rec[1+nd:]}
 	return nil
 }
 
 func (rc *runCursor) close() { rc.it.Close() }
 
-// memCursor streams an in-memory sorted pair slice as if it were a run.
+// memCursor streams an in-memory lo-sorted emission slice as if it were a
+// run.
 type memCursor struct {
-	pairs []kvPair
-	pos   int
+	ems []emission
+	pos int
 }
 
-func (mc *memCursor) headPair() (kvPair, bool) {
-	if mc.pos >= len(mc.pairs) {
-		return kvPair{}, false
+func (mc *memCursor) headEmission() (emission, bool) {
+	if mc.pos >= len(mc.ems) {
+		return emission{}, false
 	}
-	return mc.pairs[mc.pos], true
+	return mc.ems[mc.pos], true
 }
 
-// cursor unifies run sources for the merge heap.
+// cursor unifies run sources for the merge heap. Each cursor yields its
+// emissions in ascending lo order.
 type cursor interface {
-	peek() (kvPair, bool)
+	peek() (emission, bool)
 	next() error
 	close()
 }
 
-func (rc *runCursor) peek() (kvPair, bool) { return rc.head, !rc.done }
-func (rc *runCursor) next() error          { return rc.advance() }
+func (rc *runCursor) peek() (emission, bool) { return rc.head, !rc.done }
+func (rc *runCursor) next() error            { return rc.advance() }
 
-func (mc *memCursor) peek() (kvPair, bool) { return mc.headPair() }
-func (mc *memCursor) next() error          { mc.pos++; return nil }
-func (mc *memCursor) close()               {}
+func (mc *memCursor) peek() (emission, bool) { return mc.headEmission() }
+func (mc *memCursor) next() error            { mc.pos++; return nil }
+func (mc *memCursor) close()                 {}
 
-// heapEntry caches a cursor's head pair so heap comparisons are a plain
+// heapEntry caches a cursor's head emission so heap comparisons are a plain
 // int64 compare instead of two interface calls per Less.
 type heapEntry struct {
 	c    cursor
-	head kvPair
+	head emission
 }
 
-// cursorHeap is a min-heap of cursors by cached head key.
+// cursorHeap is a min-heap of cursors by cached head lo.
 type cursorHeap []heapEntry
 
 func (h cursorHeap) Len() int            { return len(h) }
-func (h cursorHeap) Less(i, j int) bool  { return h[i].head.key < h[j].head.key }
+func (h cursorHeap) Less(i, j int) bool  { return h[i].head.lo < h[j].head.lo }
 func (h cursorHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *cursorHeap) Push(x interface{}) { *h = append(*h, x.(heapEntry)) }
 func (h *cursorHeap) Pop() interface{} {
@@ -149,8 +210,14 @@ func (h *cursorHeap) Pop() interface{} {
 	return x
 }
 
-// mergeRuns streams the k-way merge of the cursors, invoking fn once per
-// distinct key with all its values. fn must not retain the values slice.
+// mergeRuns sweeps the k-way merge of the cursors in ascending key order,
+// invoking fn once per covered key with all its values: the point pairs
+// keyed there plus one value per range emission whose [lo, hi] covers the
+// key. Ranges are pulled off the heap when the sweep reaches their lo, held
+// in an active set while covered, and dropped past their hi — so a range's
+// value string is shared across every key it addresses instead of being
+// merged r times. Keys no emission covers are skipped. fn must not retain
+// the values slice.
 func mergeRuns(cursors []cursor, fn func(key int64, values []string) error) error {
 	h := make(cursorHeap, 0, len(cursors))
 	for _, c := range cursors {
@@ -160,38 +227,46 @@ func mergeRuns(cursors []cursor, fn func(key int64, values []string) error) erro
 	}
 	heap.Init(&h)
 	var (
-		curKey int64
+		key    int64
+		active []emission // emissions covering the current key
 		values []string
-		have   bool
 	)
-	flush := func() error {
-		if !have {
-			return nil
+	for h.Len() > 0 || len(active) > 0 {
+		// The next key is one past the previous while a range still covers
+		// it; otherwise the sweep jumps to the earliest unseen lo.
+		if len(active) > 0 {
+			key++
+		} else {
+			key = h[0].head.lo
 		}
-		err := fn(curKey, values)
-		values = values[:0]
-		have = false
-		return err
-	}
-	for h.Len() > 0 {
-		p := h[0].head
-		if have && p.key != curKey {
-			if err := flush(); err != nil {
+		// Pull every emission starting at or before this key. Heads are
+		// sorted by lo, so this drains exactly the emissions whose coverage
+		// begins here.
+		for h.Len() > 0 && h[0].head.lo <= key {
+			active = append(active, h[0].head)
+			if err := h[0].c.next(); err != nil {
 				return err
 			}
+			if np, ok := h[0].c.peek(); ok {
+				h[0].head = np
+				heap.Fix(&h, 0)
+			} else {
+				heap.Pop(&h)
+			}
 		}
-		curKey = p.key
-		have = true
-		values = append(values, p.value)
-		if err := h[0].c.next(); err != nil {
+		// Gather this key's values; keep only emissions extending past it.
+		values = values[:0]
+		live := active[:0]
+		for _, em := range active {
+			values = append(values, em.value)
+			if em.hi > key {
+				live = append(live, em)
+			}
+		}
+		active = live
+		if err := fn(key, values); err != nil {
 			return err
 		}
-		if np, ok := h[0].c.peek(); ok {
-			h[0].head = np
-			heap.Fix(&h, 0)
-		} else {
-			heap.Pop(&h)
-		}
 	}
-	return flush()
+	return nil
 }

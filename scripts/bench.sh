@@ -35,6 +35,12 @@ go test -run '^$' -bench 'Engine' \
 go test -run '^$' -bench '^BenchmarkChain' \
     -benchmem -benchtime 5x -count "$REPS" ./internal/core/ | tee -a "$tmp"
 
+# Shuffle volume: logical vs physical bytes of the range-coalesced shuffle
+# on the replication-heavy baselines (reported via logicalB/op + physB/op;
+# benchsummary -compare renders them as the shuffle-volume table).
+go test -run '^$' -bench '^BenchmarkShuffle' \
+    -benchmem -benchtime 5x -count "$REPS" ./internal/core/ | tee -a "$tmp"
+
 go run ./cmd/benchsummary -o "$OUT" < "$tmp"
 echo "wrote $OUT"
 

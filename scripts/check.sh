@@ -27,9 +27,17 @@ go test -race ./...
 
 if [ "${SKIP_BENCH:-0}" != "1" ]; then
     echo "== benchmark baseline =="
-    # BENCH_1.json is the frozen pre-pipelining reference; current numbers
-    # go to BENCH_2.json and bench.sh prints the regression table.
-    sh scripts/bench.sh BENCH_2.json
+    # BENCH_1.json is the frozen pre-pipelining reference and BENCH_2.json
+    # the pre-range-shuffle one; current numbers go to BENCH_3.json and
+    # bench.sh prints the regression table. BENCH_THRESHOLD (percent) gates
+    # the comparison against the previous baseline: any ns/op regression
+    # beyond it fails the check, which is how CI keeps perf honest without
+    # tripping on shared-machine noise.
+    sh scripts/bench.sh BENCH_3.json
+    if [ -f BENCH_2.json ]; then
+        go run ./cmd/benchsummary -compare -threshold "${BENCH_THRESHOLD:-50}" -fail \
+            BENCH_2.json BENCH_3.json
+    fi
 fi
 
 echo "check.sh: all green"
