@@ -1,0 +1,114 @@
+// Command ijlint runs the module's domain-specific static analyzers: the
+// invariants the MapReduce interval-join engine depends on but the compiler
+// cannot check. It is wired into scripts/check.sh between vet and build;
+// run it standalone with
+//
+//	go run ./cmd/ijlint ./...
+//
+// Findings can be suppressed with a //lint:ignore <analyzer> <reason>
+// comment on (or immediately above) the offending line; the reason is
+// mandatory. Exit status is 1 when any finding remains.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"intervaljoin/internal/lint"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list the analyzers and exit")
+		only     = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		ban      = flag.String("ban", "", "additional comma-separated pkgpath.Func entries for hotpathban")
+		hotpaths = flag.String("hotpaths", "", "override hotpathban's package-path scope (comma-separated substrings)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ijlint [flags] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the engine's invariant analyzers over module packages (default ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fatalf("unknown analyzer %q (use -list)", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	for _, entry := range splitList(*ban) {
+		lint.BannedCalls[entry] = "an allocation-free alternative"
+	}
+	if *hotpaths != "" {
+		lint.HotPathScope = splitList(*hotpaths)
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	loader, err := lint.NewLoader(wd)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	paths, err := loader.Expand(flag.Args())
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	findings := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, d := range lint.RunAnalyzers(pkg, analyzers) {
+			findings++
+			fmt.Println(relativize(loader.Root(), d))
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "ijlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// relativize shortens the diagnostic's file name relative to the module
+// root for stable, readable output.
+func relativize(root string, d lint.Diagnostic) lint.Diagnostic {
+	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ijlint: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"intervaljoin/internal/grid"
@@ -70,8 +71,8 @@ func (c Cascade) Run(ctx *Context) (*Result, error) {
 	current := "" // intermediate file of partial assignments
 	bound := []int{steps[0].existing}
 	for si, step := range steps {
-		jobName := fmt.Sprintf("%s/step-%d", opts.Scratch, si)
-		output := fmt.Sprintf("%s/inter-%d", opts.Scratch, si)
+		jobName := opts.Scratch + "/step-" + strconv.Itoa(si)
+		output := opts.Scratch + "/inter-" + strconv.Itoa(si)
 		last := si == len(steps)-1
 		if last {
 			output = opts.Scratch + "/output"
@@ -355,6 +356,7 @@ func (pa partialAssignment) mustIntervalOf(rel, attr int) interval.Interval {
 			return bt.tuple.Attrs[attr]
 		}
 	}
+	//lint:ignore hotpathban cold path: formats a panic message for a planner bug, never reached per tuple
 	panic(fmt.Sprintf("core: relation %d not bound in partial assignment", rel))
 }
 

@@ -70,7 +70,7 @@ func (o Options) withDefaults(name string) Options {
 		o.PartitionsPerDim = 6
 	}
 	if o.Scratch == "" {
-		o.Scratch = fmt.Sprintf("%s-%d", name, scratchSeq.Add(1))
+		o.Scratch = name + "-" + strconv.FormatInt(scratchSeq.Add(1), 10)
 	}
 	return o
 }

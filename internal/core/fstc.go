@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"intervaljoin/internal/grid"
 	"intervaljoin/internal/interval"
@@ -92,7 +93,7 @@ func (a FSTC) Run(ctx *Context) (*Result, error) {
 			return nil, fmt.Errorf("core: fstc requires a connected query: %s", ctx.Query)
 		}
 		step++
-		output := fmt.Sprintf("%s/coloc-%d", opts.Scratch, step)
+		output := opts.Scratch + "/coloc-" + strconv.Itoa(step)
 		last := countBound(bound) == len(ctx.Rels)-1
 		if last {
 			output = opts.Scratch + "/output"
@@ -241,7 +242,7 @@ func (FSTC) colocStepJob(ctx *Context, opts Options, part interval.Partitioning,
 
 	step := cascadeStep{existing: boundRel, novel: novel, driving: driving, checkConds: checks}
 	return mr.Job{
-		Name: fmt.Sprintf("%s/coloc-step-%d", opts.Scratch, novel),
+		Name: opts.Scratch + "/coloc-step-" + strconv.Itoa(novel),
 		Inputs: []mr.Input{
 			{File: current, Tag: intermediateTag},
 			{File: ctx.inputFile(novel), Tag: novel},

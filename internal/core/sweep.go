@@ -69,8 +69,12 @@ func familyOf(p interval.Predicate) sweepFamily {
 	case interval.After, interval.MetBy, interval.OverlappedBy,
 		interval.ContainedBy, interval.Finishes:
 		return sweepHiOnly
-	default:
+	case interval.Meets, interval.Overlaps, interval.Contains,
+		interval.Starts, interval.StartedBy, interval.FinishedBy,
+		interval.Equals:
 		return sweepBoth
+	default:
+		panic("core: familyOf: predicate outside the 13 Allen relations")
 	}
 }
 

@@ -78,6 +78,29 @@ func TestPredicateSetAlgebraQuick(t *testing.T) {
 	}
 }
 
+// TestPredicateInverseQuick: on arbitrary interval pairs, Inverse is an
+// involution on single predicates and p(u, v) holds exactly when
+// p.Inverse()(v, u) does — Allen's converse law, which the query
+// normaliser's canonical rewrite (Condition swap) relies on.
+func TestPredicateInverseQuick(t *testing.T) {
+	f := func(s1Raw, l1Raw, s2Raw, l2Raw uint8) bool {
+		u := Interval{Start: int64(s1Raw % 40), End: int64(s1Raw%40) + int64(l1Raw%20) + 1}
+		v := Interval{Start: int64(s2Raw % 40), End: int64(s2Raw%40) + int64(l2Raw%20) + 1}
+		for p := Predicate(0); p < NumPredicates; p++ {
+			if p.Inverse().Inverse() != p {
+				return false
+			}
+			if p.Eval(u, v) != p.Inverse().Eval(v, u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestLessThanOrderTotalQuick: every predicate that can hold induces a
 // consistent start-point order — checking the algebra's core invariant on
 // arbitrary pairs.

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// AllenExhaustive enforces the Figure-1 contract of the paper: any switch
+// over interval.Predicate must either cover all 13 Allen relations or carry
+// an explicit panicking default. A silently-falling-through predicate
+// switch is how a new driver quietly mishandles a relation class — the
+// compiler cannot see it, this analyzer can.
+var AllenExhaustive = &Analyzer{
+	Name: "allenexhaustive",
+	Doc: "switches over interval.Predicate must cover all 13 Allen relations " +
+		"or carry a panicking default",
+	Run: runAllenExhaustive,
+}
+
+// allenNames mirrors interval.predicateNames (index = Predicate value).
+// NumPredicates is 13 by Allen's algebra; a mismatch with the interval
+// package would be caught by the analyzer's own fixture suite.
+var allenNames = [13]string{
+	"before", "after", "meets", "metby", "overlaps", "overlappedby",
+	"contains", "containedby", "starts", "startedby", "finishes",
+	"finishedby", "equals",
+}
+
+func runAllenExhaustive(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagType := pass.Info.TypeOf(sw.Tag)
+			if tagType == nil || !namedTypeIs(tagType, "internal/interval", "Predicate") {
+				return true
+			}
+			covered := make(map[int64]bool)
+			nonConst := false
+			var defaultClause *ast.CaseClause
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					defaultClause = cc
+					continue
+				}
+				for _, expr := range cc.List {
+					tv := pass.Info.Types[expr]
+					if tv.Value == nil || tv.Value.Kind() != constant.Int {
+						nonConst = true
+						continue
+					}
+					if v, ok := constant.Int64Val(tv.Value); ok {
+						covered[v] = true
+					}
+				}
+			}
+			if nonConst {
+				// Case guards computed at run time (e.g. p.Inverse()) defeat
+				// static counting; stay silent rather than guess.
+				return true
+			}
+			if len(covered) >= len(allenNames) {
+				return true
+			}
+			if defaultClause != nil {
+				if clausePanics(pass, defaultClause) {
+					return true
+				}
+				pass.Reportf(sw.Switch,
+					"switch on interval.Predicate covers %d of 13 Allen relations and its default does not panic (missing: %s)",
+					len(covered), missingAllen(covered))
+				return true
+			}
+			pass.Reportf(sw.Switch,
+				"switch on interval.Predicate covers %d of 13 Allen relations and has no default (missing: %s); add the missing cases or a panicking default",
+				len(covered), missingAllen(covered))
+			return true
+		})
+	}
+}
+
+// clausePanics reports whether the case clause's body reaches a call to the
+// panic builtin (anywhere in the clause, including nested blocks).
+func clausePanics(pass *Pass, cc *ast.CaseClause) bool {
+	panics := false
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isBuiltin(pass.Info, call, "panic") {
+				panics = true
+			}
+			return !panics
+		})
+	}
+	return panics
+}
+
+// missingAllen lists the uncovered relation names.
+func missingAllen(covered map[int64]bool) string {
+	var missing []string
+	for i, name := range allenNames {
+		if !covered[int64(i)] {
+			missing = append(missing, name)
+		}
+	}
+	return strings.Join(missing, ", ")
+}

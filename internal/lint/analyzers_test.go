@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+
+	"intervaljoin/internal/interval"
+)
+
+func TestAllenExhaustive(t *testing.T) {
+	runFixture(t, "allenexhaustive", "intervaljoin/lintfixture/allen")
+}
+
+func TestEmitterEscape(t *testing.T) {
+	runFixture(t, "emitterescape", "intervaljoin/lintfixture/emitter")
+}
+
+func TestPoolDiscipline(t *testing.T) {
+	runFixture(t, "pooldiscipline", "intervaljoin/lintfixture/pool")
+}
+
+func TestShardLock(t *testing.T) {
+	runFixture(t, "shardlock", "intervaljoin/lintfixture/shard")
+}
+
+func TestHotPathBan(t *testing.T) {
+	runFixture(t, "hotpathban", "intervaljoin/internal/core/lintfixture")
+}
+
+// TestHotPathBanScope reloads the same fixture under a neutral import path:
+// outside internal/core and internal/mr the banned calls are fine, so the
+// analyzer must stay silent.
+func TestHotPathBanScope(t *testing.T) {
+	pkg, err := fixtureLoader(t).LoadDir(filepath.Join("testdata", "hotpathban"), "intervaljoin/lintfixture/nothot")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := RunAnalyzers(pkg, []*Analyzer{HotPathBan})
+	for _, d := range diags {
+		t.Errorf("diagnostic outside the hot-path scope: %s", d)
+	}
+}
+
+// TestAllenNames pins the analyzer's relation table to the interval
+// package: a new Allen constant (or a renamed one) must update both.
+func TestAllenNames(t *testing.T) {
+	if len(allenNames) != interval.NumPredicates {
+		t.Fatalf("allenNames has %d entries, interval.NumPredicates is %d", len(allenNames), interval.NumPredicates)
+	}
+	for i, name := range allenNames {
+		if got := interval.Predicate(i).String(); got != name {
+			t.Errorf("allenNames[%d] = %q, interval names it %q", i, name, got)
+		}
+	}
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	cases := []struct {
+		text     string
+		analyzer string
+		want     bool
+	}{
+		{"//lint:ignore hotpathban cold path", "hotpathban", true},
+		{"//lint:ignore hotpathban cold path", "shardlock", false},
+		{"//lint:ignore hotpathban,shardlock startup only", "shardlock", true},
+		{"//lint:ignore all bootstrap code", "pooldiscipline", true},
+		{"//lint:ignore hotpathban", "hotpathban", false}, // reason is mandatory
+		{"// plain comment", "hotpathban", false},
+	}
+	for _, c := range cases {
+		d, ok := parseIgnore(c.text)
+		if !ok {
+			if c.want {
+				t.Errorf("parseIgnore(%q): not recognised as a directive", c.text)
+			}
+			continue
+		}
+		if got := d.matches(c.analyzer); got != c.want {
+			t.Errorf("%q matches(%s) = %v, want %v", c.text, c.analyzer, got, c.want)
+		}
+	}
+}
+
+// TestModuleIsClean runs every analyzer over every module package — the
+// in-process equivalent of `go run ./cmd/ijlint ./...` exiting 0, which
+// keeps the tree's burned-down state from regressing even when check.sh
+// is bypassed.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module analysis is not short")
+	}
+	l := fixtureLoader(t)
+	paths, err := l.Expand(nil)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		for _, d := range RunAnalyzers(pkg, All()) {
+			t.Errorf("finding on the shipped tree: %s", d)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// EmitterEscape enforces the mr.Emitter contract: an emitter handed to a
+// MapFunc or combiner writes into the engine's per-attempt buffer, so it is
+// only valid for the duration of that call on that goroutine. Storing it in
+// a struct or global, sending it on a channel, returning it, or handing it
+// to a spawned goroutine lets emissions race the engine's attempt lifecycle
+// (retried attempts discard the buffer the escaped emitter still points
+// at). The analyzer also flags EmitRange calls whose constant bounds are
+// provably inverted (lo > hi): such a call silently emits nothing.
+var EmitterEscape = &Analyzer{
+	Name: "emitterescape",
+	Doc: "an mr.Emitter must not outlive the map/combine call it was passed " +
+		"to, and EmitRange constant bounds must not be inverted",
+	Run: runEmitterEscape,
+}
+
+func runEmitterEscape(pass *Pass) {
+	for _, file := range pass.Files {
+		// Escape checks run per function that receives an Emitter parameter.
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body = d.Type, d.Body
+			case *ast.FuncLit:
+				ftype, body = d.Type, d.Body
+			default:
+				return true
+			}
+			if body == nil || ftype.Params == nil {
+				return true
+			}
+			for _, field := range ftype.Params.List {
+				for _, name := range field.Names {
+					obj := pass.Info.Defs[name]
+					if obj == nil || !namedTypeIs(obj.Type(), "internal/mr", "Emitter") {
+						continue
+					}
+					checkEmitterEscapes(pass, body, obj)
+				}
+			}
+			return true
+		})
+
+		// Constant-bound checks run over every EmitRange call site.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "EmitRange" || len(call.Args) < 2 {
+				return true
+			}
+			recv := pass.Info.TypeOf(sel.X)
+			if recv == nil || !namedTypeIs(recv, "internal/mr", "Emitter") {
+				return true
+			}
+			lo := pass.Info.Types[call.Args[0]].Value
+			hi := pass.Info.Types[call.Args[1]].Value
+			if lo != nil && hi != nil && constant.Compare(lo, token.GTR, hi) {
+				pass.Reportf(call.Pos(),
+					"EmitRange bounds are constants with lo (%s) > hi (%s): the call emits nothing", lo, hi)
+			}
+			return true
+		})
+	}
+}
+
+// checkEmitterEscapes walks one function body looking for ways the emitter
+// object (or a local alias of it) can outlive the call.
+func checkEmitterEscapes(pass *Pass, body *ast.BlockStmt, param types.Object) {
+	objs := map[types.Object]bool{param: true}
+	// Collect local aliases first (x := emit), a forward fixpoint over the
+	// body: aliases of aliases in later statements are found on the next
+	// round.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				id, ok := rhs.(*ast.Ident)
+				if !ok || !objs[pass.Info.Uses[id]] {
+					continue
+				}
+				if lid, ok := as.Lhs[i].(*ast.Ident); ok {
+					if obj := pass.Info.Defs[lid]; obj != nil && !objs[obj] {
+						objs[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	mentions := func(n ast.Node) bool {
+		for obj := range objs {
+			if usesObject(pass.Info, n, obj) {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if i >= len(s.Lhs) || !mentions(rhs) {
+					continue
+				}
+				switch lhs := s.Lhs[i].(type) {
+				case *ast.SelectorExpr:
+					pass.Reportf(s.Pos(), "mr.Emitter stored in a struct field or package variable; it must not outlive the map/combine call")
+				case *ast.IndexExpr:
+					pass.Reportf(s.Pos(), "mr.Emitter stored in a slice or map element; it must not outlive the map/combine call")
+				case *ast.Ident:
+					if obj := pass.Info.Uses[lhs]; obj != nil {
+						if v, ok := obj.(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+							pass.Reportf(s.Pos(), "mr.Emitter stored in package variable %s; it must not outlive the map/combine call", lhs.Name)
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if mentions(s.Value) {
+				pass.Reportf(s.Pos(), "mr.Emitter sent on a channel; it must not outlive the map/combine call")
+			}
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if mentions(res) {
+					pass.Reportf(s.Pos(), "mr.Emitter returned from the function it was passed to; it must not outlive the call")
+				}
+			}
+		case *ast.GoStmt:
+			if mentions(s.Call) {
+				pass.Reportf(s.Pos(), "mr.Emitter used by a spawned goroutine; emissions would race the engine's attempt lifecycle")
+				return false // already reported: skip the literal's body
+			}
+		case *ast.CompositeLit:
+			typ := pass.Info.TypeOf(s)
+			if typ != nil && namedTypeIs(typ, "internal/mr", "Emitter") {
+				return true // constructing an Emitter is not an escape
+			}
+			for _, elt := range s.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if mentions(val) {
+					pass.Reportf(elt.Pos(), "mr.Emitter stored in a composite literal; it must not outlive the map/combine call")
+				}
+			}
+		}
+		return true
+	})
+}

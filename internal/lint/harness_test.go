@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+)
+
+// The fixture harness mirrors x/tools' analysistest: fixture packages
+// under testdata/<analyzer>/ carry "// want `regexp`" comments on the
+// lines where the analyzer must report, and the test fails on any
+// unmatched expectation or unexpected diagnostic. Fixtures import real
+// module packages (interval, mr) through the same loader ijlint uses, so
+// they type-check against the true engine API and break loudly if it
+// drifts.
+
+var (
+	loaderOnce sync.Once
+	loaderVal  *Loader
+	loaderErr  error
+)
+
+// fixtureLoader shares one Loader across all tests: the expensive part of
+// a load is type-checking the standard library through the source
+// importer, and the shared cache makes that a one-time cost.
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() { loaderVal, loaderErr = NewLoader(".") })
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return loaderVal
+}
+
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants parses the fixture package's want comments.
+func collectWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads testdata/<analyzer> under importPath, runs just that
+// analyzer, and reconciles the diagnostics against the want comments.
+func runFixture(t *testing.T, analyzer, importPath string) {
+	t.Helper()
+	a := ByName(analyzer)
+	if a == nil {
+		t.Fatalf("no analyzer named %q", analyzer)
+	}
+	pkg, err := fixtureLoader(t).LoadDir(filepath.Join("testdata", analyzer), importPath)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	wants := collectWants(t, pkg)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", analyzer)
+	}
+	diags := RunAnalyzers(pkg, []*Analyzer{a})
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want `%s`", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotPathBan is the forbid-list that keeps the PR-1 hot-path migrations
+// from silently regressing: reflection-driven and allocation-heavy stdlib
+// helpers are banned from the engine packages (internal/core, internal/mr)
+// outside tests. The list and scope are variables so the ijlint driver can
+// extend them from the command line.
+var HotPathBan = &Analyzer{
+	Name: "hotpathban",
+	Doc: "banned calls (sort.Slice, fmt.Sprintf, reflect.DeepEqual, ...) in " +
+		"the hot-path packages internal/core and internal/mr",
+	Run: runHotPathBan,
+}
+
+// BannedCalls maps "pkgpath.Func" to the replacement the diagnostic
+// suggests. The ijlint -ban flag appends to it.
+var BannedCalls = map[string]string{
+	"sort.Slice":        "slices.SortFunc with a concrete comparator",
+	"fmt.Sprintf":       "strconv append-style formatting onto a byte buffer",
+	"reflect.DeepEqual": "a hand-written comparison",
+}
+
+// HotPathScope lists the package-path substrings the ban applies to. The
+// ijlint -hotpaths flag overrides it.
+var HotPathScope = []string{"internal/core", "internal/mr"}
+
+func runHotPathBan(pass *Pass) {
+	inScope := false
+	for _, s := range HotPathScope {
+		if strings.Contains(pass.Pkg.Path(), s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			full := fn.Pkg().Path() + "." + fn.Name()
+			if alt, banned := BannedCalls[full]; banned {
+				pass.Reportf(call.Pos(),
+					"%s is banned in hot-path package %s; use %s", full, pass.Pkg.Path(), alt)
+			}
+			return true
+		})
+	}
+}

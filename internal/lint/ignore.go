@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"strings"
+)
+
+// //lint:ignore support, in the staticcheck style: a comment of the form
+//
+//	//lint:ignore analyzer1,analyzer2 reason for the exemption
+//
+// on the offending line, or on the line immediately above it, suppresses
+// matching findings on that line. The analyzer list may be "all". A reason
+// is mandatory — an ignore without one does not suppress anything, so every
+// exemption in the tree documents why it is sound.
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	names  []string
+	reason string
+}
+
+// matches reports whether the directive suppresses the named analyzer.
+func (d ignoreDirective) matches(analyzer string) bool {
+	if d.reason == "" {
+		return false
+	}
+	for _, n := range d.names {
+		if n == analyzer || n == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// parseIgnore parses a comment's text, returning ok=false for comments that
+// are not lint:ignore directives.
+func parseIgnore(text string) (ignoreDirective, bool) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(text), "//lint:ignore")
+	if !ok {
+		return ignoreDirective{}, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return ignoreDirective{}, true // malformed: no analyzer list
+	}
+	return ignoreDirective{
+		names:  strings.Split(fields[0], ","),
+		reason: strings.Join(fields[1:], " "),
+	}, true
+}
+
+// filterIgnored drops diagnostics suppressed by //lint:ignore directives in
+// the package's files.
+func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// Collect directives keyed by file and line.
+	type key struct {
+		file string
+		line int
+	}
+	directives := make(map[key][]ignoreDirective)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				directives[key{pos.Filename, pos.Line}] = append(directives[key{pos.Filename, pos.Line}], d)
+			}
+		}
+	}
+	if len(directives) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			for _, dir := range directives[key{d.Pos.Filename, line}] {
+				if dir.matches(d.Analyzer) {
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,186 @@
+// Package lint is ijlint's analysis framework plus the five
+// domain-specific analyzers that mechanically enforce the engine's
+// invariants (exhaustive Allen-predicate switches, emitter escape
+// discipline, sync.Pool hygiene, shard-lock guarding, and the hot-path
+// forbid-list).
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis —
+// an Analyzer runs over a type-checked Pass and reports Diagnostics —
+// but is built purely on the standard library (go/ast, go/types and the
+// source importer), because this module deliberately carries no external
+// dependencies. Analyzers written here would port to x/tools analyzers
+// nearly mechanically if the module ever grows that dependency.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:ignore
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run inspects the package held by pass and reports findings via
+	// pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one type-checked package through an analyzer run.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions to file locations.
+	Fset *token.FileSet
+	// Files are the package's parsed (non-test) files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's recordings for the package.
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the five ijlint analyzers in their canonical order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AllenExhaustive,
+		EmitterEscape,
+		PoolDiscipline,
+		ShardLock,
+		HotPathBan,
+	}
+}
+
+// ByName resolves an analyzer by its Name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunAnalyzers applies the analyzers to pkg and returns the findings that
+// are not suppressed by //lint:ignore directives, sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	diags = filterIgnored(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags
+}
+
+// namedTypeIs reports whether t (after stripping one level of pointer) is
+// the named type pkgPathSuffix.name — suffix-matched on the package path so
+// the check is robust to the module being vendored or renamed.
+func namedTypeIs(t types.Type, pkgPathSuffix, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Name() != name {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == pkgPathSuffix || hasPathSuffix(path, pkgPathSuffix)
+}
+
+// hasPathSuffix reports whether path ends in "/"+suffix.
+func hasPathSuffix(path, suffix string) bool {
+	return len(path) > len(suffix)+1 &&
+		path[len(path)-len(suffix)-1] == '/' &&
+		path[len(path)-len(suffix):] == suffix
+}
+
+// isBuiltin reports whether the call invokes the named builtin (panic,
+// delete, ...), resolving through the type info so shadowed identifiers are
+// not mistaken for the builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, builtin := info.Uses[id].(*types.Builtin)
+	return builtin
+}
+
+// enclosingFuncs yields every function body in file: declarations and
+// literals, each paired with the node whose Body holds the statements.
+func enclosingFuncs(file *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d.Body)
+			}
+		case *ast.FuncLit:
+			fn(d.Body)
+		}
+		return true
+	})
+}
+
+// usesObject reports whether the expression subtree mentions obj.
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,95 @@
+// Package fixture exercises the allenexhaustive analyzer: switches over
+// interval.Predicate must cover all 13 Allen relations or carry a
+// panicking default.
+package fixture
+
+import "intervaljoin/internal/interval"
+
+// twelveNoDefault misses equals and has no default: flagged.
+func twelveNoDefault(p interval.Predicate) int {
+	switch p { // want `covers 12 of 13 Allen relations and has no default \(missing: equals\)`
+	case interval.Before:
+		return 0
+	case interval.After:
+		return 1
+	case interval.Meets:
+		return 2
+	case interval.MetBy:
+		return 3
+	case interval.Overlaps:
+		return 4
+	case interval.OverlappedBy:
+		return 5
+	case interval.Contains:
+		return 6
+	case interval.ContainedBy:
+		return 7
+	case interval.Starts:
+		return 8
+	case interval.StartedBy:
+		return 9
+	case interval.Finishes:
+		return 10
+	case interval.FinishedBy:
+		return 11
+	}
+	return -1
+}
+
+// lazyDefault covers three relations and falls through silently: flagged.
+func lazyDefault(p interval.Predicate) bool {
+	switch p { // want `covers 3 of 13 Allen relations and its default does not panic`
+	case interval.Before, interval.After:
+		return false
+	case interval.Equals:
+		return true
+	default:
+		return false
+	}
+}
+
+// full covers all 13 relations: compliant.
+func full(p interval.Predicate) int {
+	switch p {
+	case interval.Before, interval.After, interval.Meets, interval.MetBy:
+		return 0
+	case interval.Overlaps, interval.OverlappedBy, interval.Contains, interval.ContainedBy:
+		return 1
+	case interval.Starts, interval.StartedBy, interval.Finishes, interval.FinishedBy:
+		return 2
+	case interval.Equals:
+		return 3
+	}
+	return -1
+}
+
+// partialPanicking panics for everything it does not handle: compliant.
+func partialPanicking(p interval.Predicate) bool {
+	switch p {
+	case interval.Before:
+		return true
+	default:
+		panic("fixture: unhandled predicate")
+	}
+}
+
+// runtimeCases uses a computed case guard; static counting is impossible,
+// so the analyzer stays silent rather than guess.
+func runtimeCases(p, q interval.Predicate) bool {
+	switch p {
+	case q.Inverse():
+		return true
+	}
+	return false
+}
+
+// untagged switches are outside the contract.
+func untagged(p interval.Predicate) bool {
+	switch {
+	case p == interval.Equals:
+		return true
+	}
+	return false
+}
+
+var _ = []any{twelveNoDefault, lazyDefault, full, partialPanicking, runtimeCases, untagged}

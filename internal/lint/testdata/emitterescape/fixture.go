@@ -1,0 +1,69 @@
+// Package fixture exercises the emitterescape analyzer: an mr.Emitter is
+// only valid for the duration of the map/combine call it was passed to.
+package fixture
+
+import "intervaljoin/internal/mr"
+
+var saved mr.Emitter
+
+type holder struct {
+	emit mr.Emitter
+}
+
+// storeField parks the emitter in a struct: flagged.
+func storeField(h *holder, emit mr.Emitter) {
+	h.emit = emit // want `stored in a struct field or package variable`
+}
+
+// storeGlobal parks the emitter in a package variable: flagged.
+func storeGlobal(tag int, record string, emit mr.Emitter) error {
+	saved = emit // want `stored in package variable saved`
+	return nil
+}
+
+// storeViaAlias launders the emitter through a local first: still flagged.
+func storeViaAlias(emit mr.Emitter) {
+	e := emit
+	saved = e // want `stored in package variable saved`
+}
+
+// spawn hands the emitter to a goroutine: flagged.
+func spawn(emit mr.Emitter) {
+	go func() { // want `used by a spawned goroutine`
+		emit.Emit(1, "x")
+	}()
+}
+
+// leak returns the emitter from the call it was passed to: flagged.
+func leak(emit mr.Emitter) mr.Emitter {
+	return emit // want `returned`
+}
+
+// send pushes the emitter on a channel: flagged.
+func send(ch chan mr.Emitter, emit mr.Emitter) {
+	ch <- emit // want `sent on a channel`
+}
+
+// pack embeds the emitter in a composite literal: flagged.
+func pack(emit mr.Emitter) {
+	_ = holder{emit: emit} // want `stored in a composite literal`
+}
+
+// invertedRange has provably inverted constant bounds: flagged.
+func invertedRange(emit mr.Emitter) {
+	emit.EmitRange(5, 3, "v") // want `EmitRange bounds are constants with lo \(5\) > hi \(3\)`
+}
+
+// wellBehaved uses the emitter only within the call: compliant. Runtime
+// EmitRange bounds are never second-guessed.
+func wellBehaved(tag int, record string, emit mr.Emitter) error {
+	emit.Emit(7, record)
+	emit.EmitRange(3, 5, "v")
+	lo, hi := bounds(record)
+	emit.EmitRange(lo, hi, record)
+	return nil
+}
+
+func bounds(string) (int64, int64) { return 2, 1 }
+
+var _ = []any{storeField, storeGlobal, storeViaAlias, spawn, leak, send, pack, invertedRange, wellBehaved}

@@ -1,0 +1,46 @@
+// Package fixture exercises the hotpathban analyzer. The harness loads it
+// under an import path inside internal/core, which puts it in the
+// hot-path scope; a second load under a neutral path checks the scoping.
+package fixture
+
+import (
+	"fmt"
+	"reflect"
+	"slices"
+	"sort"
+	"strconv"
+)
+
+// sortBanned uses closure-driven sort.Slice in the hot path: flagged.
+func sortBanned(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `sort\.Slice is banned in hot-path package`
+}
+
+// sprintfBanned formats with fmt in the hot path: flagged.
+func sprintfBanned(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `fmt\.Sprintf is banned in hot-path package`
+}
+
+// deepEqualBanned compares with reflection: flagged.
+func deepEqualBanned(a, b []int) bool {
+	return reflect.DeepEqual(a, b) // want `reflect\.DeepEqual is banned in hot-path package`
+}
+
+// suppressed demonstrates the escape hatch; the reason is mandatory.
+func suppressed(n int) string {
+	//lint:ignore hotpathban fixture demonstrates the annotated cold-path escape hatch
+	return fmt.Sprintf("cold=%d", n)
+}
+
+// compliant uses the replacements the diagnostics suggest.
+func compliant(xs []int, n int) string {
+	slices.Sort(xs)
+	return "n=" + strconv.Itoa(n)
+}
+
+// errorsAllowed shows fmt.Errorf is not on the ban list.
+func errorsAllowed(n int) error {
+	return fmt.Errorf("bad n: %d", n)
+}
+
+var _ = []any{sortBanned, sprintfBanned, deepEqualBanned, suppressed, compliant, errorsAllowed}

@@ -1,0 +1,62 @@
+// Package fixture exercises the pooldiscipline analyzer: Gets need a
+// matching Put or a visible hand-off, no use-after-Put, and pooled slices
+// are length-reset at Put.
+package fixture
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 64) }}
+
+// sink keeps the compiler honest about values the fixtures retain.
+var sink []byte
+
+// leak Gets and never Puts or hands off: flagged at the Get.
+func leak() {
+	b := bufPool.Get().([]byte) // want `bufPool\.Get without a matching Put or hand-off`
+	_ = b
+}
+
+// putNoReset recycles a slice at full length: flagged at the Put argument.
+func putNoReset() {
+	b := bufPool.Get().([]byte)
+	b = append(b, 'x')
+	bufPool.Put(b) // want `slice handed to Put without a length reset`
+}
+
+// useAfterPut touches the slice after recycling it: flagged.
+func useAfterPut() {
+	b := bufPool.Get().([]byte)
+	bufPool.Put(b[:0])
+	sink = b // want `b is used after it was handed to Put`
+}
+
+// roundTrip is the engine's contract: Get, use, Put with a length reset.
+func roundTrip() int {
+	b := bufPool.Get().([]byte)
+	b = append(b, 'x')
+	n := len(b)
+	bufPool.Put(b[:0])
+	return n
+}
+
+// handOff transfers ownership by returning the bound value: compliant.
+func handOff() []byte {
+	b := bufPool.Get().([]byte)
+	return b
+}
+
+// directHandOff returns the pooled value without binding it: compliant.
+func directHandOff() []byte {
+	return bufPool.Get().([]byte)
+}
+
+// reassigned rebinds the variable after Put, which ends the
+// use-after-Put window: compliant.
+func reassigned() {
+	b := bufPool.Get().([]byte)
+	bufPool.Put(b[:0])
+	b = make([]byte, 4)
+	sink = b
+}
+
+var _ = []any{leak, putNoReset, useAfterPut, roundTrip, handOff, directHandOff, reassigned}

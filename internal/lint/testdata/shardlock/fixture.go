@@ -1,0 +1,76 @@
+// Package fixture exercises the shardlock analyzer: fields of
+// mutex-carrying shard structs must be written with the owning lock held.
+package fixture
+
+import "sync"
+
+// shard mirrors the engine's sharded shuffle state: a mutex guarding
+// sibling fields.
+type shard struct {
+	mu   sync.Mutex
+	rows map[int][]string
+	n    int
+}
+
+// table is the RWMutex variant.
+type table struct {
+	mu    sync.RWMutex
+	files map[string]string
+}
+
+// unguarded writes a field with no lock anywhere: flagged.
+func unguarded(s *shard) {
+	s.n++ // want `write to s\.n \(struct shard carries lock mu\) without s\.mu\.Lock\(\)`
+}
+
+// unguardedMap writes through a map index with no lock: flagged.
+func unguardedMap(s *shard) {
+	s.rows[1] = append(s.rows[1], "x") // want `write to s\.rows`
+}
+
+// unguardedDelete deletes with no lock: flagged.
+func unguardedDelete(t *table) {
+	delete(t.files, "k") // want `write to t\.files`
+}
+
+// wrongLock holds another instance's lock: flagged.
+func wrongLock(a, b *shard) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.n++ // want `write to b\.n`
+}
+
+// goroutineWrite spawns a writer; the literal is its own frame, so the
+// outer Lock does not excuse it: flagged.
+func goroutineWrite(s *shard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.n++ // want `write to s\.n`
+	}()
+}
+
+// guarded takes the owning lock first: compliant.
+func guarded(s *shard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	s.rows[2] = append(s.rows[2], "y")
+	delete(s.rows, 3)
+}
+
+// guardedWrite is the RWMutex write path: compliant.
+func guardedWrite(t *table, k, v string) {
+	t.mu.Lock()
+	t.files[k] = v
+	t.mu.Unlock()
+}
+
+// construct initialises a freshly built value before publication: exempt.
+func construct() *shard {
+	s := &shard{rows: make(map[int][]string)}
+	s.n = 1
+	return s
+}
+
+var _ = []any{unguarded, unguardedMap, unguardedDelete, wrongLock, goroutineWrite, guarded, guardedWrite, construct}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"runtime"
 	"slices"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -429,7 +430,7 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord) (*s
 				}
 				st.buf = append(st.buf, pairs...)
 				if len(st.buf) >= e.spill {
-					name := fmt.Sprintf("%s/.spill/w%d-r%d", job.Name, w, st.runSeq)
+					name := job.Name + "/.spill/w" + strconv.Itoa(w) + "-r" + strconv.Itoa(st.runSeq)
 					st.runSeq++
 					var logical int64
 					for _, p := range st.buf {
@@ -573,7 +574,7 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord) (*s
 			arena := make([]string, total)
 			off := 0
 			for k, n := range counts {
-				shard[k] = arena[off:off : off+n]
+				shard[k] = arena[off : off : off+n]
 				off += n
 			}
 			for _, st := range states {
@@ -631,7 +632,7 @@ func (e *Engine) feedFile(job Job, f feedFile, work chan<- []taggedRecord, recor
 	if len(batch) > 0 {
 		work <- batch
 	} else {
-		batchPool.Put(batch)
+		batchPool.Put(batch[:0])
 	}
 	return nil
 }
@@ -773,7 +774,7 @@ func (e *Engine) writeOutput(job Job, results []reduceResult) error {
 		go func() {
 			defer wg.Done()
 			for i := range idxc {
-				name := fmt.Sprintf("%spart-r-%05d", job.Output, i)
+				name := partFileName(job.Output, i)
 				pw, err := e.store.Create(name)
 				if err != nil {
 					errc <- fmt.Errorf("mr: job %s: %w", job.Name, err)
@@ -806,6 +807,21 @@ func (e *Engine) writeOutput(job Job, results []reduceResult) error {
 	wg.Wait()
 	close(errc)
 	return <-errc
+}
+
+// partFileName builds the Hadoop-style "<output>part-r-NNNNN" name with a
+// five-digit zero-padded task index, append-style so the concurrent part
+// writers stay off fmt.
+func partFileName(output string, i int) string {
+	s := strconv.Itoa(i)
+	b := make([]byte, 0, len(output)+7+5+len(s))
+	b = append(b, output...)
+	b = append(b, "part-r-"...)
+	for n := len(s); n < 5; n++ {
+		b = append(b, '0')
+	}
+	b = append(b, s...)
+	return string(b)
 }
 
 // runReduceTask executes one reduce task with retry semantics.

@@ -93,7 +93,7 @@ func (s *sink) deliver(records []string) {
 	if len(batch) > 0 {
 		s.out <- batch
 	} else {
-		batchPool.Put(batch)
+		batchPool.Put(batch[:0])
 	}
 }
 

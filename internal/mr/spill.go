@@ -49,6 +49,84 @@ func (p emission) physBytes() int64 {
 // is written once no matter how many keys the range covers. An int64 key has
 // at most 19 digits, so both prefixes stay printable.
 
+// appendSpillRecord encodes p onto buf in the spill record format. Keys are
+// expected non-negative (spillRun enforces it); hi == lo emissions encode as
+// point records, so every emission has exactly one encoding.
+func appendSpillRecord(buf []byte, p emission) []byte {
+	base := len(buf)
+	if p.isRange() {
+		buf = append(buf, 0)
+		buf = strconv.AppendInt(buf, p.lo, 10)
+		buf[base] = 'a' + byte(len(buf)-base-1)
+		mark := len(buf)
+		buf = append(buf, 0)
+		buf = strconv.AppendInt(buf, p.hi, 10)
+		buf[mark] = 'A' + byte(len(buf)-mark-1)
+	} else {
+		buf = append(buf, 0)
+		buf = strconv.AppendInt(buf, p.lo, 10)
+		buf[base] = 'A' + byte(len(buf)-base-1)
+	}
+	return append(buf, p.value...)
+}
+
+// parseSpillRecord decodes one spill record. It accepts exactly the writer's
+// output: anything appendSpillRecord cannot produce — short records, bad
+// prefixes, signed or zero-padded digits, negative keys, range records whose
+// hi does not exceed lo — is an error, so a successful parse re-encodes to
+// the identical bytes.
+func parseSpillRecord(rec string) (emission, error) {
+	if len(rec) < 2 {
+		return emission{}, fmt.Errorf("mr: malformed spill record %q", rec)
+	}
+	if rec[0] >= 'a' {
+		// Range record: lowercase lo prefix, then uppercase hi prefix.
+		nd := int(rec[0] - 'a')
+		if nd < 1 || nd+1 >= len(rec) {
+			return emission{}, fmt.Errorf("mr: malformed spill record %q", rec)
+		}
+		lo, err := parseSpillKey(rec[1:1+nd], rec)
+		if err != nil {
+			return emission{}, err
+		}
+		rest := rec[1+nd:]
+		hd := int(rest[0] - 'A')
+		if hd < 1 || hd > len(rest)-1 {
+			return emission{}, fmt.Errorf("mr: malformed spill record %q", rec)
+		}
+		hi, err := parseSpillKey(rest[1:1+hd], rec)
+		if err != nil {
+			return emission{}, err
+		}
+		if hi <= lo {
+			return emission{}, fmt.Errorf("mr: spill range record %q has hi <= lo", rec)
+		}
+		return emission{lo: lo, hi: hi, value: rest[1+hd:]}, nil
+	}
+	nd := int(rec[0] - 'A')
+	if nd < 1 || nd > len(rec)-1 {
+		return emission{}, fmt.Errorf("mr: malformed spill record %q", rec)
+	}
+	key, err := parseSpillKey(rec[1:1+nd], rec)
+	if err != nil {
+		return emission{}, err
+	}
+	return emission{lo: key, hi: key, value: rec[1+nd:]}, nil
+}
+
+// parseSpillKey parses one key's decimal digits, insisting on the writer's
+// canonical form: non-negative, unsigned, no leading zeros.
+func parseSpillKey(digits, rec string) (int64, error) {
+	v, err := strconv.ParseInt(digits, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("mr: malformed spill key in %q: %v", rec, err)
+	}
+	if v < 0 || strconv.FormatInt(v, 10) != digits {
+		return 0, fmt.Errorf("mr: non-canonical spill key %q in %q", digits, rec)
+	}
+	return v, nil
+}
+
 // spillRun writes emissions (sorted by lo, then hi) as one run file. Spilled
 // keys must be non-negative (every algorithm in this module uses partition /
 // grid-cell ids, which are).
@@ -69,20 +147,7 @@ func spillRun(store dfs.Store, name string, ems []emission) error {
 			w.Close()
 			return fmt.Errorf("mr: spilled key %d is negative", p.lo)
 		}
-		if p.isRange() {
-			buf = append(buf[:0], 0)
-			buf = strconv.AppendInt(buf, p.lo, 10)
-			buf[0] = 'a' + byte(len(buf)-1)
-			mark := len(buf)
-			buf = append(buf, 0)
-			buf = strconv.AppendInt(buf, p.hi, 10)
-			buf[mark] = 'A' + byte(len(buf)-mark-1)
-		} else {
-			buf = append(buf[:0], 0)
-			buf = strconv.AppendInt(buf, p.lo, 10)
-			buf[0] = 'A' + byte(len(buf)-1)
-		}
-		buf = append(buf, p.value...)
+		buf = appendSpillRecord(buf[:0], p)
 		if err := w.Write(string(buf)); err != nil {
 			w.Close()
 			return err
@@ -120,40 +185,11 @@ func (rc *runCursor) advance() error {
 		rc.done = true
 		return nil
 	}
-	if len(rec) < 2 {
-		return fmt.Errorf("mr: malformed spill record %q", rec)
-	}
-	if rec[0] >= 'a' {
-		// Range record: lowercase lo prefix, then uppercase hi prefix.
-		nd := int(rec[0] - 'a')
-		if nd < 1 || nd+1 >= len(rec) {
-			return fmt.Errorf("mr: malformed spill record %q", rec)
-		}
-		lo, err := strconv.ParseInt(rec[1:1+nd], 10, 64)
-		if err != nil {
-			return fmt.Errorf("mr: malformed spill key in %q: %v", rec, err)
-		}
-		rest := rec[1+nd:]
-		hd := int(rest[0] - 'A')
-		if hd < 1 || hd > len(rest)-1 {
-			return fmt.Errorf("mr: malformed spill record %q", rec)
-		}
-		hi, err := strconv.ParseInt(rest[1:1+hd], 10, 64)
-		if err != nil {
-			return fmt.Errorf("mr: malformed spill key in %q: %v", rec, err)
-		}
-		rc.head = emission{lo: lo, hi: hi, value: rest[1+hd:]}
-		return nil
-	}
-	nd := int(rec[0] - 'A')
-	if nd < 1 || nd > len(rec)-1 {
-		return fmt.Errorf("mr: malformed spill record %q", rec)
-	}
-	key, err := strconv.ParseInt(rec[1:1+nd], 10, 64)
+	p, err := parseSpillRecord(rec)
 	if err != nil {
-		return fmt.Errorf("mr: malformed spill key in %q: %v", rec, err)
+		return err
 	}
-	rc.head = emission{lo: key, hi: key, value: rec[1+nd:]}
+	rc.head = p
 	return nil
 }
 

@@ -40,6 +40,10 @@ func canonicalPredicate(p interval.Predicate) bool {
 	case interval.Before, interval.Meets, interval.Overlaps, interval.Contains,
 		interval.Starts, interval.Finishes, interval.Equals:
 		return true
+	case interval.After, interval.MetBy, interval.OverlappedBy,
+		interval.ContainedBy, interval.StartedBy, interval.FinishedBy:
+		return false
+	default:
+		panic("query: canonicalPredicate: predicate outside the 13 Allen relations")
 	}
-	return false
 }

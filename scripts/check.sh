@@ -2,12 +2,15 @@
 # Tier-1 gate: everything that must be green before a change lands.
 #
 #   1. go vet        — static checks
-#   2. go build      — the whole module compiles
-#   3. go test -race — full suite (unit, integration, property, oracle
+#   2. ijlint        — the engine's domain-specific analyzers (docs/LINTS.md):
+#                      exhaustive Allen switches, emitter escapes, sync.Pool
+#                      hygiene, shard-lock discipline, hot-path ban list
+#   3. go build      — the whole module compiles
+#   4. go test -race — full suite (unit, integration, property, oracle
 #                      cross-validation) under the race detector; the MR
 #                      engine is deliberately concurrent, so -race is part
 #                      of the gate, not an optional extra
-#   4. bench emitter — regenerates the benchmark baseline so perf-sensitive
+#   5. bench emitter — regenerates the benchmark baseline so perf-sensitive
 #                      changes ship with fresh numbers (scripts/bench.sh)
 #
 # Usage: scripts/check.sh            (full gate)
@@ -19,6 +22,9 @@ cd "$(dirname "$0")/.."
 echo "== go vet =="
 go vet ./...
 
+echo "== ijlint =="
+go run ./cmd/ijlint ./...
+
 echo "== go build =="
 go build ./...
 
@@ -27,16 +33,24 @@ go test -race ./...
 
 if [ "${SKIP_BENCH:-0}" != "1" ]; then
     echo "== benchmark baseline =="
-    # BENCH_1.json is the frozen pre-pipelining reference and BENCH_2.json
-    # the pre-range-shuffle one; current numbers go to BENCH_3.json and
-    # bench.sh prints the regression table. BENCH_THRESHOLD (percent) gates
-    # the comparison against the previous baseline: any ns/op regression
-    # beyond it fails the check, which is how CI keeps perf honest without
-    # tripping on shared-machine noise.
-    sh scripts/bench.sh BENCH_3.json
-    if [ -f BENCH_2.json ]; then
+    # Baselines are numbered BENCH_<n>.json: the frozen ones document each
+    # perf-relevant PR and the newest holds current numbers. The two newest
+    # are discovered here instead of being hardcoded, so freezing a new
+    # baseline (adding BENCH_<n+1>.json) needs no edit to this script.
+    # BENCH_THRESHOLD (percent) gates the comparison against the previous
+    # baseline: any ns/op regression beyond it fails the check, which is how
+    # CI keeps perf honest without tripping on shared-machine noise.
+    newest=""
+    prev=""
+    for f in $(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n); do
+        prev="$newest"
+        newest="$f"
+    done
+    [ -n "$newest" ] || newest=BENCH_1.json
+    sh scripts/bench.sh "$newest"
+    if [ -n "$prev" ]; then
         go run ./cmd/benchsummary -compare -threshold "${BENCH_THRESHOLD:-50}" -fail \
-            BENCH_2.json BENCH_3.json
+            "$prev" "$newest"
     fi
 fi
 
