@@ -15,7 +15,15 @@
 // -compare prints a per-benchmark regression table (old/new ns/op and
 // delta) plus added and removed benchmarks; deltas beyond -threshold
 // percent are flagged, and -fail turns any flagged regression into a
-// non-zero exit for CI use.
+// non-zero exit for CI use. Sub-microsecond benchmarks are printed but
+// never gated: at that scale the median moves tens of percent from
+// binary code layout alone.
+//
+// -phases old.json,new.json (or a single file) additionally prints a
+// per-phase wall-clock table from metrics.json reports written by
+// `ijoin -metrics` / `experiments -metrics`: the tracer's true wall per
+// phase (overlapped pipeline cycles count once) next to the busy time and
+// implied parallelism, with old-vs-new deltas when two files are given.
 package main
 
 import (
@@ -29,6 +37,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"intervaljoin/internal/obs"
 )
 
 // sample is one parsed benchmark line.
@@ -109,6 +119,13 @@ func loadBaseline(path string) (baseline, error) {
 	return b, nil
 }
 
+// gateFloorNS exempts sub-microsecond benchmarks from the pass/fail gate
+// (their deltas are still printed). Below ~1µs/op a median shifts tens of
+// percent from binary code layout and scheduler jitter alone — adding a
+// test file to the package realigns the whole test binary — so flagging
+// them fails runs on artifacts, not regressions.
+const gateFloorNS = 1000.0
+
 // compare prints a regression table between two baselines and returns the
 // number of benchmarks whose ns/op regressed beyond threshold percent.
 func compare(w io.Writer, old, new baseline, threshold float64) int {
@@ -136,6 +153,8 @@ func compare(w io.Writer, old, new baseline, threshold float64) int {
 		delta := (nv - ov) / ov * 100
 		flag := ""
 		switch {
+		case delta > threshold && ov < gateFloorNS && nv < gateFloorNS:
+			flag = "  (sub-µs, not gated)"
 		case delta > threshold:
 			flag = "  REGRESSION"
 			regressions++
@@ -186,12 +205,85 @@ func shuffleTable(w io.Writer, oldBy map[string]entry, new baseline) {
 	}
 }
 
+// phaseOrder lists the span categories in execution order for the wall
+// table.
+var phaseOrder = []string{
+	obs.CatFeed, obs.CatMap, obs.CatCombine, obs.CatSpill, obs.CatMerge,
+	obs.CatReduce, obs.CatOutput, obs.CatBarrier, obs.CatCycle, obs.CatChain,
+}
+
+// phaseTable prints the per-phase wall breakdown of one or two metrics.json
+// reports. With two, the first is the old baseline and deltas are shown.
+func phaseTable(w io.Writer, reports []*obs.Report) {
+	old, cur := (*obs.Report)(nil), reports[len(reports)-1]
+	if len(reports) == 2 {
+		old = reports[0]
+	}
+	fmt.Fprintf(w, "\nper-phase wall clock (%s)\n", cur.Name)
+	if old != nil {
+		fmt.Fprintf(w, "%-10s %12s %12s %8s %12s %6s %6s\n",
+			"phase", "old wall ms", "new wall ms", "delta", "busy ms", "par", "spans")
+	} else {
+		fmt.Fprintf(w, "%-10s %12s %12s %6s %6s\n", "phase", "wall ms", "busy ms", "par", "spans")
+	}
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	for _, cat := range phaseOrder {
+		ps, ok := cur.Phases[cat]
+		if !ok {
+			continue
+		}
+		par := 0.0
+		if ps.WallNS > 0 {
+			par = float64(ps.BusyNS) / float64(ps.WallNS)
+		}
+		if old != nil {
+			ops, hasOld := old.Phases[cat]
+			oldCell, deltaCell := "-", "-"
+			if hasOld {
+				oldCell = fmt.Sprintf("%.2f", ms(ops.WallNS))
+				if ops.WallNS > 0 {
+					deltaCell = fmt.Sprintf("%+.1f%%", float64(ps.WallNS-ops.WallNS)/float64(ops.WallNS)*100)
+				}
+			}
+			fmt.Fprintf(w, "%-10s %12s %12.2f %8s %12.2f %6.1f %6d\n",
+				cat, oldCell, ms(ps.WallNS), deltaCell, ms(ps.BusyNS), par, ps.Spans)
+		} else {
+			fmt.Fprintf(w, "%-10s %12.2f %12.2f %6.1f %6d\n", cat, ms(ps.WallNS), ms(ps.BusyNS), par, ps.Spans)
+		}
+	}
+	if m := cur.Model; m != nil {
+		fmt.Fprintf(w, "serialized model: total %.2f ms over %d cycle(s)", ms(m.TotalNS), m.Cycles)
+		if m.PipelineNS > 0 {
+			fmt.Fprintf(w, "; pipelined wall %.2f ms (overlap saved %.2f ms)", ms(m.PipelineNS), ms(m.OverlapSavedNS))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// loadReports loads the comma-separated metrics.json paths (1 or 2).
+func loadReports(arg string) ([]*obs.Report, error) {
+	paths := strings.Split(arg, ",")
+	if len(paths) > 2 {
+		return nil, fmt.Errorf("-phases wants one metrics.json or old,new — got %d paths", len(paths))
+	}
+	reports := make([]*obs.Report, 0, len(paths))
+	for _, p := range paths {
+		r, err := obs.LoadReport(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, r)
+	}
+	return reports, nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	note := flag.String("note", "benchmark baseline produced by scripts/bench.sh", "note field")
 	cmp := flag.Bool("compare", false, "compare two baseline files given as arguments instead of reading stdin")
 	threshold := flag.Float64("threshold", 15, "percent ns/op delta that counts as a regression or improvement")
 	failOnRegress := flag.Bool("fail", false, "with -compare, exit non-zero if any benchmark regressed beyond the threshold")
+	phases := flag.String("phases", "", "metrics.json file (or old,new pair) whose per-phase wall table to print")
 	flag.Parse()
 
 	if *cmp {
@@ -210,12 +302,30 @@ func main() {
 			os.Exit(1)
 		}
 		n := compare(os.Stdout, oldB, newB, *threshold)
+		if *phases != "" {
+			reports, err := loadReports(*phases)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchsummary:", err)
+				os.Exit(1)
+			}
+			phaseTable(os.Stdout, reports)
+		}
 		if n > 0 {
 			fmt.Printf("%d regression(s) beyond %.0f%%\n", n, *threshold)
 			if *failOnRegress {
 				os.Exit(1)
 			}
 		}
+		return
+	}
+
+	if *phases != "" {
+		reports, err := loadReports(*phases)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsummary:", err)
+			os.Exit(1)
+		}
+		phaseTable(os.Stdout, reports)
 		return
 	}
 

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	experiments [-exp table1|table2|figure4|figure5a|figure5b|table3|table4|all|list] \
-//	            [-scale 0.002] [-seed 1] [-workers N] [-verify] [-materialize]
+//	            [-scale 0.002] [-seed 1] [-workers N] [-verify] [-materialize] \
+//	            [-trace trace.json] [-metrics metrics.json]
 //
 // Scale multiplies the paper's dataset sizes; the default keeps every
 // experiment in seconds. -verify additionally checks every algorithm's
@@ -14,9 +15,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"intervaljoin/internal/exp"
+	"intervaljoin/internal/mr"
+	"intervaljoin/internal/obs"
 )
 
 func main() {
@@ -28,6 +32,8 @@ func main() {
 		verify  = flag.Bool("verify", false, "cross-check every run against the oracle")
 		materal = flag.Bool("materialize", false, "materialize every MR cycle boundary instead of streaming it")
 		asJSON  = flag.Bool("json", false, "emit JSON instead of aligned text")
+		traceTo = flag.String("trace", "", "write a Chrome trace_event timeline of every run here (open in Perfetto)")
+		metrTo  = flag.String("metrics", "", "write the aggregate metrics.json report of every run here")
 	)
 	flag.Parse()
 
@@ -37,7 +43,11 @@ func main() {
 		}
 		return
 	}
-	cfg := exp.Config{Scale: *scale, Seed: *seed, Workers: *workers, Verify: *verify, Materialize: *materal}
+	var tracer *obs.Tracer
+	if *traceTo != "" || *metrTo != "" {
+		tracer = obs.New(obs.Options{})
+	}
+	cfg := exp.Config{Scale: *scale, Seed: *seed, Workers: *workers, Verify: *verify, Materialize: *materal, Tracer: tracer}
 	var exps []exp.Experiment
 	if *id == "all" {
 		exps = exp.All()
@@ -66,5 +76,28 @@ func main() {
 			continue
 		}
 		table.Render(os.Stdout)
+	}
+	if *traceTo != "" {
+		writeFileWith(*traceTo, func(w io.Writer) error { return mr.WriteChromeTrace(w, tracer) })
+	}
+	if *metrTo != "" {
+		writeFileWith(*metrTo, func(w io.Writer) error { return mr.WriteMetricsJSON(w, "experiments:"+*id, tracer, nil) })
+	}
+}
+
+// writeFileWith creates path, streams fn's output into it, and exits on
+// failure.
+func writeFileWith(path string, fn func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		if err = fn(f); err != nil {
+			f.Close()
+		} else {
+			err = f.Close()
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
 }

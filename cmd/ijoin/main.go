@@ -6,7 +6,8 @@
 //	ijoin -query "R1 overlaps R2 and R2 overlaps R3" \
 //	      -rel R1=a.txt -rel R2=b.txt -rel R3=c.txt \
 //	      [-algorithm rccis] [-partitions 16] [-per-dim 6] \
-//	      [-data-dir /tmp/ij] [-o out.txt] [-stats] [-materialize]
+//	      [-data-dir /tmp/ij] [-o out.txt] [-stats] [-materialize] \
+//	      [-trace trace.json] [-metrics metrics.json]
 //
 // Input files hold one tuple per line; each attribute is "start,end" and
 // attributes are separated by '|'. A self-join registers the same file
@@ -45,6 +46,9 @@ func main() {
 		oPath      = flag.String("o", "-", "output file ('-' = stdout)")
 		emit       = flag.String("emit", "ids", "output format: ids (line numbers) | tuples (full interval values)")
 		showStats  = flag.Bool("stats", false, "print run metrics to stderr")
+		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON timeline here (open in Perfetto)")
+		metricsOut = flag.String("metrics", "", "write the machine-readable metrics.json report here")
+		pprofTags  = flag.Bool("pprof-labels", false, "attach pprof labels (algorithm, cycle) to reduce tasks; needs -trace or -metrics")
 		listAlgos  = flag.Bool("list-algorithms", false, "list algorithm names and exit")
 	)
 	var rels []relArg
@@ -107,7 +111,11 @@ func main() {
 		return
 	}
 
-	eng, err := intervaljoin.NewEngine(intervaljoin.EngineOptions{Workers: *workers, DataDir: *dataDir})
+	var tracer *intervaljoin.Tracer
+	if *tracePath != "" || *metricsOut != "" {
+		tracer = intervaljoin.NewTracer(intervaljoin.TracerOptions{PprofLabels: *pprofTags})
+	}
+	eng, err := intervaljoin.NewEngine(intervaljoin.EngineOptions{Workers: *workers, DataDir: *dataDir, Tracer: tracer})
 	if err != nil {
 		fatal(err)
 	}
@@ -174,6 +182,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "algorithm=%s tuples=%d %s replicated=%d\n",
 			res.Algorithm, len(res.Tuples), res.Metrics, res.ReplicatedIntervals)
 	}
+	if *tracePath != "" {
+		if err := writeFileWith(*tracePath, eng.WriteTrace); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeFileWith(*metricsOut, func(w io.Writer) error { return eng.WriteMetrics(w, res) }); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeFileWith creates path and streams fn's output into it.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -129,6 +129,7 @@ func (a AllMatrix) Run(ctx *Context) (*Result, error) {
 		},
 		Output:     opts.Scratch + "/output",
 		SortValues: opts.SortValues,
+		Meta:       ctx.jobMeta(a.Name(), 1),
 	}
 	metrics, err := ctx.Engine.Run(job)
 	if err != nil {

@@ -68,6 +68,7 @@ func (a AllRep) Run(ctx *Context) (*Result, error) {
 		Reduce:     reduceJoinAtPartition(ctx, part),
 		Output:     opts.Scratch + "/output",
 		SortValues: opts.SortValues,
+		Meta:       ctx.jobMeta(a.Name(), 1),
 	}
 	metrics, err := ctx.Engine.Run(job)
 	if err != nil {

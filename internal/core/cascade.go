@@ -78,6 +78,7 @@ func (c Cascade) Run(ctx *Context) (*Result, error) {
 			output = opts.Scratch + "/output"
 		}
 		jobs[si] = c.stepJob(ctx, opts, part, gridPart, jobName, output, current, bound, step, last)
+		jobs[si].Meta = ctx.jobMeta(c.Name(), si+1)
 		bound = append(bound, step.novel)
 		current = output
 	}

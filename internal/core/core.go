@@ -199,6 +199,12 @@ func (c *Context) makePartitioning(n int) (interval.Partitioning, error) {
 	return interval.MakeUniform(t0, tn, n)
 }
 
+// jobMeta annotates one cycle's job for observability: traces and profiles
+// attribute its spans to (algorithm, 1-based cycle, predicate family).
+func (c *Context) jobMeta(alg string, cycle int) mr.JobMeta {
+	return mr.JobMeta{Algorithm: alg, Cycle: cycle, Family: c.Query.Classify().String()}
+}
+
 // OutputTuple is one join result: the tuple id per relation, in query
 // relation order.
 type OutputTuple []int64

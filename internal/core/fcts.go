@@ -48,11 +48,14 @@ func (a FCTS) Run(ctx *Context) (*Result, error) {
 	marked := opts.Scratch + "/marked"
 	compOut := opts.Scratch + "/components"
 	markJob := componentMarkJob(ctx, opts, part, d, marked)
+	markJob.Meta = ctx.jobMeta(a.Name(), 1)
 	compJob := a.componentOutputJob(ctx, opts, part, d, marked, compOut)
+	compJob.Meta = ctx.jobMeta(a.Name(), 2)
 	seqJob, err := a.sequenceJob(ctx, opts, part, d, compOut, opts.Scratch+"/output")
 	if err != nil {
 		return nil, err
 	}
+	seqJob.Meta = ctx.jobMeta(a.Name(), 3)
 	perCycle, agg, replicated, err := runMarkedChain(ctx, opts, marked, markJob,
 		mr.Stage{Job: compJob}, mr.Stage{Job: seqJob})
 	if err != nil {

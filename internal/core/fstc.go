@@ -73,6 +73,7 @@ func (a FSTC) Run(ctx *Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	seqJob.Meta = ctx.jobMeta(a.Name(), 1)
 	m, err := ctx.Engine.Run(seqJob)
 	if err != nil {
 		return nil, err
@@ -99,6 +100,7 @@ func (a FSTC) Run(ctx *Context) (*Result, error) {
 			output = opts.Scratch + "/output"
 		}
 		job := a.colocStepJob(ctx, opts, part, current, output, novel, driving, checks, last)
+		job.Meta = ctx.jobMeta(a.Name(), step+1)
 		m, err := ctx.Engine.Run(job)
 		if err != nil {
 			return nil, err

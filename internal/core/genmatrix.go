@@ -91,11 +91,14 @@ func (a GenMatrix) Run(ctx *Context) (*Result, error) {
 	marked := opts.Scratch + "/marked"
 	merged := opts.Scratch + "/merged"
 	markJob := a.markJob(ctx, opts, d, parts, marked)
+	markJob.Meta = ctx.jobMeta(a.Name(), 1)
 	mergeJob := a.mergeJob(ctx, opts, verts, marked, merged)
+	mergeJob.Meta = ctx.jobMeta(a.Name(), 2)
 	joinJob, err := a.joinJob(ctx, opts, d, parts, verts, merged, opts.Scratch+"/output")
 	if err != nil {
 		return nil, err
 	}
+	joinJob.Meta = ctx.jobMeta(a.Name(), 3)
 
 	var perCycle []*mr.Metrics
 	var agg *mr.Metrics

@@ -54,7 +54,9 @@ func (a PASM) Run(ctx *Context) (*Result, error) {
 	marked := opts.Scratch + "/marked"
 	prunedFile := opts.Scratch + "/pruned"
 	markJob := componentMarkJob(ctx, opts, part, d, marked)
+	markJob.Meta = ctx.jobMeta(a.Name(), 1)
 	pJob := pruneJob(ctx, opts, part, d, marked, prunedFile)
+	pJob.Meta = ctx.jobMeta(a.Name(), 2)
 	output := opts.Scratch + "/output"
 
 	var (
@@ -77,6 +79,7 @@ func (a PASM) Run(ctx *Context) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		joinJob.Meta = ctx.jobMeta(a.Name(), 3)
 		m, err := ctx.Engine.Run(joinJob)
 		if err != nil {
 			return nil, err
@@ -100,6 +103,7 @@ func (a PASM) Run(ctx *Context) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		joinJob.Meta = ctx.jobMeta(a.Name(), 3)
 		perCycle, agg, err = ctx.Engine.RunPipeline(
 			mr.Stage{Job: markJob, Tap: replicateFlagTap(&replicated)},
 			mr.Stage{Job: pJob, Tap: prunedTap(pruned, prunedCounts)},

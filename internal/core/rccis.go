@@ -62,6 +62,7 @@ func (r RCCIS) Run(ctx *Context) (*Result, error) {
 		Reduce:     markReducer(ctx.Query, part, allRelations(m)),
 		Output:     marked,
 		SortValues: opts.SortValues,
+		Meta:       ctx.jobMeta(r.Name(), 1),
 	}
 
 	joinJob := mr.Job{
@@ -83,6 +84,7 @@ func (r RCCIS) Run(ctx *Context) (*Result, error) {
 		Reduce:     reduceJoinAtPartition(ctx, part),
 		Output:     opts.Scratch + "/output",
 		SortValues: opts.SortValues,
+		Meta:       ctx.jobMeta(r.Name(), 2),
 	}
 
 	perCycle, agg, replicated, err := runMarkedChain(ctx, opts, marked, markJob, mr.Stage{Job: joinJob})

@@ -53,10 +53,12 @@ func (s SeqMatrix) Run(ctx *Context) (*Result, error) {
 	}
 	marked := opts.Scratch + "/marked"
 	markJob := componentMarkJob(ctx, opts, part, d, marked)
+	markJob.Meta = ctx.jobMeta(s.Name(), 1)
 	joinJob, err := componentJoinJob(ctx, opts, part, d, marked, opts.Scratch+"/output", nil)
 	if err != nil {
 		return nil, err
 	}
+	joinJob.Meta = ctx.jobMeta(s.Name(), 2)
 	perCycle, agg, replicated, err := runMarkedChain(ctx, opts, marked, markJob, mr.Stage{Job: joinJob})
 	if err != nil {
 		return nil, err

@@ -89,6 +89,7 @@ func (tw TwoWay) Run(ctx *Context) (*Result, error) {
 		},
 		Output:     opts.Scratch + "/output",
 		SortValues: opts.SortValues,
+		Meta:       ctx.jobMeta(tw.Name(), 1),
 	}
 	metrics, err := ctx.Engine.Run(job)
 	if err != nil {

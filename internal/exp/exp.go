@@ -22,6 +22,7 @@ import (
 	"intervaljoin/internal/core"
 	"intervaljoin/internal/dfs"
 	"intervaljoin/internal/mr"
+	"intervaljoin/internal/obs"
 	"intervaljoin/internal/query"
 	"intervaljoin/internal/relation"
 )
@@ -44,6 +45,10 @@ type Config struct {
 	// written to the store (sequential RunChain) instead of the default
 	// pipelined executor — for measuring what the pipelining buys.
 	Materialize bool
+	// Tracer, when non-nil, records execution spans for every engine the
+	// experiments construct — one shared timeline across all runs, so a
+	// whole experiment can be inspected in Perfetto. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -166,7 +171,7 @@ type Run struct {
 
 // execute runs one algorithm on a fresh in-memory engine and profiles it.
 func execute(cfg Config, alg core.Algorithm, q *query.Query, rels []*relation.Relation, opts core.Options) (Run, error) {
-	engine := mr.NewEngine(mr.Config{Store: dfs.NewMem(), Workers: cfg.Workers})
+	engine := mr.NewEngine(mr.Config{Store: dfs.NewMem(), Workers: cfg.Workers, Tracer: cfg.Tracer})
 	opts.Materialize = cfg.Materialize
 	ctx, err := core.NewContext(engine, q, rels, opts)
 	if err != nil {

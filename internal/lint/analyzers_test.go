@@ -27,6 +27,24 @@ func TestHotPathBan(t *testing.T) {
 	runFixture(t, "hotpathban", "intervaljoin/internal/core/lintfixture")
 }
 
+func TestTimeNowLoop(t *testing.T) {
+	runFixture(t, "timenowloop", "intervaljoin/internal/mr/lintfixture")
+}
+
+// TestTimeNowLoopScope reloads the timing fixture under a neutral import
+// path: outside the hot-path packages per-pair clock reads are fine, so
+// the analyzer must stay silent.
+func TestTimeNowLoopScope(t *testing.T) {
+	pkg, err := fixtureLoader(t).LoadDir(filepath.Join("testdata", "timenowloop"), "intervaljoin/lintfixture/nothot")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := RunAnalyzers(pkg, []*Analyzer{TimeNowLoop})
+	for _, d := range diags {
+		t.Errorf("diagnostic outside the hot-path scope: %s", d)
+	}
+}
+
 // TestHotPathBanScope reloads the same fixture under a neutral import path:
 // outside internal/core and internal/mr the banned calls are fine, so the
 // analyzer must stay silent.

@@ -1,8 +1,8 @@
-// Package lint is ijlint's analysis framework plus the five
+// Package lint is ijlint's analysis framework plus the six
 // domain-specific analyzers that mechanically enforce the engine's
 // invariants (exhaustive Allen-predicate switches, emitter escape
-// discipline, sync.Pool hygiene, shard-lock guarding, and the hot-path
-// forbid-list).
+// discipline, sync.Pool hygiene, shard-lock guarding, the hot-path
+// forbid-list, and the per-pair-loop clock-read ban).
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis —
 // an Analyzer runs over a type-checked Pass and reports Diagnostics —
@@ -69,7 +69,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the five ijlint analyzers in their canonical order.
+// All returns the six ijlint analyzers in their canonical order.
 func All() []*Analyzer {
 	return []*Analyzer{
 		AllenExhaustive,
@@ -77,6 +77,7 @@ func All() []*Analyzer {
 		PoolDiscipline,
 		ShardLock,
 		HotPathBan,
+		TimeNowLoop,
 	}
 }
 

@@ -1,0 +1,101 @@
+// Package fixture exercises the timenowloop analyzer. The harness loads
+// it under an import path inside internal/mr, which puts it in the
+// hot-path scope.
+package fixture
+
+import "time"
+
+// perTaskTiming reads the clock once per outer task iteration: allowed,
+// this is exactly how the engine times map and reduce tasks.
+func perTaskTiming(tasks [][]int) time.Duration {
+	var total time.Duration
+	for _, task := range tasks {
+		t0 := time.Now()
+		sum := 0
+		for _, v := range task {
+			sum += v
+		}
+		total += time.Since(t0)
+	}
+	return total
+}
+
+// perPairTiming reads the clock inside the inner per-pair loop: flagged.
+func perPairTiming(tasks [][]int) time.Duration {
+	var total time.Duration
+	for _, task := range tasks {
+		for range task {
+			t0 := time.Now() // want `time\.Now in a per-pair inner loop \(for-nesting depth 2\)`
+			total += time.Since(t0) // want `time\.Since in a per-pair inner loop \(for-nesting depth 2\)`
+		}
+	}
+	return total
+}
+
+// deeplyNested is flagged at depth 3 too.
+func deeplyNested(cube [][][]int) (n int64) {
+	for _, plane := range cube {
+		for _, row := range plane {
+			for range row {
+				n += time.Now().UnixNano() // want `time\.Now in a per-pair inner loop \(for-nesting depth 3\)`
+			}
+		}
+	}
+	return n
+}
+
+// closureResetsDepth: the literal handed to the engine is its own
+// function, so its body starts again at depth 0 — one read per call is
+// the per-task pattern, not per-pair.
+func closureResetsDepth(tasks [][]int) func() time.Time {
+	var fn func() time.Time
+	for range tasks {
+		for range tasks {
+			fn = func() time.Time {
+				return time.Now()
+			}
+		}
+	}
+	return fn
+}
+
+// closureInnerLoop: depth inside the closure counts on its own; a
+// per-pair read within the closure is still flagged.
+func closureInnerLoop(tasks [][]int) func() time.Duration {
+	return func() time.Duration {
+		var total time.Duration
+		for _, task := range tasks {
+			for range task {
+				t0 := time.Now() // want `time\.Now in a per-pair inner loop`
+				total += time.Since(t0) // want `time\.Since in a per-pair inner loop`
+			}
+		}
+		return total
+	}
+}
+
+// suppressed demonstrates the escape hatch; the reason is mandatory.
+func suppressed(tasks [][]int) (n int64) {
+	for range tasks {
+		for range tasks {
+			//lint:ignore timenowloop fixture demonstrates the annotated escape hatch
+			n += time.Now().UnixNano()
+		}
+	}
+	return n
+}
+
+// otherTimeCallsAllowed: non-clock time functions are fine at any depth.
+func otherTimeCallsAllowed(tasks [][]int) time.Duration {
+	var total time.Duration
+	for range tasks {
+		for range tasks {
+			total += 3 * time.Millisecond
+			total = total.Round(time.Duration(len(tasks)))
+		}
+	}
+	return total
+}
+
+var _ = []any{perTaskTiming, perPairTiming, deeplyNested, closureResetsDepth,
+	closureInnerLoop, suppressed, otherTimeCallsAllowed}

@@ -81,7 +81,31 @@ type Metrics struct {
 	// LPT ≤ key-order; the gap is the straggler tail the ordering shaved.
 	MakespanKeyOrder time.Duration
 	MakespanLPT      time.Duration
+	// TrueWalls holds tracer-measured per-phase wall clocks: the interval
+	// union of each phase's spans, so concurrent workers and pipelined
+	// cycles count once. The additive fields above (MapWall, ReduceWall,
+	// FeedWall, TotalWall) keep their historical "serialized model"
+	// semantics — Merge sums them as if cycles ran back to back — while
+	// TrueWalls answers "how long was a map task actually running
+	// somewhere". Zero unless the engine ran with a Tracer; Merge does not
+	// touch it (it is set once, over the whole run, by Run / RunChain /
+	// RunPipeline).
+	TrueWalls PhaseWallClock
 }
+
+// PhaseWallClock is the tracer's per-phase wall-clock union for one run.
+type PhaseWallClock struct {
+	Feed    time.Duration
+	Map     time.Duration
+	Combine time.Duration
+	Spill   time.Duration
+	Merge   time.Duration
+	Reduce  time.Duration
+	Output  time.Duration
+}
+
+// Zero reports whether no phase wall was recorded (untraced run).
+func (p PhaseWallClock) Zero() bool { return p == PhaseWallClock{} }
 
 func newMetrics(job string) *Metrics {
 	return &Metrics{
@@ -97,6 +121,12 @@ func NewMetrics(job string) *Metrics { return newMetrics(job) }
 
 // Merge accumulates other into m. Reducer maps are merged key-wise by
 // summation; this treats the same key in different cycles as the same node.
+// Wall-clock fields are summed too — the "serialized model", which prices a
+// chain as if its cycles ran back to back. Under pipelined execution cycles
+// overlap, so these sums intentionally over-count wall time; the true
+// per-phase walls live in TrueWalls, which Merge leaves alone because a
+// union over overlapping cycles cannot be recovered by adding per-cycle
+// values.
 func (m *Metrics) Merge(other *Metrics) {
 	m.MapInputRecords += other.MapInputRecords
 	m.IntermediatePairs += other.IntermediatePairs
@@ -240,6 +270,11 @@ func (m *Metrics) String() string {
 		fmt.Fprintf(&b, " pipeline=%s overlap=%s streamed=%d",
 			m.PipelineWall.Round(time.Millisecond),
 			m.OverlapSaved.Round(time.Millisecond), m.StreamedPairs)
+	}
+	if !m.TrueWalls.Zero() {
+		fmt.Fprintf(&b, " map-wall=%s reduce-wall=%s",
+			m.TrueWalls.Map.Round(time.Millisecond),
+			m.TrueWalls.Reduce.Round(time.Millisecond))
 	}
 	return b.String()
 }

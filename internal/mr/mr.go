@@ -21,9 +21,11 @@ package mr
 
 import (
 	"cmp"
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"slices"
 	"strconv"
 	"strings"
@@ -32,6 +34,7 @@ import (
 	"time"
 
 	"intervaljoin/internal/dfs"
+	"intervaljoin/internal/obs"
 )
 
 // Emitter publishes intermediate key-value pairs from a map function. Keys
@@ -146,6 +149,38 @@ type Job struct {
 	// making runs deterministic (Hadoop guarantees key order; this
 	// additionally pins value order the way a secondary sort would).
 	SortValues bool
+	// Meta annotates the job for observability: the tracer's cycle spans
+	// and the optional pprof labels carry it, so traces and CPU profiles
+	// attribute time to (algorithm, cycle, predicate family) rather than
+	// to anonymous jobs. Optional; the zero value adds nothing.
+	Meta JobMeta
+}
+
+// JobMeta is a job's observability annotation, set by the algorithm
+// drivers.
+type JobMeta struct {
+	// Algorithm is the driver's name ("rccis", "all-matrix", ...).
+	Algorithm string
+	// Cycle is the job's 1-based position in the driver's MR chain.
+	Cycle int
+	// Family is the query's predicate family ("colocation", "sequence",
+	// "hybrid", "general").
+	Family string
+}
+
+// traceArgs renders the non-empty meta fields as span annotations.
+func (jm JobMeta) traceArgs() []obs.Arg {
+	args := make([]obs.Arg, 0, 3)
+	if jm.Algorithm != "" {
+		args = append(args, obs.Arg{Key: "algorithm", Val: jm.Algorithm})
+	}
+	if jm.Cycle > 0 {
+		args = append(args, obs.Arg{Key: "cycle", Val: strconv.Itoa(jm.Cycle)})
+	}
+	if jm.Family != "" {
+		args = append(args, obs.Arg{Key: "family", Val: jm.Family})
+	}
+	return args
 }
 
 // Config configures an Engine.
@@ -175,6 +210,11 @@ type Config struct {
 	// at emit time instead of shipping a single range record — the legacy
 	// per-partition shuffle, kept for ablations and equivalence tests.
 	ExpandRangeEmits bool
+	// Tracer, when non-nil, records structured execution spans (per map
+	// and reduce task, spill, shuffle merge, cycle and chain) plus
+	// counters and histograms into internal/obs. A nil tracer disables
+	// all recording at the cost of a nil check per instrumentation site.
+	Tracer *obs.Tracer
 }
 
 // Engine executes jobs.
@@ -186,6 +226,7 @@ type Engine struct {
 	inject       func(phase Phase, task, attempt int) error
 	materialize  bool
 	expandRanges bool
+	tracer       *obs.Tracer
 }
 
 // NewEngine returns an engine over the given store.
@@ -206,15 +247,24 @@ func NewEngine(cfg Config) *Engine {
 		inject:       cfg.FailureInjector,
 		materialize:  cfg.MaterializeBoundaries,
 		expandRanges: cfg.ExpandRangeEmits,
+		tracer:       cfg.Tracer,
 	}
 }
+
+// Tracer returns the engine's tracer (nil when tracing is disabled).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
 // Store returns the engine's file store.
 func (e *Engine) Store() dfs.Store { return e.store }
 
 // Run executes one job and returns its metrics.
 func (e *Engine) Run(job Job) (*Metrics, error) {
-	return e.runJob(job, nil, nil, true)
+	mark := e.tracer.Now()
+	m, err := e.runJob(job, nil, nil, true)
+	if m != nil {
+		e.fillTrueWalls(m, mark)
+	}
+	return m, err
 }
 
 // runJob executes one job. stream, when non-nil, feeds extra map input
@@ -226,17 +276,23 @@ func (e *Engine) runJob(job Job, stream <-chan []taggedRecord, snk *sink, writeO
 		return nil, fmt.Errorf("mr: job %s: Map and Reduce are required", job.Name)
 	}
 	m := newMetrics(job.Name)
+	jobLane := e.tracer.Acquire()
+	defer e.tracer.Release(jobLane)
+	jobStart := jobLane.Begin()
 	start := time.Now()
 
-	shuffle, err := e.mapPhase(job, m, stream)
+	shuffle, err := e.mapPhase(job, m, stream, jobLane)
 	if err != nil {
 		return nil, err
 	}
-	if err := e.reducePhase(job, shuffle, m, snk, writeOut); err != nil {
+	if err := e.reducePhase(job, shuffle, m, snk, writeOut, jobLane); err != nil {
 		return nil, err
 	}
 	shuffle.cleanup(e.store)
 	m.TotalWall = time.Since(start)
+	if jobLane != nil {
+		jobLane.End(obs.CatCycle, "cycle:"+job.Name, jobStart, job.Meta.traceArgs()...)
+	}
 	return m, nil
 }
 
@@ -246,15 +302,44 @@ func (e *Engine) RunChain(jobs ...Job) ([]*Metrics, *Metrics, error) {
 	var all []*Metrics
 	agg := newMetrics("chain")
 	agg.Cycles = 0
-	for _, job := range jobs {
-		m, err := e.Run(job)
+	mark := e.tracer.Now()
+	chainLane := e.tracer.Acquire()
+	chainStart := chainLane.Begin()
+	for i, job := range jobs {
+		if i > 0 {
+			// Every boundary in a sequential chain is a store barrier.
+			chainLane.Event(obs.CatBarrier, "barrier:"+job.Name)
+		}
+		m, err := e.runJob(job, nil, nil, true)
 		if err != nil {
+			e.tracer.Release(chainLane)
 			return all, agg, err
 		}
 		all = append(all, m)
 		agg.Merge(m)
 	}
+	chainLane.End(obs.CatChain, "chain", chainStart)
+	e.tracer.Release(chainLane)
+	e.fillTrueWalls(agg, mark)
 	return all, agg, nil
+}
+
+// fillTrueWalls sets m's tracer-measured per-phase wall clocks from the
+// spans recorded since mark. No-op without a tracer; see Metrics.TrueWalls.
+func (e *Engine) fillTrueWalls(m *Metrics, mark time.Duration) {
+	if !e.tracer.Enabled() {
+		return
+	}
+	walls := e.tracer.Snapshot().PhaseWalls(mark)
+	m.TrueWalls = PhaseWallClock{
+		Feed:    walls[obs.CatFeed],
+		Map:     walls[obs.CatMap],
+		Combine: walls[obs.CatCombine],
+		Spill:   walls[obs.CatSpill],
+		Merge:   walls[obs.CatMerge],
+		Reduce:  walls[obs.CatReduce],
+		Output:  walls[obs.CatOutput],
+	}
 }
 
 // taggedRecord is one unit of map input.
@@ -327,7 +412,7 @@ type feedFile struct {
 	tag  int
 }
 
-func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord) (*shuffleState, error) {
+func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord, jobLane *obs.Lane) (*shuffleState, error) {
 	mapStart := time.Now()
 	// Resolve every input to its file list up front so the feed can read
 	// files concurrently.
@@ -377,6 +462,14 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord) (*s
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			lane := e.tracer.Acquire()
+			defer e.tracer.Release(lane)
+			var mapSpan, combineSpan, spillSpan string
+			if lane != nil {
+				mapSpan = "map:" + job.Name
+				combineSpan = "combine:" + job.Name
+				spillSpan = "spill:" + job.Name
+			}
 			st := &workerState{}
 			if e.spill == 0 {
 				st.local = make([]map[int64][]string, nshards)
@@ -388,6 +481,7 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord) (*s
 			var attemptBuf []emission
 			for batch := range work {
 				task := takeTask()
+				taskStart := lane.Begin()
 				var err error
 				for attempt := 1; ; attempt++ {
 					attemptBuf = attemptBuf[:0]
@@ -402,13 +496,19 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord) (*s
 						return
 					}
 					st.retries++
+					if lane != nil {
+						lane.Event(obs.CatMap, "retry:"+job.Name)
+						lane.Count("map_retries", 1)
+					}
 				}
 				batchPool.Put(batch[:0])
 				// Fold the attempt's pairs through the combiner, then into
 				// the worker shuffle.
 				pairs := attemptBuf
 				if job.Combine != nil {
+					combineStart := lane.Begin()
 					pairs, st.combineIn, st.combineOut = combinePairs(job.Combine, pairs, st.combineIn, st.combineOut)
+					lane.End(obs.CatCombine, combineSpan, combineStart)
 				}
 				for _, p := range pairs {
 					n := p.span()
@@ -416,6 +516,9 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord) (*s
 					st.bytes += n * (int64(len(p.value)) + 8)
 					st.physPairs++
 					st.physBytes += p.physBytes()
+					if lane != nil && p.isRange() {
+						lane.Observe("range_emit_width", n)
+					}
 				}
 				if e.spill == 0 {
 					for _, p := range pairs {
@@ -426,6 +529,7 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord) (*s
 						shard := st.local[shardOf(p.lo, nshards)]
 						shard[p.lo] = append(shard[p.lo], p.value)
 					}
+					lane.End(obs.CatMap, mapSpan, taskStart)
 					continue
 				}
 				st.buf = append(st.buf, pairs...)
@@ -436,16 +540,23 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord) (*s
 					for _, p := range st.buf {
 						logical += p.span()
 					}
+					spillStart := lane.Begin()
 					if err := spillRun(e.store, name, st.buf); err != nil {
 						errc <- fmt.Errorf("mr: job %s: %w", job.Name, err)
 						for range work {
 						}
 						return
 					}
+					if lane != nil {
+						lane.End(obs.CatSpill, spillSpan, spillStart)
+						lane.Count("spill_records", int64(len(st.buf)))
+						lane.Count("spill_runs", 1)
+					}
 					st.spilled += logical
 					st.runs = append(st.runs, name)
 					st.buf = st.buf[:0]
 				}
+				lane.End(obs.CatMap, mapSpan, taskStart)
 			}
 		}(w)
 	}
@@ -465,10 +576,16 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord) (*s
 		feedWG.Add(1)
 		go func() {
 			defer feedWG.Done()
+			lane := e.tracer.Acquire()
+			defer e.tracer.Release(lane)
 			for f := range filec {
+				fStart := lane.Begin()
 				if err := e.feedFile(job, f, work, &records); err != nil {
 					feedErrc <- err
 					// Keep draining so the dispatcher never blocks.
+				}
+				if lane != nil {
+					lane.End(obs.CatFeed, "feed:"+f.name, fStart)
 				}
 			}
 		}()
@@ -548,6 +665,7 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord) (*s
 	// list exactly, so one contiguous arena backs the whole shard instead of
 	// one growing allocation per key.
 	shuffle.shards = make([]map[int64][]string, nshards)
+	mergeStart := jobLane.Begin()
 	var mergeWG sync.WaitGroup
 	for p := 0; p < nshards; p++ {
 		mergeWG.Add(1)
@@ -594,6 +712,9 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord) (*s
 		}(p)
 	}
 	mergeWG.Wait()
+	if jobLane != nil {
+		jobLane.End(obs.CatMerge, "merge:"+job.Name, mergeStart)
+	}
 	for _, shard := range shuffle.shards {
 		m.DistinctKeys += len(shard)
 		for k, vs := range shard {
@@ -684,12 +805,12 @@ type reduceResult struct {
 	pairs    int64
 }
 
-func (e *Engine) reducePhase(job Job, shuffle *shuffleState, m *Metrics, snk *sink, writeOut bool) error {
+func (e *Engine) reducePhase(job Job, shuffle *shuffleState, m *Metrics, snk *sink, writeOut bool, jobLane *obs.Lane) error {
 	reduceStart := time.Now()
 	var results []reduceResult
 	var err error
 	if shuffle.spilled() {
-		results, err = e.reduceStreaming(job, shuffle, m, snk)
+		results, err = e.reduceStreaming(job, shuffle, m, snk, jobLane)
 	} else {
 		results, err = e.reduceInMemory(job, shuffle, m, snk)
 	}
@@ -707,8 +828,12 @@ func (e *Engine) reducePhase(job Job, shuffle *shuffleState, m *Metrics, snk *si
 	}
 	m.MakespanKeyOrder, m.MakespanLPT = modelDispatchOrders(results, e.workers)
 	if writeOut {
+		outStart := jobLane.Begin()
 		if err := e.writeOutput(job, results); err != nil {
 			return err
+		}
+		if jobLane != nil {
+			jobLane.End(obs.CatOutput, "output:"+job.Name, outStart)
 		}
 	}
 	m.ReduceWall = time.Since(reduceStart)
@@ -825,7 +950,8 @@ func partFileName(output string, i int) string {
 }
 
 // runReduceTask executes one reduce task with retry semantics.
-func (e *Engine) runReduceTask(job Job, task int, key int64, values []string, m *retryCounter) (reduceResult, error) {
+func (e *Engine) runReduceTask(job Job, task int, key int64, values []string, m *retryCounter, lane *obs.Lane, spanName string) (reduceResult, error) {
+	taskStart := lane.Begin()
 	if job.SortValues {
 		slices.Sort(values)
 	}
@@ -845,13 +971,39 @@ func (e *Engine) runReduceTask(job Job, task int, key int64, values []string, m 
 			return job.Reduce(key, values, write)
 		}()
 		if err == nil {
+			if lane != nil {
+				lane.End(obs.CatReduce, spanName, taskStart,
+					obs.Arg{Key: "key", Val: strconv.FormatInt(key, 10)})
+				lane.Observe("reduce_pairs", int64(len(values)))
+			}
 			return reduceResult{key: key, output: out, duration: time.Since(t0), pairs: int64(len(values))}, nil
 		}
 		if !errors.Is(err, ErrTransient) || attempt >= e.attempts {
 			return reduceResult{}, fmt.Errorf("mr: job %s: reduce key %d: %w", job.Name, key, err)
 		}
 		m.add(1)
+		if lane != nil {
+			lane.Event(obs.CatReduce, "retry:"+job.Name)
+			lane.Count("reduce_retries", 1)
+		}
 	}
+}
+
+// withReduceLabels runs fn, labelling its goroutine for CPU profiles when
+// the tracer asks for pprof labels, so profile samples attribute reduce
+// time to (algorithm, cycle, job) instead of anonymous worker goroutines.
+func (e *Engine) withReduceLabels(job Job, fn func()) {
+	if !e.tracer.PprofLabels() {
+		fn()
+		return
+	}
+	labels := pprof.Labels(
+		"mr_phase", "reduce",
+		"job", job.Name,
+		"algorithm", job.Meta.Algorithm,
+		"cycle", strconv.Itoa(job.Meta.Cycle),
+	)
+	pprof.Do(context.Background(), labels, func(context.Context) { fn() })
 }
 
 // retryCounter accumulates retries across concurrent reduce tasks.
@@ -899,18 +1051,26 @@ func (e *Engine) reduceInMemory(job Job, shuffle *shuffleState, m *Metrics, snk 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for ki := range keyc {
-				key := keys[ki]
-				res, err := e.runReduceTask(job, ki, key, shuffle.group(key), &retries)
-				if err != nil {
-					errc <- err
-					for range keyc {
-					}
-					return
-				}
-				results[ki] = res
-				snk.deliver(res.output)
+			lane := e.tracer.Acquire()
+			defer e.tracer.Release(lane)
+			var reduceSpan string
+			if lane != nil {
+				reduceSpan = "reduce:" + job.Name
 			}
+			e.withReduceLabels(job, func() {
+				for ki := range keyc {
+					key := keys[ki]
+					res, err := e.runReduceTask(job, ki, key, shuffle.group(key), &retries, lane, reduceSpan)
+					if err != nil {
+						errc <- err
+						for range keyc {
+						}
+						return
+					}
+					results[ki] = res
+					snk.deliver(res.output)
+				}
+			})
 		}()
 	}
 	for _, ki := range order {
@@ -929,7 +1089,7 @@ func (e *Engine) reduceInMemory(job Job, shuffle *shuffleState, m *Metrics, snk 
 // reduceStreaming merges the spilled runs and in-memory leftovers in key
 // order, dispatching each key's values to the worker pool as it completes —
 // only one in-flight key list per worker is materialised.
-func (e *Engine) reduceStreaming(job Job, shuffle *shuffleState, m *Metrics, snk *sink) ([]reduceResult, error) {
+func (e *Engine) reduceStreaming(job Job, shuffle *shuffleState, m *Metrics, snk *sink, jobLane *obs.Lane) ([]reduceResult, error) {
 	cursors := make([]cursor, 0, len(shuffle.runFiles)+len(shuffle.leftover))
 	for _, f := range shuffle.runFiles {
 		rc, err := openRun(e.store, f)
@@ -960,23 +1120,32 @@ func (e *Engine) reduceStreaming(job Job, shuffle *shuffleState, m *Metrics, snk
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for t := range taskc {
-				res, err := e.runReduceTask(job, t.idx, t.key, *t.values, &retries)
-				recycleValues(t.values)
-				if err != nil {
-					errc <- err
-					for range taskc {
-					}
-					return
-				}
-				mu.Lock()
-				results = append(results, res)
-				mu.Unlock()
-				snk.deliver(res.output)
+			lane := e.tracer.Acquire()
+			defer e.tracer.Release(lane)
+			var reduceSpan string
+			if lane != nil {
+				reduceSpan = "reduce:" + job.Name
 			}
+			e.withReduceLabels(job, func() {
+				for t := range taskc {
+					res, err := e.runReduceTask(job, t.idx, t.key, *t.values, &retries, lane, reduceSpan)
+					recycleValues(t.values)
+					if err != nil {
+						errc <- err
+						for range taskc {
+						}
+						return
+					}
+					mu.Lock()
+					results = append(results, res)
+					mu.Unlock()
+					snk.deliver(res.output)
+				}
+			})
 		}()
 	}
 	idx := 0
+	mergeStart := jobLane.Begin()
 	mergeErr := mergeRuns(cursors, func(key int64, values []string) error {
 		// The merge reuses its values slice, so each dispatched task gets a
 		// pooled copy that the worker recycles once the task commits —
@@ -988,6 +1157,9 @@ func (e *Engine) reduceStreaming(job Job, shuffle *shuffleState, m *Metrics, snk
 		idx++
 		return nil
 	})
+	if jobLane != nil {
+		jobLane.End(obs.CatMerge, "merge:"+job.Name, mergeStart)
+	}
 	close(taskc)
 	wg.Wait()
 	close(errc)

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"intervaljoin/internal/obs"
 )
 
 // Pipelined chain execution. RunChain materialises every cycle boundary on
@@ -142,6 +144,9 @@ func (e *Engine) RunPipeline(stages ...Stage) ([]*Metrics, *Metrics, error) {
 	}
 
 	start := time.Now()
+	mark := e.tracer.Now()
+	chainLane := e.tracer.Acquire()
+	chainStart := chainLane.Begin()
 	all := make([]*Metrics, n)
 	var firstErr error
 	// Stages joined by streamed boundaries form a group that runs
@@ -152,9 +157,18 @@ func (e *Engine) RunPipeline(stages ...Stage) ([]*Metrics, *Metrics, error) {
 		for hi < n-1 && bounds[hi].stream {
 			hi++
 		}
+		if chainLane != nil && lo > 0 {
+			// A new group means the previous boundary was a store barrier,
+			// not an overlapped stream.
+			chainLane.Event(obs.CatBarrier, "barrier:"+stages[lo].Job.Name)
+		}
 		firstErr = e.runGroup(stages, bounds, write, lo, hi, all)
 		lo = hi + 1
 	}
+	if chainLane != nil {
+		chainLane.End(obs.CatChain, "pipeline", chainStart)
+	}
+	e.tracer.Release(chainLane)
 	var sumWall time.Duration
 	for _, m := range all {
 		if m == nil {
@@ -167,6 +181,7 @@ func (e *Engine) RunPipeline(stages ...Stage) ([]*Metrics, *Metrics, error) {
 	if sumWall > agg.PipelineWall {
 		agg.OverlapSaved = sumWall - agg.PipelineWall
 	}
+	e.fillTrueWalls(agg, mark)
 	return all, agg, firstErr
 }
 

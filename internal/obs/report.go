@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// The metrics report is the machine-readable summary of a traced run:
+// per-phase wall breakdowns (true unions from the tracer next to the
+// engine's additive serialized-model sums), counters, histograms, and the
+// reducer-skew report. It is what -metrics writes on the CLIs and what
+// benchsummary -compare consumes for its per-phase wall table, so the
+// field names here are a stable interchange format.
+
+// PhaseStats is one phase category's time accounting.
+type PhaseStats struct {
+	// WallNS is the true wall-clock union of the phase's spans:
+	// overlapping workers and pipelined cycles count once.
+	WallNS int64 `json:"wall_ns"`
+	// BusyNS sums the phase's span durations: total work performed, which
+	// exceeds WallNS by the phase's average parallelism.
+	BusyNS int64 `json:"busy_ns"`
+	// Spans is the number of spans recorded in the phase.
+	Spans int `json:"spans"`
+}
+
+// SerializedModel carries the engine's additive per-cycle Metrics sums —
+// the "as if cycles ran back to back" accounting that Metrics.Merge has
+// always produced. Under pipelining these sums double-count overlapped
+// time; the Phases map holds the true unions alongside.
+type SerializedModel struct {
+	Cycles           int     `json:"cycles"`
+	FeedNS           int64   `json:"feed_ns"`
+	MapNS            int64   `json:"map_ns"`
+	ReduceNS         int64   `json:"reduce_ns"`
+	TotalNS          int64   `json:"total_ns"`
+	PipelineNS       int64   `json:"pipeline_ns,omitempty"`
+	OverlapSavedNS   int64   `json:"overlap_saved_ns,omitempty"`
+	MakespanLPTNS    int64   `json:"makespan_lpt_ns,omitempty"`
+	Pairs            int64   `json:"pairs"`
+	PhysPairs        int64   `json:"phys_pairs"`
+	Bytes            int64   `json:"bytes"`
+	PhysBytes        int64   `json:"phys_bytes"`
+	SpilledPairs     int64   `json:"spilled_pairs,omitempty"`
+	TaskRetries      int64   `json:"task_retries,omitempty"`
+	OutputRecords    int64   `json:"output_records"`
+	ReplicationFact  float64 `json:"replication_factor"`
+	StreamedPairs    int64   `json:"streamed_pairs,omitempty"`
+	DistinctReducers int     `json:"distinct_reducers"`
+}
+
+// HistJSON is a histogram's JSON rendering: non-empty power-of-two
+// buckets keyed by their lower bound.
+type HistJSON struct {
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Min     int64            `json:"min"`
+	Max     int64            `json:"max"`
+	Mean    float64          `json:"mean"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// Report is the metrics.json document.
+type Report struct {
+	Name         string                `json:"name"`
+	Algorithm    string                `json:"algorithm,omitempty"`
+	Phases       map[string]PhaseStats `json:"phases,omitempty"`
+	Model        *SerializedModel      `json:"serialized,omitempty"`
+	Counters     map[string]int64      `json:"counters,omitempty"`
+	Hists        map[string]HistJSON   `json:"hists,omitempty"`
+	Skew         *SkewReport           `json:"skew,omitempty"`
+	Lanes        int                   `json:"lanes"`
+	DroppedSpans int64                 `json:"dropped_spans,omitempty"`
+}
+
+// NewReport summarises a snapshot: phase stats from the spans, merged
+// counters and histograms. The serialized model and skew report are the
+// engine's to fill (mr.BuildReport), since they come from Metrics, not
+// from spans. A nil snapshot yields an empty named report.
+func NewReport(name string, s *Snapshot) *Report {
+	r := &Report{Name: name}
+	if s == nil {
+		return r
+	}
+	r.Lanes = len(s.Lanes)
+	for _, l := range s.Lanes {
+		r.DroppedSpans += l.Dropped
+	}
+	walls := s.PhaseWalls(0)
+	r.Phases = make(map[string]PhaseStats, len(walls))
+	for _, sp := range s.Spans {
+		ps := r.Phases[sp.Cat]
+		ps.BusyNS += sp.Dur.Nanoseconds()
+		ps.Spans++
+		r.Phases[sp.Cat] = ps
+	}
+	for cat, wall := range walls {
+		ps := r.Phases[cat]
+		ps.WallNS = wall.Nanoseconds()
+		r.Phases[cat] = ps
+	}
+	if len(s.Counters) > 0 {
+		r.Counters = make(map[string]int64, len(s.Counters))
+		for k, v := range s.Counters {
+			r.Counters[k] = v
+		}
+	}
+	if len(s.Hists) > 0 {
+		r.Hists = make(map[string]HistJSON, len(s.Hists))
+		for name, h := range s.Hists {
+			r.Hists[name] = histJSON(h)
+		}
+	}
+	return r
+}
+
+func histJSON(h Hist) HistJSON {
+	out := HistJSON{Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max, Mean: h.Mean()}
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		if out.Buckets == nil {
+			out.Buckets = make(map[string]int64)
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = int64(1) << (i - 1)
+		}
+		out.Buckets[strconv.FormatInt(lo, 10)] = n
+	}
+	return out
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// LoadReport reads a metrics.json file written by WriteJSON.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

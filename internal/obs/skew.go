@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Reducer skew diagnostics: the per-reducer load distribution the paper's
+// Figure 4 reasons about, rendered as a power-of-two histogram plus a
+// top-K straggler table so a skewed run names the reducers that stretched
+// the phase.
+
+// ReducerLoad is one reducer's measured load.
+type ReducerLoad struct {
+	Key   int64         `json:"key"`
+	Pairs int64         `json:"pairs"`
+	Time  time.Duration `json:"time_ns"`
+}
+
+// SkewBucket is one row of the load histogram: reducers whose pair count
+// falls in [Lo, Hi].
+type SkewBucket struct {
+	Lo       int64 `json:"lo"`
+	Hi       int64 `json:"hi"`
+	Reducers int   `json:"reducers"`
+}
+
+// SkewReport summarises the per-reducer load distribution of a run.
+type SkewReport struct {
+	Reducers   int           `json:"reducers"`
+	TotalPairs int64         `json:"total_pairs"`
+	MaxPairs   int64         `json:"max_pairs"`
+	MeanPairs  float64       `json:"mean_pairs"`
+	Imbalance  float64       `json:"imbalance"` // max/mean; 1.0 is perfectly balanced
+	Histogram  []SkewBucket  `json:"histogram,omitempty"`
+	Top        []ReducerLoad `json:"top,omitempty"` // heaviest reducers, descending
+}
+
+// NewSkewReport builds the report from per-reducer pair counts and
+// (optionally nil) per-reducer reduce times, keeping the topK heaviest
+// reducers in the straggler table.
+func NewSkewReport(pairs map[int64]int64, times map[int64]time.Duration, topK int) *SkewReport {
+	r := &SkewReport{Reducers: len(pairs)}
+	if len(pairs) == 0 {
+		return r
+	}
+	var hist Hist
+	loads := make([]ReducerLoad, 0, len(pairs))
+	for k, n := range pairs {
+		r.TotalPairs += n
+		if n > r.MaxPairs {
+			r.MaxPairs = n
+		}
+		hist.observe(n)
+		loads = append(loads, ReducerLoad{Key: k, Pairs: n, Time: times[k]})
+	}
+	r.MeanPairs = float64(r.TotalPairs) / float64(len(pairs))
+	if r.MeanPairs > 0 {
+		r.Imbalance = float64(r.MaxPairs) / r.MeanPairs
+	} else {
+		r.Imbalance = 1
+	}
+	for i, n := range hist.Buckets {
+		if n == 0 {
+			continue
+		}
+		lo, hi := int64(0), int64(0)
+		if i > 0 {
+			lo = int64(1) << (i - 1)
+			hi = int64(1)<<i - 1
+		}
+		r.Histogram = append(r.Histogram, SkewBucket{Lo: lo, Hi: hi, Reducers: int(n)})
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].Pairs != loads[j].Pairs {
+			return loads[i].Pairs > loads[j].Pairs
+		}
+		return loads[i].Key < loads[j].Key
+	})
+	if topK > 0 && topK < len(loads) {
+		loads = loads[:topK]
+	}
+	r.Top = loads
+	return r
+}
+
+// WriteTable renders the report as aligned text: summary line, histogram
+// with bar marks, and the straggler table.
+func (r *SkewReport) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "reducers=%d pairs=%d max=%d mean=%.1f imbalance=%.2f\n",
+		r.Reducers, r.TotalPairs, r.MaxPairs, r.MeanPairs, r.Imbalance)
+	if len(r.Histogram) > 0 {
+		most := 0
+		for _, b := range r.Histogram {
+			if b.Reducers > most {
+				most = b.Reducers
+			}
+		}
+		fmt.Fprintf(w, "%-23s %9s\n", "pairs/reducer", "reducers")
+		for _, b := range r.Histogram {
+			bar := ""
+			if most > 0 {
+				bar = strings.Repeat("#", 1+b.Reducers*39/most)
+			}
+			fmt.Fprintf(w, "[%9d, %9d] %9d %s\n", b.Lo, b.Hi, b.Reducers, bar)
+		}
+	}
+	if len(r.Top) > 0 {
+		fmt.Fprintf(w, "%-12s %12s %12s %7s\n", "straggler", "pairs", "reduce", "x-mean")
+		for _, l := range r.Top {
+			factor := 0.0
+			if r.MeanPairs > 0 {
+				factor = float64(l.Pairs) / r.MeanPairs
+			}
+			fmt.Fprintf(w, "%-12d %12d %12s %6.1fx\n",
+				l.Key, l.Pairs, l.Time.Round(time.Microsecond), factor)
+		}
+	}
+}

@@ -28,6 +28,7 @@ package intervaljoin
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"intervaljoin/internal/core"
@@ -35,6 +36,7 @@ import (
 	"intervaljoin/internal/dfs"
 	"intervaljoin/internal/interval"
 	"intervaljoin/internal/mr"
+	"intervaljoin/internal/obs"
 	"intervaljoin/internal/query"
 	"intervaljoin/internal/relation"
 	"intervaljoin/internal/stats"
@@ -116,6 +118,21 @@ type Algorithm = core.Algorithm
 // partitions and 6 partitions per grid dimension, the paper's defaults.
 type RunOptions = core.Options
 
+// Tracer is the engine's observability collector (see internal/obs): a
+// non-nil tracer attached via EngineOptions records structured spans,
+// counters and histograms for every run. A nil *Tracer is valid and
+// disabled — the engine then pays only a nil check per instrumentation
+// point.
+type Tracer = obs.Tracer
+
+// TracerOptions configure a Tracer.
+type TracerOptions = obs.Options
+
+// NewTracer returns an enabled tracer; attach it through
+// EngineOptions.Tracer and export what it saw with Engine.WriteTrace /
+// Engine.WriteMetrics after the run.
+func NewTracer(opts TracerOptions) *Tracer { return obs.New(opts) }
+
 // EngineOptions configure the engine.
 type EngineOptions struct {
 	// Workers bounds map/reduce task parallelism; 0 means GOMAXPROCS.
@@ -123,11 +140,16 @@ type EngineOptions struct {
 	// DataDir, when non-empty, stores relations and intermediates on disk
 	// under this directory instead of in memory.
 	DataDir string
+	// Tracer, when non-nil, records execution spans and statistics for
+	// every run on this engine (see docs/OBSERVABILITY.md). Nil disables
+	// tracing at near-zero cost.
+	Tracer *Tracer
 }
 
 // Engine runs queries on the built-in MapReduce engine.
 type Engine struct {
-	mr *mr.Engine
+	mr     *mr.Engine
+	tracer *Tracer
 }
 
 // NewEngine builds an engine.
@@ -142,7 +164,34 @@ func NewEngine(opts EngineOptions) (*Engine, error) {
 	} else {
 		store = dfs.NewMem()
 	}
-	return &Engine{mr: mr.NewEngine(mr.Config{Store: store, Workers: opts.Workers})}, nil
+	return &Engine{
+		mr:     mr.NewEngine(mr.Config{Store: store, Workers: opts.Workers, Tracer: opts.Tracer}),
+		tracer: opts.Tracer,
+	}, nil
+}
+
+// Tracer returns the tracer attached at construction, or nil.
+func (e *Engine) Tracer() *Tracer { return e.tracer }
+
+// WriteTrace writes everything the engine's tracer has recorded as a
+// Chrome trace_event JSON document — loadable in Perfetto or
+// chrome://tracing. Without a tracer it writes an empty, valid trace.
+func (e *Engine) WriteTrace(w io.Writer) error {
+	return mr.WriteChromeTrace(w, e.tracer)
+}
+
+// WriteMetrics writes the machine-readable metrics.json report for a run:
+// the tracer's per-phase wall breakdown, counters and histograms (when a
+// tracer is attached) joined with the result's serialized-model metrics
+// and reducer-skew table. benchsummary -compare consumes this format.
+func (e *Engine) WriteMetrics(w io.Writer, res *Result) error {
+	name := "run"
+	var m *mr.Metrics
+	if res != nil {
+		name = res.Algorithm
+		m = res.Metrics
+	}
+	return mr.WriteMetricsJSON(w, name, e.tracer, m)
 }
 
 // MustNewEngine is NewEngine for examples and tests; it panics on error.

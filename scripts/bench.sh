@@ -44,6 +44,26 @@ go test -run '^$' -bench '^BenchmarkShuffle' \
 go run ./cmd/benchsummary -o "$OUT" < "$tmp"
 echo "wrote $OUT"
 
+# Observability artifacts: a representative pipelined chain run (RCCIS,
+# mark + join, 2 MR cycles) traced end to end. artifacts/trace.json opens
+# in Perfetto and shows cycle 1's reduce overlapping cycle 2's map;
+# artifacts/metrics.json is the machine-readable per-phase report that
+# `benchsummary -phases` renders. CI uploads both next to the baseline.
+mkdir -p artifacts
+benchdata="$(mktemp -d)"
+trap 'rm -f "$tmp"; rm -rf "$benchdata"' EXIT
+go run ./cmd/genintervals -n 20000 -tmax 200000 -imax 120 -o "$benchdata/r1.txt"
+go run ./cmd/genintervals -n 20000 -tmax 200000 -imax 120 -seed 2 -o "$benchdata/r2.txt"
+go run ./cmd/genintervals -n 20000 -tmax 200000 -imax 120 -seed 3 -o "$benchdata/r3.txt"
+# -workers 4 pins the lane count so the timeline looks the same on a
+# single-core runner as on a developer laptop.
+go run ./cmd/ijoin -query "R1 overlaps R2 and R2 overlaps R3" \
+    -rel R1="$benchdata/r1.txt" -rel R2="$benchdata/r2.txt" -rel R3="$benchdata/r3.txt" \
+    -algorithm rccis -workers 4 -o /dev/null \
+    -trace artifacts/trace.json -metrics artifacts/metrics.json
+go run ./cmd/benchsummary -phases artifacts/metrics.json
+echo "wrote artifacts/trace.json artifacts/metrics.json"
+
 # When regenerating a later baseline, show the regression table against the
 # earliest checked-in one.
 if [ "$OUT" != "BENCH_1.json" ] && [ -f "BENCH_1.json" ]; then

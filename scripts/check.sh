@@ -6,12 +6,15 @@
 #                      exhaustive Allen switches, emitter escapes, sync.Pool
 #                      hygiene, shard-lock discipline, hot-path ban list
 #   3. go build      — the whole module compiles
-#   4. go test -race — full suite (unit, integration, property, oracle
+#   4. obs smoke     — disabled-tracer zero-cost contract (nil tracer =
+#                      nil check + zero allocs; docs/OBSERVABILITY.md)
+#   5. go test -race — full suite (unit, integration, property, oracle
 #                      cross-validation) under the race detector; the MR
 #                      engine is deliberately concurrent, so -race is part
 #                      of the gate, not an optional extra
-#   5. bench emitter — regenerates the benchmark baseline so perf-sensitive
-#                      changes ship with fresh numbers (scripts/bench.sh)
+#   6. bench emitter — regenerates the benchmark baseline so perf-sensitive
+#                      changes ship with fresh numbers, plus the traced
+#                      chain-run artifacts (scripts/bench.sh)
 #
 # Usage: scripts/check.sh            (full gate)
 #        SKIP_BENCH=1 scripts/check.sh   (skip the baseline regeneration)
@@ -27,6 +30,14 @@ go run ./cmd/ijlint ./...
 
 echo "== go build =="
 go build ./...
+
+echo "== disabled-tracer overhead smoke =="
+# The obs layer's contract is that a nil tracer costs a nil check and
+# zero allocations on every instrumentation point (docs/OBSERVABILITY.md);
+# TestDisabledTracerZeroCost pins that with testing.AllocsPerRun. Run it
+# by name so a contract break fails fast with an unambiguous message
+# before the full -race suite.
+go test -run 'TestDisabledTracer' ./internal/obs/
 
 echo "== go test -race =="
 go test -race ./...
