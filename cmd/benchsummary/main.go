@@ -13,17 +13,22 @@
 // diff on a noisy single-core machine.
 //
 // -compare prints a per-benchmark regression table (old/new ns/op and
-// delta) plus added and removed benchmarks; deltas beyond -threshold
-// percent are flagged, and -fail turns any flagged regression into a
-// non-zero exit for CI use. Sub-microsecond benchmarks are printed but
-// never gated: at that scale the median moves tens of percent from
-// binary code layout alone.
+// allocs/op with deltas) plus added and removed benchmarks; ns/op deltas
+// beyond -threshold percent are flagged, and -fail turns any flagged
+// regression into a non-zero exit for CI use. Sub-microsecond benchmarks
+// are printed but never gated: at that scale the median moves tens of
+// percent from binary code layout alone. Benchmarks reporting the columnar
+// reduce kernels' per-family custom metrics (sweep/op, merge/op,
+// generic/op) additionally get a per-kernel-family breakdown table.
 //
 // -phases old.json,new.json (or a single file) additionally prints a
 // per-phase wall-clock table from metrics.json reports written by
 // `ijoin -metrics` / `experiments -metrics`: the tracer's true wall per
 // phase (overlapped pipeline cycles count once) next to the busy time and
 // implied parallelism, with old-vs-new deltas when two files are given.
+// -phasegate <phase> (with a two-file -phases) applies the -threshold /
+// -fail gate to that phase's wall-clock delta, e.g. `-phasegate reduce`
+// to hold the reduce-phase wall.
 package main
 
 import (
@@ -138,7 +143,8 @@ func compare(w io.Writer, old, new baseline, threshold float64) int {
 		newBy[e.Name] = e
 	}
 
-	fmt.Fprintf(w, "%-34s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Fprintf(w, "%-34s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
 	regressions := 0
 	for _, ne := range new.Benchmarks {
 		oe, ok := oldBy[ne.Name]
@@ -146,8 +152,9 @@ func compare(w io.Writer, old, new baseline, threshold float64) int {
 			continue
 		}
 		ov, nv := oe.Metrics["ns/op"], ne.Metrics["ns/op"]
+		allocCells := allocColumns(oe, ne)
 		if ov == 0 || nv == 0 {
-			fmt.Fprintf(w, "%-34s %14.0f %14.0f %8s\n", ne.Name, ov, nv, "n/a")
+			fmt.Fprintf(w, "%-34s %14.0f %14.0f %8s%s\n", ne.Name, ov, nv, "n/a", allocCells)
 			continue
 		}
 		delta := (nv - ov) / ov * 100
@@ -161,7 +168,7 @@ func compare(w io.Writer, old, new baseline, threshold float64) int {
 		case delta < -threshold:
 			flag = "  improved"
 		}
-		fmt.Fprintf(w, "%-34s %14.0f %14.0f %+7.1f%%%s\n", ne.Name, ov, nv, delta, flag)
+		fmt.Fprintf(w, "%-34s %14.0f %14.0f %+7.1f%%%s%s\n", ne.Name, ov, nv, delta, allocCells, flag)
 	}
 	for _, ne := range new.Benchmarks {
 		if _, ok := oldBy[ne.Name]; !ok {
@@ -174,7 +181,61 @@ func compare(w io.Writer, old, new baseline, threshold float64) int {
 		}
 	}
 	shuffleTable(w, oldBy, new)
+	kernelTable(w, oldBy, new)
 	return regressions
+}
+
+// allocColumns renders the old/new allocs/op cells plus their delta for
+// one compare row; "-" where a baseline predates -benchmem.
+func allocColumns(oe, ne entry) string {
+	oa, okO := oe.Metrics["allocs/op"]
+	na, okN := ne.Metrics["allocs/op"]
+	oldCell, newCell, deltaCell := "-", "-", "-"
+	if okO {
+		oldCell = strconv.FormatFloat(oa, 'f', 0, 64)
+	}
+	if okN {
+		newCell = strconv.FormatFloat(na, 'f', 0, 64)
+	}
+	if okO && okN && oa > 0 {
+		deltaCell = fmt.Sprintf("%+.1f%%", (na-oa)/oa*100)
+	}
+	return fmt.Sprintf(" %12s %12s %8s", oldCell, newCell, deltaCell)
+}
+
+// kernelTable prints the per-kernel-family dispatch counts of every
+// benchmark that reports them (the columnar reduce kernels emit sweep/op,
+// merge/op and generic/op custom metrics), with the old baseline's counts
+// alongside when it recorded them.
+func kernelTable(w io.Writer, oldBy map[string]entry, new baseline) {
+	header := false
+	cell := func(e entry, unit string, ok bool) string {
+		if !ok {
+			return "-"
+		}
+		v, has := e.Metrics[unit]
+		if !has {
+			return "-"
+		}
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	for _, ne := range new.Benchmarks {
+		_, okS := ne.Metrics["sweep/op"]
+		_, okM := ne.Metrics["merge/op"]
+		_, okG := ne.Metrics["generic/op"]
+		if !okS && !okM && !okG {
+			continue
+		}
+		if !header {
+			fmt.Fprintf(w, "\n%-34s %10s %10s %11s %24s\n",
+				"kernel dispatch", "sweep/op", "merge/op", "generic/op", "old (sweep/merge/gen)")
+			header = true
+		}
+		oe, okOld := oldBy[ne.Name]
+		fmt.Fprintf(w, "%-34s %10s %10s %11s %24s\n", ne.Name,
+			cell(ne, "sweep/op", true), cell(ne, "merge/op", true), cell(ne, "generic/op", true),
+			cell(oe, "sweep/op", okOld)+"/"+cell(oe, "merge/op", okOld)+"/"+cell(oe, "generic/op", okOld))
+	}
 }
 
 // shuffleTable prints the logical vs physical shuffle volume of every
@@ -260,6 +321,35 @@ func phaseTable(w io.Writer, reports []*obs.Report) {
 	}
 }
 
+// gatePhase checks one phase's wall-clock delta between two reports
+// against threshold percent, returning 1 (and printing the verdict) on a
+// regression beyond it. A phase absent from either report is an error:
+// a gate that silently passes because the run stopped emitting the phase
+// would hide exactly the regressions it exists to catch.
+func gatePhase(w io.Writer, reports []*obs.Report, cat string, threshold float64) (int, error) {
+	if len(reports) != 2 {
+		return 0, fmt.Errorf("-phasegate wants -phases old.json,new.json (two files)")
+	}
+	ops, okO := reports[0].Phases[cat]
+	nps, okN := reports[1].Phases[cat]
+	if !okO || !okN {
+		return 0, fmt.Errorf("-phasegate %s: phase missing from %s report", cat,
+			map[bool]string{true: "new", false: "old"}[okO])
+	}
+	if ops.WallNS <= 0 {
+		return 0, fmt.Errorf("-phasegate %s: old report has zero wall", cat)
+	}
+	delta := float64(nps.WallNS-ops.WallNS) / float64(ops.WallNS) * 100
+	if delta > threshold {
+		fmt.Fprintf(w, "phase %s wall regressed %+.1f%% (%.2f ms -> %.2f ms), beyond %.0f%%\n",
+			cat, delta, float64(ops.WallNS)/1e6, float64(nps.WallNS)/1e6, threshold)
+		return 1, nil
+	}
+	fmt.Fprintf(w, "phase %s wall %+.1f%% (%.2f ms -> %.2f ms), within %.0f%%\n",
+		cat, delta, float64(ops.WallNS)/1e6, float64(nps.WallNS)/1e6, threshold)
+	return 0, nil
+}
+
 // loadReports loads the comma-separated metrics.json paths (1 or 2).
 func loadReports(arg string) ([]*obs.Report, error) {
 	paths := strings.Split(arg, ",")
@@ -284,6 +374,7 @@ func main() {
 	threshold := flag.Float64("threshold", 15, "percent ns/op delta that counts as a regression or improvement")
 	failOnRegress := flag.Bool("fail", false, "with -compare, exit non-zero if any benchmark regressed beyond the threshold")
 	phases := flag.String("phases", "", "metrics.json file (or old,new pair) whose per-phase wall table to print")
+	phasegate := flag.String("phasegate", "", "with a two-file -phases, gate this phase's wall-clock delta (e.g. reduce)")
 	flag.Parse()
 
 	if *cmp {
@@ -309,6 +400,17 @@ func main() {
 				os.Exit(1)
 			}
 			phaseTable(os.Stdout, reports)
+			if *phasegate != "" {
+				g, err := gatePhase(os.Stdout, reports, *phasegate, *threshold)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "benchsummary:", err)
+					os.Exit(1)
+				}
+				n += g
+			}
+		} else if *phasegate != "" {
+			fmt.Fprintln(os.Stderr, "benchsummary: -phasegate needs -phases old.json,new.json")
+			os.Exit(2)
 		}
 		if n > 0 {
 			fmt.Printf("%d regression(s) beyond %.0f%%\n", n, *threshold)
@@ -326,7 +428,21 @@ func main() {
 			os.Exit(1)
 		}
 		phaseTable(os.Stdout, reports)
+		if *phasegate != "" {
+			g, err := gatePhase(os.Stdout, reports, *phasegate, *threshold)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchsummary:", err)
+				os.Exit(1)
+			}
+			if g > 0 && *failOnRegress {
+				os.Exit(1)
+			}
+		}
 		return
+	}
+	if *phasegate != "" {
+		fmt.Fprintln(os.Stderr, "benchsummary: -phasegate needs -phases old.json,new.json")
+		os.Exit(2)
 	}
 
 	byName := make(map[string][]sample)

@@ -76,7 +76,8 @@ func (a AllMatrix) Run(ctx *Context) (*Result, error) {
 
 	// Shared across reduce calls: the plan is static and per-run state is
 	// pooled inside the enumerator.
-	e := newEnumerator(ctx.Query.Conds, allRelations(m))
+	e := newEnumerator(ctx.Query.Conds, allRelations(m)).withTracer(ctx.Engine.Tracer())
+	lvl := identityLevels(m)
 
 	job := mr.Job{
 		Name:   opts.Scratch + "/join",
@@ -97,16 +98,8 @@ func (a AllMatrix) Run(ctx *Context) (*Result, error) {
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {
 			coord := g.Coord(key, nil)
-			cands := make([][]relation.Tuple, m)
-			for _, v := range values {
-				rel, t, err := decodeTagged(v)
-				if err != nil {
-					return err
-				}
-				cands[rel] = append(cands[rel], t)
-			}
 			var outErr error
-			e.run(cands, func(asg []relation.Tuple) {
+			err := e.runTagged(values, lvl, func(asg []relation.Tuple) {
 				if outErr != nil {
 					return
 				}
@@ -125,6 +118,9 @@ func (a AllMatrix) Run(ctx *Context) (*Result, error) {
 				}
 				outErr = write(out.Key())
 			})
+			if err != nil {
+				return err
+			}
 			return outErr
 		},
 		Output:     opts.Scratch + "/output",

@@ -148,19 +148,12 @@ func reduceJoinAtPartition(ctx *Context, part interval.Partitioning) mr.ReduceFu
 	// One shared enumerator: the query plan is static across reduce calls
 	// and the enumerator is safe for concurrent use (all per-run state
 	// lives in pooled preparedJoins).
-	e := newEnumerator(ctx.Query.Conds, allRelations(m))
+	e := newEnumerator(ctx.Query.Conds, allRelations(m)).withTracer(ctx.Engine.Tracer())
+	lvl := identityLevels(m)
 	return func(key int64, values []string, write func(string) error) error {
-		cands := make([][]relation.Tuple, m)
-		for _, v := range values {
-			rel, t, err := decodeTagged(v)
-			if err != nil {
-				return err
-			}
-			cands[rel] = append(cands[rel], t)
-		}
 		p := int(key)
 		var outErr error
-		e.run(cands, func(asg []relation.Tuple) {
+		err := e.runTagged(values, lvl, func(asg []relation.Tuple) {
 			if outErr != nil {
 				return
 			}
@@ -179,6 +172,9 @@ func reduceJoinAtPartition(ctx *Context, part interval.Partitioning) mr.ReduceFu
 			}
 			outErr = write(out.Key())
 		})
+		if err != nil {
+			return err
+		}
 		return outErr
 	}
 }

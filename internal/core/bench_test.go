@@ -69,6 +69,42 @@ func BenchmarkEnumeratorMixed(b *testing.B) {
 	b.ReportMetric(float64(count)/float64(b.N), "pairs/op")
 }
 
+// benchReduceKernel measures one whole reduce task through the columnar
+// kernel: tagged-record decode into the arena, endpoint-column seal, and
+// the specialized sweep over a 3-way overlaps chain. n is the per-relation
+// candidate-list length; density is held constant as n scales so the three
+// sizes expose the decode-, seal- and sweep-dominated regimes.
+func benchReduceKernel(b *testing.B, n int) {
+	q := query.MustParse("R1 overlaps R2 and R2 overlaps R3")
+	rng := rand.New(rand.NewSource(4))
+	values := make([]string, 0, 3*n)
+	for rel := 0; rel < 3; rel++ {
+		for i := 0; i < n; i++ {
+			s := rng.Int63n(int64(n) * 20)
+			values = append(values, encodeTagged(rel, mkTuple(int64(i), interval.New(s, s+rng.Int63n(40)))))
+		}
+	}
+	e := newEnumerator(q.Conds, []int{0, 1, 2})
+	lvl := identityLevels(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	count := 0
+	for i := 0; i < b.N; i++ {
+		if err := e.runTagged(values, lvl, func([]relation.Tuple) { count++ }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sweep, merge, generic := e.kernelHitCounts()
+	b.ReportMetric(float64(count)/float64(b.N), "pairs/op")
+	b.ReportMetric(float64(sweep)/float64(b.N), "sweep/op")
+	b.ReportMetric(float64(merge)/float64(b.N), "merge/op")
+	b.ReportMetric(float64(generic)/float64(b.N), "generic/op")
+}
+
+func BenchmarkReduceKernel16(b *testing.B)   { benchReduceKernel(b, 16) }
+func BenchmarkReduceKernel256(b *testing.B)  { benchReduceKernel(b, 256) }
+func BenchmarkReduceKernel4096(b *testing.B) { benchReduceKernel(b, 4096) }
+
 // BenchmarkSemijoinReduce measures the RCCIS marking primitive.
 func BenchmarkSemijoinReduce(b *testing.B) {
 	q := query.MustParse("R1 overlaps R2 and R2 overlaps R3")

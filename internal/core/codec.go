@@ -43,17 +43,28 @@ func encodeTagged(rel int, t relation.Tuple) string {
 	return finishRecord(bp, b)
 }
 
-// decodeTagged parses encodeTagged's output.
-func decodeTagged(s string) (rel int, t relation.Tuple, err error) {
+// splitTagged splits a tagged record into its relation tag and the raw
+// tuple body, without decoding the tuple — the columnar reduce path hands
+// the body straight to the arena decoder (relation.Arena.AppendDecode).
+func splitTagged(s string) (rel int, body string, err error) {
 	sep := strings.IndexByte(s, ';')
 	if sep < 0 {
-		return 0, relation.Tuple{}, fmt.Errorf("core: malformed tagged tuple %q", s)
+		return 0, "", fmt.Errorf("core: malformed tagged tuple %q", s)
 	}
 	rel, err = strconv.Atoi(s[:sep])
 	if err != nil {
-		return 0, relation.Tuple{}, fmt.Errorf("core: bad relation tag in %q: %v", s, err)
+		return 0, "", fmt.Errorf("core: bad relation tag in %q: %v", s, err)
 	}
-	t, err = relation.DecodeTuple(s[sep+1:])
+	return rel, s[sep+1:], nil
+}
+
+// decodeTagged parses encodeTagged's output.
+func decodeTagged(s string) (rel int, t relation.Tuple, err error) {
+	rel, body, err := splitTagged(s)
+	if err != nil {
+		return 0, relation.Tuple{}, err
+	}
+	t, err = relation.DecodeTuple(body)
 	return rel, t, err
 }
 
@@ -70,6 +81,18 @@ func encodeFlagged(rel int, replicate bool, t relation.Tuple) string {
 	b := strconv.AppendInt(*bp, int64(rel), 10)
 	b = append(b, ';', flagByte(replicate), ';')
 	b = relation.AppendTuple(b, t)
+	return finishRecord(bp, b)
+}
+
+// encodeFlaggedBody is encodeFlagged for a tuple whose canonical encoded
+// body is already at hand (the mark reducer re-emits the body it received):
+// the record is assembled by splicing, with no per-endpoint formatting, and
+// is byte-identical to encodeFlagged of the decoded tuple.
+func encodeFlaggedBody(rel int, replicate bool, body string) string {
+	bp := encBuf.Get().(*[]byte)
+	b := strconv.AppendInt(*bp, int64(rel), 10)
+	b = append(b, ';', flagByte(replicate), ';')
+	b = append(b, body...)
 	return finishRecord(bp, b)
 }
 

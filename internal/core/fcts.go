@@ -87,10 +87,20 @@ func (FCTS) componentOutputJob(ctx *Context, opts Options, part interval.Partiti
 		compConds[ci] = d.SubQueryConds(ci)
 	}
 	// One shared enumerator per component: plans are static and per-run
-	// state is pooled inside each enumerator.
+	// state is pooled inside each enumerator. lvls[ci] maps a global
+	// relation tag to its binding level within component ci's enumerator
+	// (-1 for relations of other components).
 	enums := make([]*enumerator, len(d.Components))
+	lvls := make([][]int, len(d.Components))
 	for ci := range d.Components {
-		enums[ci] = newEnumerator(compConds[ci], compRels[ci])
+		enums[ci] = newEnumerator(compConds[ci], compRels[ci]).withTracer(ctx.Engine.Tracer())
+		lvls[ci] = make([]int, len(ctx.Rels))
+		for r := range lvls[ci] {
+			lvls[ci][r] = -1
+		}
+		for i, r := range compRels[ci] {
+			lvls[ci][r] = i
+		}
 	}
 
 	return mr.Job{
@@ -115,21 +125,8 @@ func (FCTS) componentOutputJob(ctx *Context, opts Options, part interval.Partiti
 			ci := int(key / o)
 			p := int(key % o)
 			rels := compRels[ci]
-			pos := make(map[int]int, len(rels))
-			for i, r := range rels {
-				pos[r] = i
-			}
-			cands := make([][]relation.Tuple, len(rels))
-			for _, v := range values {
-				rel, t, err := decodeTagged(v)
-				if err != nil {
-					return err
-				}
-				cands[pos[rel]] = append(cands[pos[rel]], t)
-			}
-			e := enums[ci]
 			var outErr error
-			e.run(cands, func(asg []relation.Tuple) {
+			err := enums[ci].runTagged(values, lvls[ci], func(asg []relation.Tuple) {
 				if outErr != nil {
 					return
 				}
@@ -148,6 +145,9 @@ func (FCTS) componentOutputJob(ctx *Context, opts Options, part interval.Partiti
 				}
 				outErr = write(encodePartial(pa))
 			})
+			if err != nil {
+				return err
+			}
 			return outErr
 		},
 		Output:     output,

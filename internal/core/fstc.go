@@ -156,8 +156,16 @@ func (FSTC) sequenceJob(ctx *Context, opts Options, part interval.Partitioning,
 	}
 
 	// Shared across reduce calls: the plan is static and per-run state is
-	// pooled inside the enumerator.
-	seqEnum := newEnumerator(conds, seqRels)
+	// pooled inside the enumerator. lvl maps a global relation tag to its
+	// grid dimension / binding level (-1 for colocation-only relations).
+	seqEnum := newEnumerator(conds, seqRels).withTracer(ctx.Engine.Tracer())
+	lvl := make([]int, len(ctx.Rels))
+	for r := range lvl {
+		lvl[r] = -1
+	}
+	for i, r := range seqRels {
+		lvl[r] = i
+	}
 
 	return mr.Job{
 		Name:   opts.Scratch + "/sequence",
@@ -175,17 +183,8 @@ func (FSTC) sequenceJob(ctx *Context, opts Options, part interval.Partitioning,
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {
-			cands := make([][]relation.Tuple, len(seqRels))
-			for _, v := range values {
-				rel, t, err := decodeTagged(v)
-				if err != nil {
-					return err
-				}
-				cands[dim[rel]] = append(cands[dim[rel]], t)
-			}
-			e := seqEnum
 			var outErr error
-			e.run(cands, func(asg []relation.Tuple) {
+			err := seqEnum.runTagged(values, lvl, func(asg []relation.Tuple) {
 				if outErr != nil {
 					return
 				}
@@ -195,6 +194,9 @@ func (FSTC) sequenceJob(ctx *Context, opts Options, part interval.Partitioning,
 				}
 				outErr = write(encodePartial(pa))
 			})
+			if err != nil {
+				return err
+			}
 			return outErr
 		},
 		Output:     output,

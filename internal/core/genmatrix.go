@@ -405,19 +405,12 @@ func (GenMatrix) joinJob(ctx *Context, opts Options, d *query.Decomposition,
 
 	// Shared across reduce calls: the plan is static and per-run state is
 	// pooled inside the enumerator.
-	e := newEnumerator(ctx.Query.Conds, allRelations(m))
+	e := newEnumerator(ctx.Query.Conds, allRelations(m)).withTracer(ctx.Engine.Tracer())
+	lvl := identityLevels(m)
 	reduceFn := func(key int64, values []string, write func(string) error) error {
 		coord := g.Coord(key, nil)
-		cands := make([][]relation.Tuple, m)
-		for _, v := range values {
-			rel, t, err := decodeTagged(v)
-			if err != nil {
-				return err
-			}
-			cands[rel] = append(cands[rel], t)
-		}
 		var outErr error
-		e.run(cands, func(asg []relation.Tuple) {
+		err := e.runTagged(values, lvl, func(asg []relation.Tuple) {
 			if outErr != nil {
 				return
 			}
@@ -440,6 +433,9 @@ func (GenMatrix) joinJob(ctx *Context, opts Options, d *query.Decomposition,
 			}
 			outErr = write(out.Key())
 		})
+		if err != nil {
+			return err
+		}
 		return outErr
 	}
 

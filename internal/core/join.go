@@ -2,12 +2,15 @@ package core
 
 import (
 	"cmp"
+	"fmt"
 	"math"
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"intervaljoin/internal/interval"
+	"intervaljoin/internal/obs"
 	"intervaljoin/internal/query"
 	"intervaljoin/internal/relation"
 )
@@ -20,9 +23,12 @@ import (
 // checked as soon as both of its operands are bound, pruning the search.
 //
 // Construction derives a static plan (per-level sort attribute, condition
-// orientation, sweep eligibility) that is immutable afterwards, so one
+// orientation, kernel dispatch) that is immutable afterwards, so one
 // enumerator can be shared by concurrent reduce tasks; all per-run state
-// lives in the preparedJoin that prepare returns.
+// lives in the preparedJoin that get returns. Candidate tuples are held in
+// columnar form — a relation.Arena for payloads plus per-level endpoint
+// columns (sweep.go) — so the enumeration loops touch only int64 columns
+// until an assignment is emitted.
 type enumerator struct {
 	rels []int // relation indices, in binding order
 	pos  map[int]int
@@ -31,12 +37,19 @@ type enumerator struct {
 	condsAt [][]query.Condition
 	// plans[i] is the compiled form of condsAt[i].
 	plans []levelPlan
-	// pool recycles preparedJoins (and all their sort/window buffers)
+	// tr, when set, receives the per-family kernel hit counters
+	// (colkernel_sweep / colkernel_merge / colkernel_generic), flushed once
+	// per run. Nil is a valid disabled tracer.
+	tr *obs.Tracer
+	// hitSweep/hitMerge/hitGeneric total the level dispatches per kernel
+	// family over the enumerator's lifetime (benchmarks report them).
+	hitSweep, hitMerge, hitGeneric atomic.Int64
+	// pool recycles preparedJoins (and all their column/window buffers)
 	// across the single-shot runs reduce functions issue.
 	pool sync.Pool
 }
 
-// condEval is a condition compiled for the inner enumeration loop: operand
+// condEval is a condition compiled for the generic enumeration loop: operand
 // positions resolved to binding levels so no map lookups happen per
 // candidate.
 type condEval struct {
@@ -46,10 +59,10 @@ type condEval struct {
 }
 
 // plannedCond is one condition applicable at a binding level, oriented so
-// that pred(bound, candidate) is the application whose startRange bounds the
-// candidate side: partner/battr locate the already-bound operand, and onSort
-// reports whether the candidate-side operand is the level's sort attribute
-// (only those conditions can prune by start range).
+// that pred(bound, candidate) is the application whose candidate window
+// bounds the candidate side: partner/battr locate the already-bound operand,
+// and onSort reports whether the candidate-side operand is the level's sort
+// attribute (only those conditions can prune by endpoint windows).
 type plannedCond struct {
 	eval    condEval
 	partner int
@@ -60,16 +73,18 @@ type plannedCond struct {
 
 // levelPlan is the static per-binding-level plan.
 type levelPlan struct {
-	// sortAttr is the attribute the level's candidate list is sorted by
+	// sortAttr is the attribute the level's candidate column is sorted by
 	// (the first applicable condition's operand attribute), or -1 when the
 	// level has no applicable conditions.
 	sortAttr int
 	conds    []plannedCond
 	// sweep is true when every applicable condition constrains the single
-	// sort attribute: the level then uses precomputed sweep windows.
-	// Multi-attribute levels (General-class queries) fall back to the
-	// binary-search probe, which handles per-condition attributes.
+	// sort attribute: the level then uses exact precomputed endpoint
+	// windows. Multi-attribute levels (General-class queries) fall back to
+	// the generic probe, which handles per-condition attributes.
 	sweep bool
+	// kernel is the planner's dispatch choice for this level (planner.go).
+	kernel kernelKind
 }
 
 // newEnumerator prepares an enumerator over the given relation indices using
@@ -99,6 +114,13 @@ func newEnumerator(conds []query.Condition, rels []int) *enumerator {
 	for i := range e.rels {
 		e.plans[i] = e.compileLevel(i)
 	}
+	return e
+}
+
+// withTracer wires the engine's tracer into the enumerator so kernel hit
+// counts land in the metrics report. Returns e for call-site chaining.
+func (e *enumerator) withTracer(tr *obs.Tracer) *enumerator {
+	e.tr = tr
 	return e
 }
 
@@ -143,129 +165,220 @@ func (e *enumerator) compileLevel(i int) levelPlan {
 		}
 		lp.conds = append(lp.conds, pc)
 	}
+	lp.kernel = chooseKernel(lp)
 	return lp
 }
 
-// preparedJoin carries one run's mutable state: the start-sorted candidate
-// lists (hoisted out of the enumeration so repeated runs over the same
-// candidates sort once) and the lazily built sweep windows. A preparedJoin
-// belongs to a single goroutine; the enumerator it came from may be shared.
+// preparedJoin carries one run's mutable state in struct-of-arrays form:
+// the shared payload arena, per-level arrival-order refs, and the
+// endpoint-sorted gapless columns loCol/hiCol/refCol the kernels scan. A
+// preparedJoin belongs to a single goroutine; the enumerator it came from
+// may be shared.
 type preparedJoin struct {
-	e     *enumerator
-	lists [][]relation.Tuple
-	// bufs[i] is the owned backing array lists[i] points at when level i is
-	// sorted (lists[i] aliases the caller's slice otherwise); kept separate
-	// so pooled reuse never writes into caller-owned memory.
-	bufs [][]relation.Tuple
-	// starts[i] is the sorted column lists[i][.].Attrs[sortAttr].Start —
-	// the only data the sweeps and probes touch, so window building never
-	// walks tuple structs. nil for unconstrained levels.
-	starts [][]int64
-	// wins[i][k] is condition k's window table at level i: per partner
-	// tuple (by its index in lists[plans[i].conds[k].partner]), the first
-	// candidate index and the start bound the enumeration scan stops at.
-	// Built on the first visit to level i, so candidate sets pruned away by
-	// earlier levels never pay for their windows.
-	wins  [][]condWindow
-	built []bool
-	pairs []keyIdx // sort scratch
-	los   []int64  // window-build scratch
-	asg   []relation.Tuple
-	idx   []int // idx[j]: current index of asg[j] within lists[j]
-	fn    func(asg []relation.Tuple)
+	e *enumerator
+	// arena holds every candidate tuple's payload; kernels carry int32 refs
+	// into it and materialise tuples only at emission.
+	arena relation.Arena
+	// raw[i] is level i's refs in arrival order, before seal sorts them.
+	raw [][]int32
+	// loCol/hiCol[i] are the Start/End columns of level i's sort attribute,
+	// sorted by Start; refCol[i] is the parallel payload ref column. For
+	// unconstrained levels (sortAttr < 0) the columns are nil and refCol
+	// aliases raw.
+	loCol  [][]int64
+	hiCol  [][]int64
+	refCol [][]int32
+	refBuf [][]int32 // owned backing for sorted refCol entries
+	// wins[i][k] is condition k's window table at level i, built on the
+	// first visit to level i so candidate sets pruned away by earlier
+	// levels never pay for their windows.
+	wins    [][]condWindow
+	built   []bool
+	pairs   []keyIdx // sort scratch
+	los     []int64  // window-build scratch
+	empties []int32  // window-build scratch: partners with empty windows
+	asg     []relation.Tuple
+	idx     []int   // idx[j]: current index of the level-j binding within its column
+	bref    []int32 // bref[j]: arena ref of the level-j binding
+	fn      func(asg []relation.Tuple)
+	// per-run kernel dispatch counts, flushed by put.
+	nSweep, nMerge, nGeneric int64
 }
 
-// prepare sorts each level's candidate list by its sort attribute and
-// returns the reusable per-run state. cands is parallel to the constructor's
-// rels; levels with no applicable condition keep their input order.
-func (e *enumerator) prepare(cands [][]relation.Tuple) *preparedJoin {
-	p := &preparedJoin{e: e}
-	p.load(cands)
+// get returns an empty pooled preparedJoin ready for add/addTuple calls.
+func (e *enumerator) get() *preparedJoin {
+	p, _ := e.pool.Get().(*preparedJoin)
+	if p == nil {
+		p = &preparedJoin{e: e}
+	}
+	p.arena.Reset()
+	p.raw = sized(p.raw, len(e.rels))
+	for i := range p.raw {
+		p.raw[i] = p.raw[i][:0]
+	}
 	return p
 }
 
-// load (re)initialises the prepared state for a fresh candidate set,
-// reusing every buffer whose capacity suffices. The sort permutes packed
-// (start, index) pairs and gathers the tuples once, which is markedly
-// cheaper than sorting the tuple structs directly.
-func (p *preparedJoin) load(cands [][]relation.Tuple) {
-	if len(cands) != len(p.e.rels) {
-		panic("core: enumerator candidate arity mismatch")
+// put flushes the run's kernel hit counts and recycles the prepared state.
+func (e *enumerator) put(p *preparedJoin) {
+	if p.nSweep != 0 {
+		e.hitSweep.Add(p.nSweep)
+		e.tr.Count("colkernel_sweep", p.nSweep)
 	}
-	n := len(cands)
-	p.lists = sized(p.lists, n)
-	p.bufs = sized(p.bufs, n)
-	p.starts = sized(p.starts, n)
+	if p.nMerge != 0 {
+		e.hitMerge.Add(p.nMerge)
+		e.tr.Count("colkernel_merge", p.nMerge)
+	}
+	if p.nGeneric != 0 {
+		e.hitGeneric.Add(p.nGeneric)
+		e.tr.Count("colkernel_generic", p.nGeneric)
+	}
+	p.nSweep, p.nMerge, p.nGeneric = 0, 0, 0
+	e.pool.Put(p)
+}
+
+// kernelHitCounts returns the enumerator's lifetime per-family dispatch
+// totals (sweep, merge, generic) — benchmarks report them per op.
+func (e *enumerator) kernelHitCounts() (sweep, merge, generic int64) {
+	return e.hitSweep.Load(), e.hitMerge.Load(), e.hitGeneric.Load()
+}
+
+// add decodes one tuple record straight into the arena and appends its ref
+// to the level's candidate list — the zero-copy path reduce functions feed
+// tagged values through.
+func (p *preparedJoin) add(level int, body string) error {
+	ref, err := p.arena.AppendDecode(body)
+	if err != nil {
+		return err
+	}
+	p.raw[level] = append(p.raw[level], ref)
+	return nil
+}
+
+// addTuple copies an in-memory tuple into the arena (the compatibility path
+// for callers that already hold decoded tuples).
+func (p *preparedJoin) addTuple(level int, t relation.Tuple) {
+	p.raw[level] = append(p.raw[level], p.arena.Append(t))
+}
+
+// seal freezes the candidate sets into the columnar layout: each
+// constrained level's refs are sorted by the sort attribute's start and
+// gathered into gapless lo/hi/ref columns. The sort permutes packed
+// (start, ref) pairs and gathers the columns once, which is markedly
+// cheaper than sorting tuple structs.
+func (p *preparedJoin) seal() {
+	n := len(p.e.rels)
+	p.loCol = sized(p.loCol, n)
+	p.hiCol = sized(p.hiCol, n)
+	p.refCol = sized(p.refCol, n)
+	p.refBuf = sized(p.refBuf, n)
 	p.wins = sized(p.wins, n)
 	p.built = sized(p.built, n)
 	p.asg = sized(p.asg, n)
 	p.idx = sized(p.idx, n)
-	for i := range cands {
+	p.bref = sized(p.bref, n)
+	for i := 0; i < n; i++ {
 		p.built[i] = false
 		attr := p.e.plans[i].sortAttr
+		src := p.raw[i]
 		if attr < 0 {
-			p.lists[i] = cands[i]
-			p.starts[i] = nil
+			p.refCol[i] = src
+			p.loCol[i] = nil
+			p.hiCol[i] = nil
 			continue
 		}
-		src := cands[i]
 		p.pairs = sized(p.pairs, len(src))
 		pairs := p.pairs
-		for k := range src {
-			pairs[k] = keyIdx{key: src[k].Attrs[attr].Start, idx: int32(k)}
+		for k, ref := range src {
+			pairs[k] = keyIdx{key: p.arena.Start(ref, attr), idx: ref}
 		}
 		slices.SortFunc(pairs, func(a, b keyIdx) int { return cmp.Compare(a.key, b.key) })
-		cp := sized(p.bufs[i], len(src))
-		col := sized(p.starts[i], len(src))
+		lo := sized(p.loCol[i], len(src))
+		hi := sized(p.hiCol[i], len(src))
+		refs := sized(p.refBuf[i], len(src))
 		for k, pr := range pairs {
-			cp[k] = src[pr.idx]
-			col[k] = pr.key
+			lo[k] = pr.key
+			hi[k] = p.arena.End(pr.idx, attr)
+			refs[k] = pr.idx
 		}
-		p.bufs[i] = cp
-		p.lists[i] = cp
-		p.starts[i] = col
+		p.loCol[i] = lo
+		p.hiCol[i] = hi
+		p.refBuf[i] = refs
+		p.refCol[i] = refs
 	}
 }
 
 // buildWindows runs the endpoint sweeps for level i: one window table per
-// applicable condition, each mapping a partner tuple to its candidate
-// window.
+// applicable condition, each mapping a partner tuple to the exact candidate
+// window its predicate admits (condWindows). Partners whose window is empty
+// (saturated strict bounds) get their from patched past the end of the
+// column, which the max-of-froms intersection in rec turns into an empty
+// scan.
 func (p *preparedJoin) buildWindows(i int) {
 	lp := &p.e.plans[i]
+	nCand := int32(len(p.loCol[i]))
 	p.wins[i] = sized(p.wins[i], len(lp.conds))
 	for k := range lp.conds {
 		c := &lp.conds[k]
 		w := &p.wins[i][k]
-		plist := p.lists[c.partner]
-		nt := len(plist)
-		fam := familyOf(c.pred)
-		if fam == sweepLoOnly {
-			w.hi = nil
-		} else {
-			w.hi = sized(w.hi, nt)
-		}
+		prefs := p.refCol[c.partner]
+		nt := len(prefs)
+		shape := shapeOf(c.pred)
+		w.sHi = windCol(w.sHi, nt, shape.sHi)
+		w.eLo = windCol(w.eLo, nt, shape.eLo)
+		w.eHi = windCol(w.eHi, nt, shape.eHi)
 		p.los = sized(p.los, nt)
-		for t := range plist {
-			lo, hi := startRange(c.pred, plist[t].Attrs[c.battr])
-			p.los[t] = lo
-			if w.hi != nil {
-				w.hi[t] = hi
+		p.empties = p.empties[:0]
+		// When the condition reads the partner's own sort attribute, the
+		// bound interval comes straight off the partner's endpoint columns.
+		pOnCols := p.loCol[c.partner] != nil && p.e.plans[c.partner].sortAttr == c.battr
+		for t := 0; t < nt; t++ {
+			var b interval.Interval
+			if pOnCols {
+				b = interval.Interval{Start: p.loCol[c.partner][t], End: p.hiCol[c.partner][t]}
+			} else {
+				b = p.arena.Attr(prefs[t], c.battr)
+			}
+			sLo, sHi, eLo, eHi, ok := condWindows(c.pred, b)
+			if !ok {
+				p.los[t] = math.MaxInt64
+				p.empties = append(p.empties, int32(t))
+				continue
+			}
+			p.los[t] = sLo
+			if w.sHi != nil {
+				w.sHi[t] = sHi
+			}
+			if w.eLo != nil {
+				w.eLo[t] = eLo
+			}
+			if w.eHi != nil {
+				w.eHi[t] = eHi
 			}
 		}
 		w.from = sized(w.from, nt)
-		if fam == sweepHiOnly {
-			clear(w.from) // every window starts at 0
-		} else {
-			sweepFromsInto(w.from, p.los, p.starts[i])
+		sweepFromsInto(w.from, p.los, p.loCol[i])
+		for _, t := range p.empties {
+			w.from[t] = nCand
 		}
 	}
 	p.built[i] = true
 }
 
-// run enumerates every assignment (one tuple per relation, from the prepared
-// candidate lists) satisfying all applicable conditions, invoking fn with
-// the assignment parallel to rels. fn must not retain asg. run may be called
-// repeatedly; the sorted orders and sweep windows are reused.
+// windCol sizes a window bound column, or drops it when the predicate's
+// shape leaves that edge unbounded.
+func windCol(s []int64, n int, need bool) []int64 {
+	if !need {
+		return nil
+	}
+	return sized(s, n)
+}
+
+// run enumerates every assignment (one tuple per relation, from the sealed
+// candidate columns) satisfying all applicable conditions, invoking fn with
+// the assignment parallel to rels. fn must not retain asg (its tuples alias
+// the arena). run may be called repeatedly; the sorted columns and sweep
+// windows are reused.
 func (p *preparedJoin) run(fn func(asg []relation.Tuple)) {
 	p.fn = fn
 	p.rec(0)
@@ -273,20 +386,24 @@ func (p *preparedJoin) run(fn func(asg []relation.Tuple)) {
 }
 
 func (p *preparedJoin) rec(i int) {
-	if i == len(p.lists) {
+	if i == len(p.asg) {
+		// Each level materialised its binding when the candidate was
+		// accepted, so the full assignment is already in place.
 		p.fn(p.asg)
 		return
 	}
 	lp := &p.e.plans[i]
-	list := p.lists[i]
-	from := 0
-	hiBound := int64(math.MaxInt64)
-	switch {
-	case lp.sweep && len(lp.conds) > 0:
-		// Sweep path: intersect the precomputed per-partner windows.
+	switch lp.kernel {
+	case kindSweep, kindMerge:
+		// Intersect the precomputed per-partner windows across the level's
+		// conditions; everything below this point reads only int64 columns.
 		if !p.built[i] {
 			p.buildWindows(i)
 		}
+		from := 0
+		sHi := int64(math.MaxInt64)
+		eLo := int64(math.MinInt64)
+		eHi := int64(math.MaxInt64)
 		wins := p.wins[i]
 		for k := range lp.conds {
 			w := &wins[k]
@@ -294,21 +411,49 @@ func (p *preparedJoin) rec(i int) {
 			if f := int(w.from[t]); f > from {
 				from = f
 			}
-			if w.hi != nil && w.hi[t] < hiBound {
-				hiBound = w.hi[t]
+			if w.sHi != nil && w.sHi[t] < sHi {
+				sHi = w.sHi[t]
+			}
+			if w.eLo != nil && w.eLo[t] > eLo {
+				eLo = w.eLo[t]
+			}
+			if w.eHi != nil && w.eHi[t] < eHi {
+				eHi = w.eHi[t]
 			}
 		}
-	case lp.sortAttr >= 0:
-		// Probe fallback (multi-attribute levels): intersect the start
-		// ranges the sort-attribute conditions impose, binary-search the
-		// window start and let the scan break on the upper bound.
+		if lp.kernel == kindMerge {
+			p.nMerge++
+			p.kernelMerge(i, from, sHi, eLo, eHi)
+		} else {
+			p.nSweep++
+			p.kernelSweep(i, from, sHi, eLo, eHi)
+		}
+	default:
+		p.nGeneric++
+		p.kernelGeneric(i)
+	}
+}
+
+// kernelGeneric is the fallback enumeration loop: multi-attribute levels
+// (General-class queries), whose conditions constrain attributes other than
+// the sort attribute, and condition-free levels. It intersects the start
+// ranges the sort-attribute conditions impose, binary-searches the scan
+// start, and evaluates every condition per candidate — reading all
+// attributes through the arena, never through tuple structs.
+func (p *preparedJoin) kernelGeneric(i int) {
+	lp := &p.e.plans[i]
+	refs := p.refCol[i]
+	col := p.loCol[i] // nil only for unconstrained levels, where hiBound stays +inf
+	from := 0
+	hiBound := int64(math.MaxInt64)
+	if lp.sortAttr >= 0 {
 		lo := int64(math.MinInt64)
 		for k := range lp.conds {
 			c := &lp.conds[k]
 			if !c.onSort {
 				continue
 			}
-			l, h := startRange(c.pred, p.asg[c.partner].Attrs[c.battr])
+			l, h := startRange(c.pred, p.arena.Attr(p.bref[c.partner], c.battr))
 			if l > lo {
 				lo = l
 			}
@@ -320,46 +465,91 @@ func (p *preparedJoin) rec(i int) {
 			return
 		}
 		if lo > math.MinInt64 {
-			col := p.starts[i]
 			from = sort.Search(len(col), func(k int) bool { return col[k] >= lo })
 		}
 	}
-	col := p.starts[i] // nil only for unconstrained levels, where hiBound stays +inf
 next:
-	for k := from; k < len(list); k++ {
+	for k := from; k < len(refs); k++ {
 		if col != nil && col[k] > hiBound {
 			break
 		}
-		p.asg[i] = list[k]
+		p.bref[i] = refs[k]
 		p.idx[i] = k
 		for _, c := range lp.conds {
-			u := p.asg[c.eval.lLevel].Attrs[c.eval.lAttr]
-			v := p.asg[c.eval.rLevel].Attrs[c.eval.rAttr]
+			u := p.arena.Attr(p.bref[c.eval.lLevel], c.eval.lAttr)
+			v := p.arena.Attr(p.bref[c.eval.rLevel], c.eval.rAttr)
 			if !c.eval.pred.Eval(u, v) {
 				continue next
 			}
 		}
+		p.asg[i] = p.arena.Tuple(refs[k])
 		p.rec(i + 1)
 	}
 }
 
-// run prepares cands and enumerates once — the single-shot form used by
-// reduce functions, which see each candidate set exactly once. The prepared
-// state comes from a pool, so steady-state runs allocate nothing.
+// run loads cands and enumerates once — the single-shot form used by
+// callers that already hold decoded tuples (the reference oracle, tests).
+// The prepared state comes from a pool, so steady-state runs allocate
+// nothing beyond arena growth.
 func (e *enumerator) run(cands [][]relation.Tuple, fn func(asg []relation.Tuple)) {
-	p, _ := e.pool.Get().(*preparedJoin)
-	if p == nil {
-		p = &preparedJoin{e: e}
+	if len(cands) != len(e.rels) {
+		panic("core: enumerator candidate arity mismatch")
 	}
-	p.load(cands)
+	p := e.get()
+	for i := range cands {
+		for _, t := range cands[i] {
+			p.addTuple(i, t)
+		}
+	}
+	p.seal()
 	p.run(fn)
-	e.pool.Put(p)
+	e.put(p)
+}
+
+// runTagged is the reduce-side fast path: decode each tagged value once,
+// straight into the columnar layout, and enumerate. lvl maps a relation tag
+// to its binding level (-1 for tags the enumerator does not bind); tags
+// outside lvl are an error, as reducers only ever receive the relations
+// their job routed to them.
+func (e *enumerator) runTagged(values []string, lvl []int, fn func(asg []relation.Tuple)) error {
+	p := e.get()
+	for _, v := range values {
+		rel, body, err := splitTagged(v)
+		if err != nil {
+			e.put(p)
+			return err
+		}
+		if rel < 0 || rel >= len(lvl) || lvl[rel] < 0 {
+			e.put(p)
+			return fmt.Errorf("core: unexpected relation tag %d in %q", rel, v)
+		}
+		if err := p.add(lvl[rel], body); err != nil {
+			e.put(p)
+			return err
+		}
+	}
+	p.seal()
+	p.run(fn)
+	e.put(p)
+	return nil
+}
+
+// identityLevels returns the tag->level map for enumerators whose binding
+// order is the relation order (allRelations): level i binds tag i.
+func identityLevels(m int) []int {
+	lvl := make([]int, m)
+	for i := range lvl {
+		lvl[i] = i
+	}
+	return lvl
 }
 
 // startRange bounds the start point of the unbound interval x for the
 // predicate application p(b, x) with b bound: p(b, x) can only hold when
 // lo <= x.Start <= hi. The residual conditions are still checked by Eval;
-// the range is a sound filter, exact on the start coordinate.
+// the range is a sound filter, exact on the start coordinate. (The
+// specialized kernels use condWindows instead, which is exact on both
+// endpoints; startRange remains for the generic path.)
 func startRange(p interval.Predicate, b interval.Interval) (lo, hi interval.Point) {
 	const (
 		negInf = math.MinInt64
@@ -448,12 +638,12 @@ func semijoinReduce(conds []query.Condition, rels []int, cands [][]relation.Tupl
 			side{li, c.Left.Attr, ri, c.Right.Attr, c.Pred, true},
 			side{ri, c.Right.Attr, li, c.Left.Attr, c.Pred, false})
 	}
-	// sortedByStart caches, per (relPos, attr), the current list sorted by
-	// that attribute's start plus the sorted start column; invalidated when
-	// the list shrinks.
+	// sortedByStart caches, per (relPos, attr), the current list's endpoint
+	// columns sorted by start — the survival scan below never touches the
+	// tuples themselves; invalidated when the list shrinks.
 	type sortedList struct {
-		tuples []relation.Tuple
 		starts []int64
+		ends   []int64
 	}
 	sortCache := make(map[[2]int]sortedList)
 	sortedByStart := func(relPos, attr int) sortedList {
@@ -468,12 +658,12 @@ func semijoinReduce(conds []query.Condition, rels []int, cands [][]relation.Tupl
 		}
 		slices.SortFunc(pairs, func(a, b keyIdx) int { return cmp.Compare(a.key, b.key) })
 		s := sortedList{
-			tuples: make([]relation.Tuple, len(src)),
 			starts: make([]int64, len(src)),
+			ends:   make([]int64, len(src)),
 		}
 		for k, pr := range pairs {
-			s.tuples[k] = src[pr.idx]
 			s.starts[k] = pr.key
+			s.ends[k] = src[pr.idx].Attrs[attr].End
 		}
 		sortCache[key] = s
 		return s
@@ -493,36 +683,29 @@ func semijoinReduce(conds []query.Condition, rels []int, cands [][]relation.Tupl
 				continue
 			}
 			sorted := sortedByStart(s.otherPos, s.otherAttr)
-			other := sorted.tuples
-			// Partner start ranges come from the application with u bound:
-			// p(u, x) when u is the left operand, p'(u, x) otherwise.
+			// Exact partner windows from the application with u bound:
+			// p(u, x) when u is the left operand, p'(u, x) otherwise —
+			// condWindows makes the survival scan a pure column test.
 			p := s.pred
 			if !s.uIsLeft {
 				p = p.Inverse()
 			}
 			los := make([]int64, len(src))
-			his := make([]int64, len(src))
+			shi := make([]int64, len(src))
+			elo := make([]int64, len(src))
+			ehi := make([]int64, len(src))
 			for ui := range src {
-				los[ui], his[ui] = startRange(p, src[ui].Attrs[s.attr])
+				sLo, sHi, eLo, eHi, ok := condWindows(p, src[ui].Attrs[s.attr])
+				if !ok {
+					los[ui], shi[ui] = math.MaxInt64, math.MinInt64
+					continue
+				}
+				los[ui], shi[ui], elo[ui], ehi[ui] = sLo, sHi, eLo, eHi
 			}
 			froms := sweepFroms(los, sorted.starts)
 			kept := src[:0:0]
 			for ui, u := range src {
-				b := u.Attrs[s.attr]
-				found := false
-				hi := his[ui]
-				for k := int(froms[ui]); k < len(other) && sorted.starts[k] <= hi; k++ {
-					v := other[k].Attrs[s.otherAttr]
-					if s.uIsLeft {
-						found = s.pred.Eval(b, v)
-					} else {
-						found = s.pred.Eval(v, b)
-					}
-					if found {
-						break
-					}
-				}
-				if found {
+				if kernelSemijoin(sorted.starts, sorted.ends, int(froms[ui]), shi[ui], elo[ui], ehi[ui]) {
 					kept = append(kept, u)
 				}
 			}

@@ -2,6 +2,65 @@ package core
 
 import "intervaljoin/internal/query"
 
+// kernelKind is the planner's dispatch choice for one binding level of the
+// reduce-side enumerator — which inner loop shape the level runs
+// (sweep.go). The dispatch table, by the oriented predicates applicable at
+// the level:
+//
+//	level shape                                  kernel
+//	─────────────────────────────────────────────────────────
+//	any condition off the sort attribute,        kindGeneric
+//	or no conditions at all
+//	all conditions pin the candidate start       kindMerge
+//	to one point (meets / starts / started-by
+//	/ equals applications)
+//	everything else (overlap-class, before /     kindSweep
+//	after, contains, finishes families)
+type kernelKind uint8
+
+const (
+	// kindGeneric: binary-search probe plus per-candidate Eval through the
+	// arena — the only kernel that handles conditions over attributes other
+	// than the level's sort attribute (General-class queries), and the
+	// trivial scan for condition-free levels.
+	kindGeneric kernelKind = iota
+	// kindSweep: the Piatov-style columnar sweep — scan the start column
+	// within the intersected exact window, filter on the end column.
+	kindSweep
+	// kindMerge: the tight merge loop over the equal-start run when every
+	// condition pins the candidate start to a single point.
+	kindMerge
+)
+
+// String names the kernel kind for diagnostics and counters.
+func (k kernelKind) String() string {
+	switch k {
+	case kindSweep:
+		return "sweep"
+	case kindMerge:
+		return "merge"
+	default:
+		return "generic"
+	}
+}
+
+// chooseKernel picks the inner-loop shape for a compiled level. Exactness
+// of the specialized kernels rests on condWindows (sweep.go): for
+// conditions over the level's single sort attribute, the Allen predicate
+// decomposes exactly into endpoint windows, so no per-candidate Eval is
+// needed. Levels where that precondition fails keep the generic path.
+func chooseKernel(lp levelPlan) kernelKind {
+	if !lp.sweep || len(lp.conds) == 0 {
+		return kindGeneric
+	}
+	for _, c := range lp.conds {
+		if !pointStart(c.pred) {
+			return kindSweep
+		}
+	}
+	return kindMerge
+}
+
 // Plan selects the paper's recommended algorithm for a query's class:
 // RCCIS for colocation queries, All-Matrix for sequence queries,
 // All-Seq-Matrix for hybrid queries (PASM when PreferPruning is set), and

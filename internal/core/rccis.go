@@ -159,23 +159,35 @@ func uniformAttr0(rels []int) map[int]int {
 func markReducerAttrs(conds []query.Condition, part interval.Partitioning, rels []int, attrOf map[int]int) mr.ReduceFunc {
 	return func(key int64, values []string, write func(string) error) error {
 		p := int(key)
+		// Decode through a per-call arena: one flat interval column for the
+		// whole candidate list instead of one Attrs slice per record. The
+		// raw bodies ride along so survivors are re-emitted by splicing the
+		// flag in (encodeFlaggedBody) — byte-identical to re-encoding, with
+		// no per-endpoint formatting.
+		var arena relation.Arena
 		cands := make(map[int][]relation.Tuple, len(rels))
+		bodies := make(map[int][]string, len(rels))
 		for _, v := range values {
-			rel, t, err := decodeTagged(v)
+			rel, body, err := splitTagged(v)
 			if err != nil {
 				return err
 			}
-			cands[rel] = append(cands[rel], t)
+			ref, err := arena.AppendDecode(body)
+			if err != nil {
+				return err
+			}
+			cands[rel] = append(cands[rel], arena.Tuple(ref))
+			bodies[rel] = append(bodies[rel], body)
 		}
 		replicate := markCrossingParticipants(conds, part, p, rels, attrOf, cands)
 		// Write every tuple that starts in this partition, flagged.
 		for _, rel := range rels {
 			attr := attrOf[rel]
-			for _, t := range cands[rel] {
+			for i, t := range cands[rel] {
 				if part.IndexOf(t.Attrs[attr].Start) != p {
 					continue
 				}
-				if err := write(encodeFlagged(rel, replicate[rel][t.ID], t)); err != nil {
+				if err := write(encodeFlaggedBody(rel, replicate[rel][t.ID], bodies[rel][i])); err != nil {
 					return err
 				}
 			}

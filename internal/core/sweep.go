@@ -1,91 +1,211 @@
 package core
 
-// Sweep-based reduce-side join kernel.
+// Columnar sweep-based reduce-side join kernel.
 //
 // Every reducer joins its received tuples with the backtracking enumerator
-// (join.go). Its hot operation is: given a bound partner tuple, find the
-// candidates of the next binding level whose constrained attribute starts
-// inside the legal range [lo, hi] the Allen predicate imposes. The original
-// kernel answered that with one binary search per partial assignment plus a
-// bounded scan over tuple structs; this file replaces it with an
-// endpoint-ordered plane sweep in the style of Piatov et al.,
-// "Cache-Efficient Sweeping-Based Interval Joins for Extended Allen
-// Relation Predicates": every partner's window start into the start-sorted
-// candidate column is precomputed by advancing one cursor over two
-// endpoint-ordered int64 sequences (the flattened form of a sweep's gapless
-// active list), and the window end is enforced during enumeration by
-// breaking the scan on the precomputed per-partner upper bound — exactly
-// the bounded scan the probe did, but over a contiguous int64 column
-// instead of tuple structs.
+// (join.go). Candidate lists are decoded once into struct-of-arrays columns
+// — start column lo[], end column hi[], and payload refs into a shared
+// relation.Arena — endpoint-sorted and gapless, in the style of Piatov et
+// al., "Cache-Efficient Sweeping-Based Interval Joins for Extended Allen
+// Relation Predicates": the enumeration loops touch only the int64 endpoint
+// columns until a pair is confirmed, and the tuple payload is materialised
+// lazily from the arena at emission.
 //
-// startRange is monotone in the partner endpoint it reads, so when the
-// partner list is sorted by the attribute the lower bound derives from
-// (colocation predicates constrain the candidate start by the partner's
-// start, and partner lists are start-sorted), the bound sequence is already
-// nondecreasing and the whole window table costs one linear two-cursor
-// pass with no sorting and no searching — the common case for the paper's
-// single-attribute queries, detected by a linear monotonicity scan. Bounds
-// that arrive out of order (the sequence family's end-derived lower
-// bounds) fall back to one inline binary search per partner, still touching
-// only the int64 column.
+// For a condition application p(bound, candidate) over the candidate
+// level's sort attribute, the 13 Allen relations each decompose EXACTLY
+// into a conjunction of closed ranges on the candidate's endpoints
+// (condWindows): sLo <= cand.Start <= sHi and eLo <= cand.End <= eHi, with
+// missing edges at the int64 infinities. Exactness (for valid intervals,
+// Start <= End — guaranteed by the codecs, which reject inverted
+// intervals) means the specialized loops never evaluate the predicate per
+// pair; multi-attribute levels keep the generic Eval path (join.go).
 //
-// The predicate families need different window shapes:
+// The per-partner window starts are precomputed by one endpoint sweep
+// (sweepFromsInto): startRange-style lower bounds are monotone in the
+// partner endpoint they derive from, so when the partner list is sorted by
+// that endpoint the window table costs a single two-cursor pass over two
+// int64 sequences; out-of-order bound sequences fall back to one inline
+// binary search per partner, still touching only the column.
 //
-//   - colocation predicates (overlaps / contains / starts / finishes /
-//     meets / equals families) bound the candidate start on both sides;
-//   - the sequence predicate before only bounds it from below (the match
-//     may lie arbitrarily far right), and the after / met-by /
-//     overlapped-by / contained-by / finishes applications only from above,
-//     so one window edge is the whole list.
+// Dispatch between the loop shapes is planned statically (planner.go):
 //
-// Exactness is preserved for all 13 Allen relations because the window is
-// only the start-coordinate filter the probe used; the residual predicate
-// conditions are still evaluated on every windowed candidate.
+//   - kindSweep — the general columnar loop: scan candidates from the
+//     window start while Start <= sHi, filtering on the End range;
+//   - kindMerge — all conditions pin the candidate start to a single point
+//     (meets / starts / started-by / equals applications): the scan is a
+//     tight merge over the equal-start run;
+//   - kindGeneric — multi-attribute levels (General-class queries) and
+//     condition-free levels: binary-search probe plus per-candidate Eval,
+//     reading attributes through the arena.
 
 import (
+	"math"
+
 	"intervaljoin/internal/interval"
 )
 
-// sweepFamily classifies a predicate application p(bound, candidate) by
-// which edges of the candidate start range are real bounds.
-type sweepFamily uint8
+// windowShape records which edges of a predicate's candidate window are
+// real bounds, i.e. which window columns buildWindows must fill. The start
+// lower edge always is (a before-style application's sLo bound is the whole
+// point of the sweep; unbounded edges are the only exception and stay at
+// index 0 via an all -inf bound column).
+type windowShape struct {
+	sHi, eLo, eHi bool
+}
 
-const (
-	// sweepBoth: the colocation and meets/equals families — the candidate
-	// start is bounded on both sides by the partner's endpoints.
-	sweepBoth sweepFamily = iota
-	// sweepLoOnly: the "before" application — only a lower bound.
-	sweepLoOnly
-	// sweepHiOnly: the "after"-side family — only an upper bound.
-	sweepHiOnly
-)
-
-// familyOf returns the sweep family of the application p(bound, candidate),
-// mirroring the ranges startRange produces.
-func familyOf(p interval.Predicate) sweepFamily {
+// shapeOf returns the window shape of the application p(bound, candidate),
+// mirroring condWindows.
+func shapeOf(p interval.Predicate) windowShape {
 	switch p {
 	case interval.Before:
-		return sweepLoOnly
-	case interval.After, interval.MetBy, interval.OverlappedBy,
-		interval.ContainedBy, interval.Finishes:
-		return sweepHiOnly
-	case interval.Meets, interval.Overlaps, interval.Contains,
-		interval.Starts, interval.StartedBy, interval.FinishedBy,
-		interval.Equals:
-		return sweepBoth
+		return windowShape{}
+	case interval.After:
+		return windowShape{sHi: true, eHi: true}
+	case interval.Meets:
+		return windowShape{sHi: true}
+	case interval.MetBy:
+		return windowShape{sHi: true, eLo: true, eHi: true}
+	case interval.Overlaps:
+		return windowShape{sHi: true, eLo: true}
+	case interval.OverlappedBy:
+		return windowShape{sHi: true, eLo: true, eHi: true}
+	case interval.Contains:
+		return windowShape{sHi: true, eHi: true}
+	case interval.ContainedBy:
+		return windowShape{sHi: true, eLo: true}
+	case interval.Starts:
+		return windowShape{sHi: true, eLo: true}
+	case interval.StartedBy:
+		return windowShape{sHi: true, eHi: true}
+	case interval.Finishes:
+		return windowShape{sHi: true, eLo: true, eHi: true}
+	case interval.FinishedBy:
+		return windowShape{sHi: true, eLo: true, eHi: true}
+	case interval.Equals:
+		return windowShape{sHi: true, eLo: true, eHi: true}
 	default:
-		panic("core: familyOf: predicate outside the 13 Allen relations")
+		panic("core: shapeOf: predicate outside the 13 Allen relations")
 	}
 }
 
-// condWindow is one condition's window table: for partner tuple t (by its
-// index in the partner's prepared list), candidates from[t] onward start no
-// earlier than the partner's lower bound, and the enumeration scan stops
-// once a candidate start exceeds hi[t]. hi is nil for lower-bound-only
-// (before) applications, whose scans run to the end of the list.
+// pointStart reports whether the application p(bound, candidate) pins the
+// candidate start to a single point (sLo == sHi for every bound) — the
+// merge-loop family.
+func pointStart(p interval.Predicate) bool {
+	switch p {
+	case interval.Meets, interval.Starts, interval.StartedBy, interval.Equals:
+		return true
+	case interval.Before, interval.After, interval.MetBy, interval.Overlaps,
+		interval.OverlappedBy, interval.Contains, interval.ContainedBy,
+		interval.Finishes, interval.FinishedBy:
+		return false
+	default:
+		panic("core: pointStart: predicate outside the 13 Allen relations")
+	}
+}
+
+// condWindows returns the exact candidate window of the application
+// p(b, x) for valid x (x.Start <= x.End): p(b, x) holds if and only if
+// sLo <= x.Start <= sHi and eLo <= x.End <= eHi. Unbounded edges are the
+// int64 infinities. ok is false when the window is empty because a strict
+// bound saturates at the int64 extremes (e.g. before(b, x) with
+// b.End == MaxInt64 admits no x at all); callers must then emit nothing
+// for this partner rather than use the returned bounds.
+func condWindows(p interval.Predicate, b interval.Interval) (sLo, sHi, eLo, eHi int64, ok bool) {
+	const (
+		negInf = math.MinInt64
+		posInf = math.MaxInt64
+	)
+	sLo, sHi, eLo, eHi, ok = negInf, posInf, negInf, posInf, true
+	switch p {
+	case interval.Before: // b.e < x.s
+		sLo, ok = incOK(b.End)
+	case interval.After: // x.e < b.s; validity bounds x.s too
+		eHi, ok = decOK(b.Start)
+		sHi = eHi
+	case interval.Meets: // x.s == b.e
+		sLo, sHi = b.End, b.End
+	case interval.MetBy: // x.e == b.s; validity: x.s <= b.s
+		eLo, eHi = b.Start, b.Start
+		sHi = b.Start
+	case interval.Overlaps: // b.s < x.s && x.s < b.e && b.e < x.e
+		sLo, ok = incOK(b.Start)
+		if ok {
+			sHi, ok = decOK(b.End)
+		}
+		if ok {
+			eLo, ok = incOK(b.End)
+		}
+	case interval.OverlappedBy: // x.s < b.s && b.s < x.e && x.e < b.e
+		sHi, ok = decOK(b.Start)
+		if ok {
+			eLo, ok = incOK(b.Start)
+		}
+		if ok {
+			eHi, ok = decOK(b.End)
+		}
+	case interval.Contains: // b.s < x.s && x.e < b.e; validity: x.s <= b.e-1
+		sLo, ok = incOK(b.Start)
+		if ok {
+			eHi, ok = decOK(b.End)
+		}
+		sHi = eHi
+	case interval.ContainedBy: // x.s < b.s && b.e < x.e
+		sHi, ok = decOK(b.Start)
+		if ok {
+			eLo, ok = incOK(b.End)
+		}
+	case interval.Starts: // x.s == b.s && b.e < x.e
+		sLo, sHi = b.Start, b.Start
+		eLo, ok = incOK(b.End)
+	case interval.StartedBy: // x.s == b.s && x.e < b.e
+		sLo, sHi = b.Start, b.Start
+		eHi, ok = decOK(b.End)
+	case interval.Finishes: // x.e == b.e && x.s < b.s
+		eLo, eHi = b.End, b.End
+		sHi, ok = decOK(b.Start)
+	case interval.FinishedBy: // x.e == b.e && b.s < x.s; validity: x.s <= b.e
+		eLo, eHi = b.End, b.End
+		sLo, ok = incOK(b.Start)
+		sHi = b.End
+	case interval.Equals:
+		sLo, sHi = b.Start, b.Start
+		eLo, eHi = b.End, b.End
+	default:
+		panic("core: condWindows: predicate outside the 13 Allen relations")
+	}
+	return sLo, sHi, eLo, eHi, ok
+}
+
+// incOK is v+1 with ok=false when v is already MaxInt64 (the strict bound
+// admits nothing).
+func incOK(v int64) (int64, bool) {
+	if v == math.MaxInt64 {
+		return v, false
+	}
+	return v + 1, true
+}
+
+// decOK is v-1 with ok=false when v is already MinInt64.
+func decOK(v int64) (int64, bool) {
+	if v == math.MinInt64 {
+		return v, false
+	}
+	return v - 1, true
+}
+
+// condWindow is one condition's window table at one binding level: for
+// partner tuple t (by its index in the partner's prepared column), the
+// candidate window is candidates from[t] onward whose sort-attribute Start
+// is at most sHi[t] and whose End lies in [eLo[t], eHi[t]]. Bound columns
+// are nil when the predicate's shape leaves that edge unbounded; from is
+// patched past the end of the list for partners whose window is empty
+// (condWindows ok=false).
 type condWindow struct {
 	from []int32
-	hi   []int64
+	sHi  []int64
+	eLo  []int64
+	eHi  []int64
 }
 
 // keyIdx pairs a range endpoint with the partner index it belongs to.
@@ -150,4 +270,54 @@ func sized[T any](s []T, n int) []T {
 		return s[:n]
 	}
 	return make([]T, n)
+}
+
+// kernelSemijoin reports whether any candidate at or after from in the
+// start-sorted endpoint columns falls inside the exact condWindows window
+// (start <= sHi, end in [eLo, eHi]). It is the survival scan of the
+// semijoin marking cycle: a pure column test, no tuple loads and no
+// per-candidate predicate evaluation.
+func kernelSemijoin(starts, ends []int64, from int, sHi, eLo, eHi int64) bool {
+	for k := from; k < len(starts) && starts[k] <= sHi; k++ {
+		if e := ends[k]; e >= eLo && e <= eHi {
+			return true
+		}
+	}
+	return false
+}
+
+// kernelSweep is the specialized columnar inner loop for level i: scan the
+// start column from the intersected window start while it stays within
+// sHi, filter on the end column, and only then bind the payload. No tuple
+// fields are read inside the scan (enforced by ijlint's colkernel rule);
+// the accepted candidate is materialised from its arena ref exactly once,
+// so rejected candidates never leave the endpoint columns.
+func (p *preparedJoin) kernelSweep(i, from int, sHi, eLo, eHi int64) {
+	lo, hi, refs := p.loCol[i], p.hiCol[i], p.refCol[i]
+	for k := from; k < len(lo) && lo[k] <= sHi; k++ {
+		if e := hi[k]; e < eLo || e > eHi {
+			continue
+		}
+		p.idx[i] = k
+		p.bref[i] = refs[k]
+		p.asg[i] = p.arena.Tuple(refs[k])
+		p.rec(i + 1)
+	}
+}
+
+// kernelMerge is the tight merge loop for levels whose conditions all pin
+// the candidate start to one point (meets / starts / started-by / equals
+// applications): the scan is the equal-start run at the window start, with
+// the end-column filter deciding each candidate.
+func (p *preparedJoin) kernelMerge(i, from int, pt, eLo, eHi int64) {
+	lo, hi, refs := p.loCol[i], p.hiCol[i], p.refCol[i]
+	for k := from; k < len(lo) && lo[k] == pt; k++ {
+		if e := hi[k]; e < eLo || e > eHi {
+			continue
+		}
+		p.idx[i] = k
+		p.bref[i] = refs[k]
+		p.asg[i] = p.arena.Tuple(refs[k])
+		p.rec(i + 1)
+	}
 }

@@ -42,6 +42,18 @@ func (tw TwoWay) Run(ctx *Context) (*Result, error) {
 		cond.Right.Rel: strategy.Right,
 	}
 
+	// Shared across reduce calls: the plan is static and per-run state is
+	// pooled inside the enumerator. Binding order is (left, right), so the
+	// right relation's level gets the specialized columnar kernel.
+	e := newEnumerator(ctx.Query.Conds, []int{cond.Left.Rel, cond.Right.Rel}).
+		withTracer(ctx.Engine.Tracer())
+	lvl := make([]int, len(ctx.Rels))
+	for r := range lvl {
+		lvl[r] = -1
+	}
+	lvl[cond.Left.Rel] = 0
+	lvl[cond.Right.Rel] = 1
+
 	job := mr.Job{
 		Name: opts.Scratch + "/join",
 		Inputs: []mr.Input{
@@ -58,34 +70,22 @@ func (tw TwoWay) Run(ctx *Context) (*Result, error) {
 			return nil
 		},
 		Reduce: func(key int64, values []string, write func(string) error) error {
-			var left, right []relation.Tuple
-			for _, v := range values {
-				rel, t, err := decodeTagged(v)
-				if err != nil {
-					return err
-				}
-				if rel == cond.Left.Rel {
-					left = append(left, t)
-				} else {
-					right = append(right, t)
-				}
-			}
 			// Exactly one reducer sees each satisfying pair: the strategy
 			// projects at least one side, so no dedup filter is needed.
-			for _, u := range left {
-				for _, v := range right {
-					if !cond.Pred.Eval(u.Attrs[cond.Left.Attr], v.Attrs[cond.Right.Attr]) {
-						continue
-					}
-					out := make(OutputTuple, 2)
-					out[cond.Left.Rel] = u.ID
-					out[cond.Right.Rel] = v.ID
-					if err := write(out.Key()); err != nil {
-						return err
-					}
+			var outErr error
+			err := e.runTagged(values, lvl, func(asg []relation.Tuple) {
+				if outErr != nil {
+					return
 				}
+				out := make(OutputTuple, 2)
+				out[cond.Left.Rel] = asg[0].ID
+				out[cond.Right.Rel] = asg[1].ID
+				outErr = write(out.Key())
+			})
+			if err != nil {
+				return err
 			}
-			return nil
+			return outErr
 		},
 		Output:     opts.Scratch + "/output",
 		SortValues: opts.SortValues,

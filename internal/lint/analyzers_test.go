@@ -31,6 +31,26 @@ func TestTimeNowLoop(t *testing.T) {
 	runFixture(t, "timenowloop", "intervaljoin/internal/mr/lintfixture")
 }
 
+func TestColKernel(t *testing.T) {
+	// Distinct from hotpathban's fixture path: the loader caches packages
+	// by import path, so sharing it would hand this test the wrong fixture.
+	runFixture(t, "colkernel", "intervaljoin/internal/core/colfixture")
+}
+
+// TestColKernelScope reloads the kernel fixture under a neutral import
+// path: outside internal/core the kernel* naming convention means nothing,
+// so the analyzer must stay silent.
+func TestColKernelScope(t *testing.T) {
+	pkg, err := fixtureLoader(t).LoadDir(filepath.Join("testdata", "colkernel"), "intervaljoin/lintfixture/notcore")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := RunAnalyzers(pkg, []*Analyzer{ColKernel})
+	for _, d := range diags {
+		t.Errorf("diagnostic outside the core scope: %s", d)
+	}
+}
+
 // TestTimeNowLoopScope reloads the timing fixture under a neutral import
 // path: outside the hot-path packages per-pair clock reads are fine, so
 // the analyzer must stay silent.

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ColKernel keeps the columnar reduce kernels columnar. The specialized
+// inner loops of internal/core (the kernel* functions dispatched per Allen
+// family) exist to scan the struct-of-arrays endpoint columns with nothing
+// but int64 compares; materialising a relation.Tuple or chasing a map
+// bucket inside them reintroduces exactly the per-pair pointer traffic the
+// layout removed. Tuple materialisation belongs at the assignment leaf, and
+// any map-keyed state must be hoisted to plan/seal time.
+var ColKernel = &Analyzer{
+	Name: "colkernel",
+	Doc: "relation.Tuple field/method access or map lookups inside the columnar " +
+		"reduce kernels (kernel* functions) of internal/core; scan the " +
+		"struct-of-arrays columns and hoist lookups to seal time",
+	Run: runColKernel,
+}
+
+func runColKernel(pass *Pass) {
+	if !strings.Contains(pass.Pkg.Path(), "internal/core") {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "kernel") {
+				continue
+			}
+			scanKernelBody(pass, fd)
+		}
+	}
+}
+
+// scanKernelBody flags, anywhere in one kernel function (closures
+// included — they run per iteration too), selector expressions whose
+// receiver is a relation.Tuple and index expressions over a map.
+func scanKernelBody(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if t := pass.Info.TypeOf(e.X); t != nil && namedTypeIs(t, "internal/relation", "Tuple") {
+				pass.Reportf(e.Sel.Pos(),
+					"relation.Tuple access in columnar kernel %s; read the arena's struct-of-arrays columns instead",
+					fd.Name.Name)
+			}
+		case *ast.IndexExpr:
+			if t := pass.Info.TypeOf(e.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(e.Pos(),
+						"map lookup in columnar kernel %s; hoist the lookup out of the specialized loop",
+						fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}

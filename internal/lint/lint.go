@@ -1,8 +1,9 @@
-// Package lint is ijlint's analysis framework plus the six
+// Package lint is ijlint's analysis framework plus the seven
 // domain-specific analyzers that mechanically enforce the engine's
 // invariants (exhaustive Allen-predicate switches, emitter escape
 // discipline, sync.Pool hygiene, shard-lock guarding, the hot-path
-// forbid-list, and the per-pair-loop clock-read ban).
+// forbid-list, the per-pair-loop clock-read ban, and the columnar-kernel
+// purity rule).
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis —
 // an Analyzer runs over a type-checked Pass and reports Diagnostics —
@@ -69,7 +70,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the six ijlint analyzers in their canonical order.
+// All returns the seven ijlint analyzers in their canonical order.
 func All() []*Analyzer {
 	return []*Analyzer{
 		AllenExhaustive,
@@ -78,6 +79,7 @@ func All() []*Analyzer {
 		ShardLock,
 		HotPathBan,
 		TimeNowLoop,
+		ColKernel,
 	}
 }
 

@@ -1,0 +1,76 @@
+// Package fixture exercises the colkernel analyzer. The harness loads it
+// under an import path inside internal/core, which puts it in scope; a
+// second load under a neutral path checks the scoping.
+package fixture
+
+import (
+	"intervaljoin/internal/relation"
+)
+
+type prepared struct {
+	lo, hi []int64
+	refs   []int32
+	tuples []relation.Tuple
+	cats   map[int64]int
+	arena  relation.Arena
+}
+
+// kernelTupleAccess materialises tuples per iteration: flagged on both the
+// field read and the method call.
+func (p *prepared) kernelTupleAccess(from int, sHi int64) int64 {
+	var n int64
+	for k := from; k < len(p.tuples); k++ {
+		t := p.tuples[k]
+		if t.Attrs[0].Start > sHi { // want `relation\.Tuple access in columnar kernel kernelTupleAccess`
+			break
+		}
+		n += t.ID       // want `relation\.Tuple access in columnar kernel kernelTupleAccess`
+		_ = t.Key().End // want `relation\.Tuple access in columnar kernel kernelTupleAccess`
+	}
+	return n
+}
+
+// kernelMapLookup chases a map bucket per candidate: flagged.
+func (p *prepared) kernelMapLookup(from int) int {
+	n := 0
+	for k := from; k < len(p.lo); k++ {
+		n += p.cats[p.lo[k]] // want `map lookup in columnar kernel kernelMapLookup`
+	}
+	return n
+}
+
+// kernelClosure hides the access inside a literal; still per-iteration,
+// still flagged.
+func (p *prepared) kernelClosure(from int) int64 {
+	var n int64
+	score := func(t relation.Tuple) int64 { return t.ID } // want `relation\.Tuple access in columnar kernel kernelClosure`
+	for k := from; k < len(p.tuples); k++ {
+		n += score(p.tuples[k])
+	}
+	return n
+}
+
+// kernelColumnar is the shape the analyzer demands: pure column scans.
+func (p *prepared) kernelColumnar(from int, sHi, eLo, eHi int64) int {
+	n := 0
+	for k := from; k < len(p.lo) && p.lo[k] <= sHi; k++ {
+		if e := p.hi[k]; e < eLo || e > eHi {
+			continue
+		}
+		n += int(p.refs[k])
+	}
+	return n
+}
+
+// kernelSuppressed demonstrates the annotated escape hatch.
+func (p *prepared) kernelSuppressed(ref int32) int64 {
+	//lint:ignore colkernel fixture demonstrates the annotated escape hatch
+	return p.arena.Tuple(ref).ID
+}
+
+// materialize is not a kernel: tuple access at the assignment leaf is the
+// intended place for it, so the analyzer stays silent here.
+func materialize(a *relation.Arena, ref int32) int64 {
+	t := a.Tuple(ref)
+	return t.ID + (t.Attrs[0].End - t.Attrs[0].Start)
+}

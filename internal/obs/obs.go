@@ -84,9 +84,10 @@ type Tracer struct {
 	opts  Options
 	epoch time.Time
 
-	mu    sync.Mutex
-	lanes []*Lane // every lane ever created, in id order
-	free  []*Lane // released lanes available for reuse
+	mu     sync.Mutex
+	lanes  []*Lane // every lane ever created, in id order
+	free   []*Lane // released lanes available for reuse
+	counts map[string]int64
 }
 
 // New returns an enabled tracer whose epoch is now.
@@ -152,6 +153,23 @@ func (t *Tracer) Release(l *Lane) {
 	}
 	t.mu.Lock()
 	t.free = append(t.free, l)
+	t.mu.Unlock()
+}
+
+// Count adds delta to a tracer-level shared counter, for callers without a
+// lane of their own (e.g. the join kernel's per-family hit counts, flushed
+// once per reduce task from whatever goroutine ran it). Mutex-guarded —
+// callers must batch, not count per item. Merged into Snapshot.Counters
+// alongside the lane-local counters. Safe on a nil tracer.
+func (t *Tracer) Count(name string, delta int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.counts == nil {
+		t.counts = make(map[string]int64, 8)
+	}
+	t.counts[name] += delta
 	t.mu.Unlock()
 }
 
@@ -352,6 +370,9 @@ func (t *Tracer) Snapshot() *Snapshot {
 			merged.merge(h)
 			s.Hists[name] = merged
 		}
+	}
+	for name, v := range t.counts {
+		s.Counters[name] += v
 	}
 	sort.Slice(s.Spans, func(i, j int) bool { return s.Spans[i].Start < s.Spans[j].Start })
 	return s

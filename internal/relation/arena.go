@@ -1,0 +1,172 @@
+package relation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"intervaljoin/internal/interval"
+)
+
+// Arena is a struct-of-arrays tuple store for the reduce-side join kernel:
+// ids, per-tuple attribute offsets and a single flat interval column live in
+// three parallel slices, so decoding a candidate list touches no per-tuple
+// heap objects and re-materialising a tuple for emission is a pair of
+// subslice headers. A tuple is identified by the int32 ref Append returns;
+// refs are dense (0..Len()-1) and stay valid until Reset.
+//
+// The offset column handles mixed arity (Gen-Matrix relations carry several
+// interval attributes): tuple ref's attributes are flat[base[ref]:base[ref+1]].
+// An Arena belongs to one goroutine; pooled reuse goes through Reset, which
+// keeps the backing arrays.
+type Arena struct {
+	ids []int64
+	// base is a prefix table with len(ids)+1 entries once any tuple is
+	// stored: base[r] is the flat offset of tuple r's first attribute.
+	base []int32
+	flat []interval.Interval
+}
+
+// Len is the number of tuples stored.
+func (a *Arena) Len() int { return len(a.ids) }
+
+// Reset empties the arena, retaining capacity for reuse.
+func (a *Arena) Reset() {
+	a.ids = a.ids[:0]
+	a.base = a.base[:0]
+	a.flat = a.flat[:0]
+}
+
+func (a *Arena) initBase() {
+	if len(a.base) == 0 {
+		a.base = append(a.base, 0)
+	}
+}
+
+// Append copies t into the arena and returns its ref.
+func (a *Arena) Append(t Tuple) int32 {
+	a.initBase()
+	a.ids = append(a.ids, t.ID)
+	a.flat = append(a.flat, t.Attrs...)
+	a.base = append(a.base, int32(len(a.flat)))
+	return int32(len(a.ids) - 1)
+}
+
+// AppendDecode parses one EncodeTuple record ("id|s,e|s,e|...") directly
+// into the arena — the zero-copy counterpart of DecodeTuple, accepting and
+// rejecting exactly the same inputs. On error the arena is unchanged.
+func (a *Arena) AppendDecode(s string) (int32, error) {
+	sep := strings.IndexByte(s, '|')
+	if sep < 0 {
+		return 0, fmt.Errorf("relation: malformed tuple record %q", s)
+	}
+	id, err := strconv.ParseInt(s[:sep], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("relation: bad tuple id in %q: %v", s, err)
+	}
+	a.initBase()
+	flat0 := len(a.flat)
+	rest := s[sep+1:]
+	for i := 0; ; i++ {
+		field := rest
+		last := true
+		if j := strings.IndexByte(rest, '|'); j >= 0 {
+			field, rest = rest[:j], rest[j+1:]
+			last = false
+		}
+		iv, ok := parseIntervalFast(field)
+		if !ok {
+			var err error
+			iv, err = interval.Parse(field)
+			if err != nil {
+				a.flat = a.flat[:flat0]
+				return 0, fmt.Errorf("relation: bad attribute %d in %q: %v", i, s, err)
+			}
+		}
+		a.flat = append(a.flat, iv)
+		if last {
+			break
+		}
+	}
+	a.ids = append(a.ids, id)
+	a.base = append(a.base, int32(len(a.flat)))
+	return int32(len(a.ids) - 1), nil
+}
+
+// parseIntervalFast parses the canonical "start,end" field form — plain
+// decimal digits with an optional leading minus, no whitespace, no
+// brackets — exactly as interval.Parse would, without its normalisation
+// passes. Any other shape (including start > end, so the validation error
+// keeps Parse's wording) reports ok=false and the caller falls back to
+// interval.Parse, which accepts a superset and agrees on every string the
+// fast path accepts.
+func parseIntervalFast(field string) (interval.Interval, bool) {
+	c := strings.IndexByte(field, ',')
+	if c < 0 {
+		return interval.Interval{}, false
+	}
+	start, ok := parseInt64Fast(field[:c])
+	if !ok {
+		return interval.Interval{}, false
+	}
+	end, ok := parseInt64Fast(field[c+1:])
+	if !ok || start > end {
+		return interval.Interval{}, false
+	}
+	return interval.Interval{Start: start, End: end}, true
+}
+
+// parseInt64Fast parses an optionally negated run of at most 18 decimal
+// digits — short enough that the accumulator cannot overflow int64. Longer
+// or non-canonical numerals (a leading '+', stray bytes) return ok=false
+// so strconv.ParseInt decides them.
+func parseInt64Fast(s string) (int64, bool) {
+	neg := false
+	if len(s) > 0 && s[0] == '-' {
+		neg = true
+		s = s[1:]
+	}
+	if len(s) == 0 || len(s) > 18 {
+		return 0, false
+	}
+	var v int64
+	for i := 0; i < len(s); i++ {
+		d := s[i] - '0'
+		if d > 9 {
+			return 0, false
+		}
+		v = v*10 + int64(d)
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// ID returns the stored tuple id.
+func (a *Arena) ID(ref int32) int64 { return a.ids[ref] }
+
+// Arity returns the number of attributes of tuple ref.
+func (a *Arena) Arity(ref int32) int { return int(a.base[ref+1] - a.base[ref]) }
+
+// Attr returns one attribute interval of tuple ref.
+func (a *Arena) Attr(ref int32, attr int) interval.Interval {
+	lo, hi := a.base[ref], a.base[ref+1]
+	if attr < 0 || int32(attr) >= hi-lo {
+		panic(fmt.Sprintf("relation: arena attr %d on arity-%d tuple", attr, hi-lo))
+	}
+	return a.flat[lo+int32(attr)]
+}
+
+// Start returns Attr(ref, attr).Start — the endpoint column read the sweep
+// kernels build their sort keys from.
+func (a *Arena) Start(ref int32, attr int) int64 { return a.Attr(ref, attr).Start }
+
+// End returns Attr(ref, attr).End.
+func (a *Arena) End(ref int32, attr int) int64 { return a.Attr(ref, attr).End }
+
+// Tuple materialises tuple ref. The returned tuple's Attrs alias the arena:
+// valid until the next Reset, and not to be retained across one.
+func (a *Arena) Tuple(ref int32) Tuple {
+	return Tuple{ID: a.ids[ref], Attrs: a.flat[a.base[ref]:a.base[ref+1]:a.base[ref+1]]}
+}

@@ -21,6 +21,14 @@ trap 'rm -f "$tmp"' EXIT
 go test -run '^$' -bench 'Enumerator|SemijoinReduce|MarkCrossing' \
     -benchmem -benchtime 100x -count "$REPS" ./internal/core/ | tee -a "$tmp"
 
+# Columnar reduce kernel: one whole reduce task (tagged decode, arena
+# seal, specialized sweep) at 2^4 / 2^8 / 2^12 candidates per relation.
+# Reports pairs/op plus the per-kernel-family dispatch counts (sweep/op,
+# merge/op, generic/op) that benchsummary -compare renders as the
+# kernel-dispatch table.
+go test -run '^$' -bench 'ReduceKernel' \
+    -benchmem -benchtime 50x -count "$REPS" ./internal/core/ | tee -a "$tmp"
+
 # Record codecs: sub-microsecond ops need many iterations for resolution.
 go test -run '^$' -bench 'Encode' \
     -benchmem -benchtime 20000x -count "$REPS" ./internal/core/ | tee -a "$tmp"
@@ -63,6 +71,15 @@ go run ./cmd/ijoin -query "R1 overlaps R2 and R2 overlaps R3" \
     -trace artifacts/trace.json -metrics artifacts/metrics.json
 go run ./cmd/benchsummary -phases artifacts/metrics.json
 echo "wrote artifacts/trace.json artifacts/metrics.json"
+
+# Phase baseline: BENCH-PHASES.json freezes the traced run's per-phase
+# walls (the dash keeps it out of check.sh's BENCH_<n>.json discovery).
+# check.sh gates the reduce phase against it via benchsummary -phasegate;
+# seed it on first run, refresh it deliberately by deleting it first.
+if [ ! -f BENCH-PHASES.json ]; then
+    cp artifacts/metrics.json BENCH-PHASES.json
+    echo "seeded BENCH-PHASES.json"
+fi
 
 # When regenerating a later baseline, show the regression table against the
 # earliest checked-in one.

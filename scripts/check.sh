@@ -63,6 +63,13 @@ if [ "${SKIP_BENCH:-0}" != "1" ]; then
         go run ./cmd/benchsummary -compare -threshold "${BENCH_THRESHOLD:-50}" -fail \
             "$prev" "$newest"
     fi
+    # Reduce-phase wall gate: the traced chain run's reduce wall must stay
+    # within BENCH_THRESHOLD of the frozen BENCH-PHASES.json baseline —
+    # the whole-phase guard for the columnar reduce kernel.
+    if [ -f BENCH-PHASES.json ] && [ -f artifacts/metrics.json ]; then
+        go run ./cmd/benchsummary -threshold "${BENCH_THRESHOLD:-50}" -fail \
+            -phases BENCH-PHASES.json,artifacts/metrics.json -phasegate reduce
+    fi
 fi
 
 echo "check.sh: all green"
