@@ -20,6 +20,7 @@ import (
 	"intervaljoin/internal/core"
 	"intervaljoin/internal/dfs"
 	"intervaljoin/internal/mr"
+	"intervaljoin/internal/obs"
 	"intervaljoin/internal/query"
 	"intervaljoin/internal/relation"
 	"intervaljoin/internal/trace"
@@ -297,4 +298,71 @@ func BenchmarkAblationPASMNoPruning(b *testing.B) {
 	opts := core.Options{PartitionsPerDim: 6}
 	b.Run("all-seq-matrix", func(b *testing.B) { benchRun(b, core.SeqMatrix{}, q, rels, opts) })
 	b.Run("pasm", func(b *testing.B) { benchRun(b, core.PASM{}, q, rels, opts) })
+}
+
+// benchSkewRun is benchRun for the skew scenarios: besides the pair-based
+// imbalance it reports the wall-clock reducer imbalance (max/mean reduce
+// wall, "time_imbalance") the skew-aware executor is gated on.
+func benchSkewRun(b *testing.B, alg core.Algorithm, q *query.Query, rels []*relation.Relation, opts core.Options) {
+	b.Helper()
+	var lastPairs int64
+	var lastImb, lastTimeImb float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine := mr.NewEngine(mr.Config{Store: dfs.NewMem()})
+		ctx, err := core.NewContext(engine, q, rels, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := alg.Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastPairs = res.Metrics.IntermediatePairs
+		skew := obs.NewSkewReport(res.Metrics.ReducerPairs, res.Metrics.ReducerTime, 0)
+		lastImb = skew.Imbalance
+		lastTimeImb = skew.TimeImbalance
+	}
+	b.ReportMetric(float64(lastPairs), "pairs/op")
+	b.ReportMetric(lastImb, "imbalance")
+	b.ReportMetric(lastTimeImb, "time_imbalance")
+}
+
+// BenchmarkReduceSkewZipf pits uniform execution against the skew-aware
+// plan on the Zipf heavy-tail scenario: most starts pile into the first
+// partitions, so uniform boundaries produce a straggler reducer that
+// adaptive boundaries plus virtual splitting flatten out.
+func BenchmarkReduceSkewZipf(b *testing.B) {
+	q := query.MustParse("R1 overlaps R2")
+	rels := []*relation.Relation{
+		workload.MustGenerate(workload.HeavyTailSpec("R1", 4_000, 1)),
+		workload.MustGenerate(workload.HeavyTailSpec("R2", 4_000, 2)),
+	}
+	b.Run("uniform", func(b *testing.B) {
+		benchSkewRun(b, core.TwoWay{}, q, rels, core.Options{Partitions: 16})
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		benchSkewRun(b, core.TwoWay{}, q, rels, core.Options{Partitions: 16, Adaptive: true, MaxVirtual: 32})
+	})
+}
+
+// BenchmarkReduceSkewMAWI replays the P04 packet-train trace (Table 2):
+// bursty flow arrivals skew the train starts without any synthetic knob.
+func BenchmarkReduceSkewMAWI(b *testing.B) {
+	q := query.MustParse("R1 overlaps R2")
+	r1, err := workload.MAWIReplay("R1", "P04", 0.05, 4_000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r2, err := workload.MAWIReplay("R2", "P04", 0.05, 4_000, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rels := []*relation.Relation{r1, r2}
+	b.Run("uniform", func(b *testing.B) {
+		benchSkewRun(b, core.TwoWay{}, q, rels, core.Options{Partitions: 16})
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		benchSkewRun(b, core.TwoWay{}, q, rels, core.Options{Partitions: 16, Adaptive: true, MaxVirtual: 32})
+	})
 }

@@ -21,6 +21,13 @@
 // reduce kernels' per-family custom metrics (sweep/op, merge/op,
 // generic/op) additionally get a per-kernel-family breakdown table.
 //
+// -skew old.json,new.json (or a single file) prints the reducer-balance
+// table from metrics.json reports: per-reducer pair and wall-clock
+// max/mean with the imbalance ratios, and deltas when two files are
+// given. -skewgate <ceiling> (with -fail) turns a pair imbalance above
+// the absolute ceiling into a non-zero exit — the skew-aware executor's
+// CI gate.
+//
 // -phases old.json,new.json (or a single file) additionally prints a
 // per-phase wall-clock table from metrics.json reports written by
 // `ijoin -metrics` / `experiments -metrics`: the tracer's true wall per
@@ -266,6 +273,76 @@ func shuffleTable(w io.Writer, oldBy map[string]entry, new baseline) {
 	}
 }
 
+// skewTable prints the reducer-balance statistics of one or two
+// metrics.json reports: per-reducer pair and wall-clock max/mean with the
+// imbalance ratios (max/mean; 1.0 is perfectly balanced). With two
+// reports the first is the old baseline and deltas are shown. The pair
+// imbalance is deterministic for a fixed input and plan; the wall
+// imbalance moves with scheduler and GC noise, so it is reported but the
+// gate (gateSkew) reads the pair column.
+func skewTable(w io.Writer, reports []*obs.Report) error {
+	old, cur := (*obs.Report)(nil), reports[len(reports)-1]
+	if len(reports) == 2 {
+		old = reports[0]
+	}
+	if cur.Skew == nil {
+		return fmt.Errorf("-skew: %s report has no skew section", cur.Name)
+	}
+	fmt.Fprintf(w, "\nreducer balance (%s)\n", cur.Name)
+	fmt.Fprintf(w, "%-22s %14s %14s %8s\n", "stat", "old", "new", "delta")
+	row := func(name string, oldV, newV float64, ok bool) {
+		oldCell, deltaCell := "-", "-"
+		if ok {
+			oldCell = fmt.Sprintf("%.2f", oldV)
+			if oldV != 0 {
+				deltaCell = fmt.Sprintf("%+.1f%%", (newV-oldV)/oldV*100)
+			}
+		}
+		fmt.Fprintf(w, "%-22s %14s %14.2f %8s\n", name, oldCell, newV, deltaCell)
+	}
+	oldSkew, hasOld := (*obs.SkewReport)(nil), false
+	if old != nil && old.Skew != nil {
+		oldSkew, hasOld = old.Skew, true
+	}
+	get := func(f func(*obs.SkewReport) float64) (float64, float64) {
+		if hasOld {
+			return f(oldSkew), f(cur.Skew)
+		}
+		return 0, f(cur.Skew)
+	}
+	o, n := get(func(s *obs.SkewReport) float64 { return float64(s.Reducers) })
+	row("reducers", o, n, hasOld)
+	o, n = get(func(s *obs.SkewReport) float64 { return float64(s.MaxPairs) })
+	row("max pairs", o, n, hasOld)
+	o, n = get(func(s *obs.SkewReport) float64 { return s.MeanPairs })
+	row("mean pairs", o, n, hasOld)
+	o, n = get(func(s *obs.SkewReport) float64 { return s.Imbalance })
+	row("pair imbalance", o, n, hasOld)
+	o, n = get(func(s *obs.SkewReport) float64 { return float64(s.MaxTimeNS) / 1e6 })
+	row("max reducer wall ms", o, n, hasOld)
+	o, n = get(func(s *obs.SkewReport) float64 { return s.MeanTimeNS / 1e6 })
+	row("mean reducer wall ms", o, n, hasOld)
+	o, n = get(func(s *obs.SkewReport) float64 { return s.TimeImbalance })
+	row("wall imbalance", o, n, hasOld)
+	return nil
+}
+
+// gateSkew checks the newest report's pair imbalance against an absolute
+// ceiling (the checked-in skew budget), returning 1 and printing the
+// verdict when it is exceeded. Unlike gatePhase this is not a relative
+// delta: the skew-aware executor promises max/mean within the ceiling on
+// the heavy-tail scenario, so drifting baselines must not loosen it.
+func gateSkew(w io.Writer, reports []*obs.Report, ceiling float64) int {
+	cur := reports[len(reports)-1]
+	imb := cur.Skew.Imbalance
+	if imb > ceiling {
+		fmt.Fprintf(w, "reducer pair imbalance %.3f exceeds the %.2f ceiling\n", imb, ceiling)
+		return 1
+	}
+	fmt.Fprintf(w, "reducer pair imbalance %.3f within the %.2f ceiling\n", imb, ceiling)
+	return 0
+}
+
 // phaseOrder lists the span categories in execution order for the wall
 // table.
 var phaseOrder = []string{
@@ -375,6 +452,8 @@ func main() {
 	failOnRegress := flag.Bool("fail", false, "with -compare, exit non-zero if any benchmark regressed beyond the threshold")
 	phases := flag.String("phases", "", "metrics.json file (or old,new pair) whose per-phase wall table to print")
 	phasegate := flag.String("phasegate", "", "with a two-file -phases, gate this phase's wall-clock delta (e.g. reduce)")
+	skew := flag.String("skew", "", "metrics.json file (or old,new pair) whose reducer-balance table to print")
+	skewgate := flag.Float64("skewgate", 0, "with -skew, fail if the new report's reducer pair imbalance exceeds this absolute ceiling")
 	flag.Parse()
 
 	if *cmp {
@@ -412,6 +491,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchsummary: -phasegate needs -phases old.json,new.json")
 			os.Exit(2)
 		}
+		if *skew != "" {
+			reports, err := loadReports(*skew)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchsummary:", err)
+				os.Exit(1)
+			}
+			if err := skewTable(os.Stdout, reports); err != nil {
+				fmt.Fprintln(os.Stderr, "benchsummary:", err)
+				os.Exit(1)
+			}
+			if *skewgate > 0 {
+				n += gateSkew(os.Stdout, reports, *skewgate)
+			}
+		}
 		if n > 0 {
 			fmt.Printf("%d regression(s) beyond %.0f%%\n", n, *threshold)
 			if *failOnRegress {
@@ -421,22 +514,40 @@ func main() {
 		return
 	}
 
-	if *phases != "" {
-		reports, err := loadReports(*phases)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchsummary:", err)
-			os.Exit(1)
-		}
-		phaseTable(os.Stdout, reports)
-		if *phasegate != "" {
-			g, err := gatePhase(os.Stdout, reports, *phasegate, *threshold)
+	if *phases != "" || *skew != "" {
+		fails := 0
+		if *phases != "" {
+			reports, err := loadReports(*phases)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchsummary:", err)
 				os.Exit(1)
 			}
-			if g > 0 && *failOnRegress {
+			phaseTable(os.Stdout, reports)
+			if *phasegate != "" {
+				g, err := gatePhase(os.Stdout, reports, *phasegate, *threshold)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "benchsummary:", err)
+					os.Exit(1)
+				}
+				fails += g
+			}
+		}
+		if *skew != "" {
+			reports, err := loadReports(*skew)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchsummary:", err)
 				os.Exit(1)
 			}
+			if err := skewTable(os.Stdout, reports); err != nil {
+				fmt.Fprintln(os.Stderr, "benchsummary:", err)
+				os.Exit(1)
+			}
+			if *skewgate > 0 {
+				fails += gateSkew(os.Stdout, reports, *skewgate)
+			}
+		}
+		if fails > 0 && *failOnRegress {
+			os.Exit(1)
 		}
 		return
 	}

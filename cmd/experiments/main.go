@@ -30,10 +30,12 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload seed")
 		workers = flag.Int("workers", 0, "engine parallelism (0 = GOMAXPROCS)")
 		verify  = flag.Bool("verify", false, "cross-check every run against the oracle")
-		materal = flag.Bool("materialize", false, "materialize every MR cycle boundary instead of streaming it")
-		asJSON  = flag.Bool("json", false, "emit JSON instead of aligned text")
-		traceTo = flag.String("trace", "", "write a Chrome trace_event timeline of every run here (open in Perfetto)")
-		metrTo  = flag.String("metrics", "", "write the aggregate metrics.json report of every run here")
+
+		adaptive = flag.Bool("adaptive", false, "skew-aware execution: adaptive boundaries and virtual reducer splitting")
+		materal  = flag.Bool("materialize", false, "materialize every MR cycle boundary instead of streaming it")
+		asJSON   = flag.Bool("json", false, "emit JSON instead of aligned text")
+		traceTo  = flag.String("trace", "", "write a Chrome trace_event timeline of every run here (open in Perfetto)")
+		metrTo   = flag.String("metrics", "", "write the aggregate metrics.json report of every run here")
 	)
 	flag.Parse()
 
@@ -47,7 +49,7 @@ func main() {
 	if *traceTo != "" || *metrTo != "" {
 		tracer = obs.New(obs.Options{})
 	}
-	cfg := exp.Config{Scale: *scale, Seed: *seed, Workers: *workers, Verify: *verify, Materialize: *materal, Tracer: tracer}
+	cfg := exp.Config{Scale: *scale, Seed: *seed, Workers: *workers, Verify: *verify, Adaptive: *adaptive, Materialize: *materal, Tracer: tracer}
 	var exps []exp.Experiment
 	if *id == "all" {
 		exps = exp.All()

@@ -5,7 +5,8 @@
 //
 //	ijoin -query "R1 overlaps R2 and R2 overlaps R3" \
 //	      -rel R1=a.txt -rel R2=b.txt -rel R3=c.txt \
-//	      [-algorithm rccis] [-partitions 16] [-per-dim 6] \
+//	      [-algorithm rccis] [-partitions 16|auto] [-per-dim 6] \
+//	      [-adaptive] [-resplit N] \
 //	      [-data-dir /tmp/ij] [-o out.txt] [-stats] [-materialize] \
 //	      [-trace trace.json] [-metrics metrics.json]
 //
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"intervaljoin"
@@ -37,10 +39,13 @@ func main() {
 		queryStr   = flag.String("query", "", "join query, e.g. \"R1 overlaps R2 and R2 before R3\"")
 		algorithm  = flag.String("algorithm", "", "algorithm (default: planner choice); see -list-algorithms")
 		advise     = flag.Bool("advise", false, "print the cost model's algorithm ranking instead of running")
-		partitions = flag.Int("partitions", 16, "partitions for 1-D algorithms")
+		partFlag   = flag.String("partitions", "16", "partitions for 1-D algorithms, or 'auto' to let the cost model choose")
 		perDim     = flag.Int("per-dim", 6, "partitions per grid dimension for matrix algorithms")
 		workers    = flag.Int("workers", 0, "engine parallelism (0 = GOMAXPROCS)")
 		equiDepth  = flag.Bool("equi-depth", false, "derive partition boundaries from start-point quantiles (for skewed data)")
+		adaptive   = flag.Bool("adaptive", false, "skew-aware execution: histogram-driven boundaries plus virtual splitting of hot partitions")
+		maxVirtual = flag.Int("max-virtual", 0, "with -adaptive, cap on virtual reducers per split partition (0 = default 8)")
+		resplitAt  = flag.Int("resplit", 0, "re-split a reduce task over spare workers once its value list reaches N (0 = off)")
 		material   = flag.Bool("materialize", false, "write every MR cycle boundary to the store instead of streaming it (Hadoop parity)")
 		dataDir    = flag.String("data-dir", "", "spill intermediates to this directory instead of RAM")
 		oPath      = flag.String("o", "-", "output file ('-' = stdout)")
@@ -96,8 +101,21 @@ func main() {
 		bound = append(bound, rel)
 	}
 
+	partitions, autoK := 0, false
+	if *partFlag == "auto" {
+		partitions = intervaljoin.AdvisePartitions(bound, nil)
+		autoK = true
+		fmt.Fprintf(os.Stderr, "ijoin: -partitions auto chose k=%d\n", partitions)
+	} else {
+		k, err := strconv.Atoi(*partFlag)
+		if err != nil || k <= 0 {
+			fatal(fmt.Errorf("-partitions wants a positive count or 'auto', got %q", *partFlag))
+		}
+		partitions = k
+	}
+
 	if *advise {
-		ests, err := intervaljoin.Advise(q, bound, *partitions, *perDim)
+		ests, err := intervaljoin.Advise(q, bound, partitions, *perDim)
 		if err != nil {
 			fatal(err)
 		}
@@ -105,7 +123,7 @@ func main() {
 		for _, e := range ests {
 			fmt.Printf("%-16s %14.0f %14.0f %7d\n", e.Algorithm, e.Pairs, e.MaxReducerLoad, e.Cycles)
 		}
-		if intervaljoin.RecommendEquiDepth(bound, *partitions) {
+		if intervaljoin.RecommendEquiDepth(bound, partitions) {
 			fmt.Println("note: skewed start points detected — consider equi-depth partitioning (RunOptions.EquiDepth)")
 		}
 		return
@@ -115,11 +133,24 @@ func main() {
 	if *tracePath != "" || *metricsOut != "" {
 		tracer = intervaljoin.NewTracer(intervaljoin.TracerOptions{PprofLabels: *pprofTags})
 	}
-	eng, err := intervaljoin.NewEngine(intervaljoin.EngineOptions{Workers: *workers, DataDir: *dataDir, Tracer: tracer})
+	eng, err := intervaljoin.NewEngine(intervaljoin.EngineOptions{
+		Workers:              *workers,
+		DataDir:              *dataDir,
+		Tracer:               tracer,
+		ResplitPairThreshold: *resplitAt,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	opts := intervaljoin.RunOptions{Partitions: *partitions, PartitionsPerDim: *perDim, EquiDepth: *equiDepth, Materialize: *material}
+	opts := intervaljoin.RunOptions{
+		Partitions:       partitions,
+		PartitionsPerDim: *perDim,
+		EquiDepth:        *equiDepth,
+		Adaptive:         *adaptive,
+		MaxVirtual:       *maxVirtual,
+		AutoPartitions:   autoK,
+		Materialize:      *material,
+	}
 
 	var res *intervaljoin.Result
 	if *algorithm == "" {

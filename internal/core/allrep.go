@@ -30,13 +30,13 @@ func (a AllRep) Run(ctx *Context) (*Result, error) {
 	if err := ctx.Stage(); err != nil {
 		return nil, err
 	}
-	part, err := ctx.makePartitioning(opts.Partitions)
+	projectRel := projectableRightmost(ctx.Query)
+	m := len(ctx.Rels)
+	plan, err := ctx.makePlan(a.Name(), opts.Partitions, m)
 	if err != nil {
 		return nil, err
 	}
-
-	projectRel := projectableRightmost(ctx.Query)
-	m := len(ctx.Rels)
+	part := plan.part
 
 	var replicated int64
 	inputs := make([]mr.Input, m)
@@ -61,11 +61,13 @@ func (a AllRep) Run(ctx *Context) (*Result, error) {
 			}
 			first, last := part.Apply(op, t.Key())
 			// Destination partitions are contiguous, so one range record
-			// stands in for the per-partition broadcast.
-			emit.EmitRange(int64(first), int64(last), encodeTagged(tag, t))
+			// stands in for the per-partition broadcast (split partitions
+			// expand to the record's cell-cover rows, still run-coalesced).
+			plan.emitRange(emit, first, last, tag, encodeTagged(tag, t))
 			return nil
 		},
-		Reduce:     reduceJoinAtPartition(ctx, part),
+		Resplit:    resplitValues(m, streamOfTagged),
+		Reduce:     reduceJoinAtPartition(ctx, plan),
 		Output:     opts.Scratch + "/output",
 		SortValues: opts.SortValues,
 		Meta:       ctx.jobMeta(a.Name(), 1),
@@ -74,6 +76,7 @@ func (a AllRep) Run(ctx *Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	metrics.Plan = plan.info()
 	res := &Result{
 		Algorithm:           a.Name(),
 		Metrics:             metrics,
@@ -143,15 +146,19 @@ func projectableRightmost(q *query.Query) int {
 // satisfying assignments, and emit exactly those whose right-most interval
 // (maximal start point) lies in this reducer's partition — the paper's
 // "computing output tuple" rule, which guarantees exactly-once output.
-func reduceJoinAtPartition(ctx *Context, part interval.Partitioning) mr.ReduceFunc {
+// Under a virtual-split plan several reduce keys share one partition; the
+// cell cover guarantees each assignment materialises at exactly one of
+// them, and the filter tests the partition the key belongs to.
+func reduceJoinAtPartition(ctx *Context, plan *execPlan) mr.ReduceFunc {
 	m := len(ctx.Rels)
+	part := plan.part
 	// One shared enumerator: the query plan is static across reduce calls
 	// and the enumerator is safe for concurrent use (all per-run state
 	// lives in pooled preparedJoins).
 	e := newEnumerator(ctx.Query.Conds, allRelations(m)).withTracer(ctx.Engine.Tracer())
 	lvl := identityLevels(m)
 	return func(key int64, values []string, write func(string) error) error {
-		p := int(key)
+		p := plan.partitionOf(key)
 		var outErr error
 		err := e.runTagged(values, lvl, func(asg []relation.Tuple) {
 			if outErr != nil {

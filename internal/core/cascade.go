@@ -50,7 +50,9 @@ func (c Cascade) Run(ctx *Context) (*Result, error) {
 	if err := ctx.Stage(); err != nil {
 		return nil, err
 	}
-	part, err := ctx.makePartitioning(opts.Partitions)
+	// One shared plan for all non-matrix steps: each step joins two input
+	// streams (the running partial assignments and the novel relation).
+	plan, err := ctx.makePlan(c.Name(), opts.Partitions, 2)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +79,7 @@ func (c Cascade) Run(ctx *Context) (*Result, error) {
 		if last {
 			output = opts.Scratch + "/output"
 		}
-		jobs[si] = c.stepJob(ctx, opts, part, gridPart, jobName, output, current, bound, step, last)
+		jobs[si] = c.stepJob(ctx, opts, plan, gridPart, jobName, output, current, bound, step, last)
 		jobs[si].Meta = ctx.jobMeta(c.Name(), si+1)
 		bound = append(bound, step.novel)
 		current = output
@@ -94,6 +96,7 @@ func (c Cascade) Run(ctx *Context) (*Result, error) {
 		return nil, err
 	}
 	agg.Job = c.Name()
+	agg.Plan = plan.info()
 	res := &Result{Algorithm: c.Name(), Metrics: agg, PerCycle: perCycle}
 	if err := readOutput(ctx, current, res); err != nil {
 		return nil, err
@@ -190,8 +193,10 @@ func countBound(b []bool) int {
 
 // stepJob builds the MR job for one cascade step. For the first step the
 // partial-assignment input is the existing relation itself.
-func (c Cascade) stepJob(ctx *Context, opts Options, part, gridPart interval.Partitioning,
+func (c Cascade) stepJob(ctx *Context, opts Options, plan *execPlan, gridPart interval.Partitioning,
 	name, output, current string, bound []int, step cascadeStep, last bool) mr.Job {
+
+	part := plan.part
 
 	// Which operand of the driving condition is the bound side?
 	boundIsLeft := step.driving.Left.Rel == step.existing
@@ -250,7 +255,7 @@ func (c Cascade) stepJob(ctx *Context, opts Options, part, gridPart interval.Par
 				return nil
 			}
 			first, lastP := part.Apply(boundOp, iv)
-			emit.EmitRange(int64(first), int64(lastP), enc)
+			plan.emitRange(emit, first, lastP, 0, enc)
 			return nil
 		}
 		t, err := relation.DecodeTuple(record)
@@ -263,7 +268,7 @@ func (c Cascade) stepJob(ctx *Context, opts Options, part, gridPart interval.Par
 			return nil
 		}
 		first, lastP := part.Apply(novelOp, t.Key())
-		emit.EmitRange(int64(first), int64(lastP), enc)
+		plan.emitRange(emit, first, lastP, 1, enc)
 		return nil
 	}
 
@@ -308,7 +313,7 @@ func (c Cascade) stepJob(ctx *Context, opts Options, part, gridPart interval.Par
 		return nil
 	}
 
-	return mr.Job{
+	job := mr.Job{
 		Name:       name,
 		Inputs:     inputs,
 		Map:        mapFn,
@@ -316,6 +321,12 @@ func (c Cascade) stepJob(ctx *Context, opts Options, part, gridPart interval.Par
 		Output:     output,
 		SortValues: opts.SortValues,
 	}
+	if !matrix {
+		// The key-independent pair loop decomposes cleanly; matrix steps
+		// already spread load over the 2-D grid.
+		job.Resplit = resplitValues(2, cascadeStreams(step.novel, step.existing))
+	}
+	return job
 }
 
 // satisfiesStep checks every condition between the novel tuple and the

@@ -56,6 +56,24 @@ type Options struct {
 	// pipelined executor, which streams cycle boundaries and overlaps one
 	// cycle's reduce phase with the next cycle's map phase.
 	Materialize bool
+	// Adaptive turns on the skew-aware planner: partition boundaries fall
+	// back to equi-depth when the start-point histogram predicts a
+	// straggler factor worth acting on, and partitions whose projected
+	// load exceeds SplitThreshold× the mean are expanded into up to
+	// MaxVirtual virtual reducers via a cell cover over the join's input
+	// streams. Output is identical to the non-adaptive run; only the
+	// reduce-key layout (and so the load balance) changes.
+	Adaptive bool
+	// SplitThreshold is the load/mean ratio beyond which the adaptive
+	// planner splits a partition (0 selects cost.DefaultSplitThreshold).
+	SplitThreshold float64
+	// MaxVirtual caps the virtual reducers one partition may expand into
+	// (0 selects cost.DefaultMaxVirtual).
+	MaxVirtual int
+	// AutoPartitions records that Partitions was chosen by
+	// cost.AdvisePartitions (the -partitions auto CLI mode); it only
+	// annotates the reported plan.
+	AutoPartitions bool
 }
 
 // scratchSeq disambiguates the scratch namespaces of concurrent runs that
@@ -186,17 +204,13 @@ func (c *Context) sampleStarts() []interval.Point {
 }
 
 // makePartitioning builds the shared 1-D partitioning of n partitions:
-// uniform-width by default, quantile-based under Options.EquiDepth. The
-// result may hold fewer than n partitions when quantiles collapse.
+// uniform-width by default, quantile-based under Options.EquiDepth — or
+// under Options.Adaptive when the data's histogram recommends it (see
+// boundaries in adaptive.go). The result may hold fewer than n partitions
+// when quantiles collapse.
 func (c *Context) makePartitioning(n int) (interval.Partitioning, error) {
-	t0, tn, err := c.timeRange()
-	if err != nil {
-		return interval.Partitioning{}, err
-	}
-	if c.Opts.EquiDepth {
-		return interval.NewEquiDepth(t0, tn, n, c.sampleStarts())
-	}
-	return interval.MakeUniform(t0, tn, n)
+	part, _, err := c.boundaries(n)
+	return part, err
 }
 
 // jobMeta annotates one cycle's job for observability: traces and profiles

@@ -35,12 +35,16 @@ func (r RCCIS) Run(ctx *Context) (*Result, error) {
 	if err := ctx.Stage(); err != nil {
 		return nil, err
 	}
-	part, err := ctx.makePartitioning(opts.Partitions)
+	m := len(ctx.Rels)
+	// The join cycle takes the skew-adaptive plan (one stream per
+	// relation). The mark cycle keeps the plain one-key-per-partition
+	// layout: its reducer needs every tuple split onto a partition in one
+	// place to decide crossing-set membership, so it is not decomposable.
+	plan, err := ctx.makePlan(r.Name(), opts.Partitions, m)
 	if err != nil {
 		return nil, err
 	}
-
-	m := len(ctx.Rels)
+	part := plan.part
 	inputs := make([]mr.Input, m)
 	for ri := range ctx.Rels {
 		inputs[ri] = mr.Input{File: ctx.inputFile(ri), Tag: ri}
@@ -78,10 +82,11 @@ func (r RCCIS) Run(ctx *Context) (*Result, error) {
 				op = interval.OpReplicate
 			}
 			first, last := part.Apply(op, t.Key())
-			emit.EmitRange(int64(first), int64(last), encodeTagged(rel, t))
+			plan.emitRange(emit, first, last, rel, encodeTagged(rel, t))
 			return nil
 		},
-		Reduce:     reduceJoinAtPartition(ctx, part),
+		Resplit:    resplitValues(m, streamOfTagged),
+		Reduce:     reduceJoinAtPartition(ctx, plan),
 		Output:     opts.Scratch + "/output",
 		SortValues: opts.SortValues,
 		Meta:       ctx.jobMeta(r.Name(), 2),
@@ -91,6 +96,7 @@ func (r RCCIS) Run(ctx *Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	agg.Plan = plan.info()
 	res := &Result{Algorithm: r.Name(), Metrics: agg, PerCycle: perCycle, ReplicatedIntervals: replicated}
 	if err := readOutput(ctx, joinJob.Output, res); err != nil {
 		return nil, err

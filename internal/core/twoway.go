@@ -30,10 +30,11 @@ func (tw TwoWay) Run(ctx *Context) (*Result, error) {
 	if err := ctx.Stage(); err != nil {
 		return nil, err
 	}
-	part, err := ctx.makePartitioning(opts.Partitions)
+	plan, err := ctx.makePlan(tw.Name(), opts.Partitions, 2)
 	if err != nil {
 		return nil, err
 	}
+	part := plan.part
 
 	cond := ctx.Query.Conds[0]
 	strategy := interval.JoinStrategy(cond.Pred)
@@ -66,9 +67,10 @@ func (tw TwoWay) Run(ctx *Context) (*Result, error) {
 				return err
 			}
 			first, last := part.Apply(opOf[tag], t.Attrs[0])
-			emit.EmitRange(int64(first), int64(last), encodeTagged(tag, t))
+			plan.emitRange(emit, first, last, tag, encodeTagged(tag, t))
 			return nil
 		},
+		Resplit: resplitValues(2, streamOfTagged),
 		Reduce: func(key int64, values []string, write func(string) error) error {
 			// Exactly one reducer sees each satisfying pair: the strategy
 			// projects at least one side, so no dedup filter is needed.
@@ -95,6 +97,7 @@ func (tw TwoWay) Run(ctx *Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	metrics.Plan = plan.info()
 	res := &Result{Algorithm: tw.Name(), Metrics: metrics, PerCycle: []*mr.Metrics{metrics}}
 	if err := readOutput(ctx, job.Output, res); err != nil {
 		return nil, err

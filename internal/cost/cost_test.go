@@ -1,10 +1,11 @@
-package cost
+package cost_test
 
 import (
 	"math"
 	"testing"
 
 	"intervaljoin/internal/core"
+	"intervaljoin/internal/cost"
 	"intervaljoin/internal/dfs"
 	"intervaljoin/internal/mr"
 	"intervaljoin/internal/query"
@@ -41,13 +42,13 @@ func measure(t *testing.T, alg core.Algorithm, q *query.Query, rels []*relation.
 
 func TestAnalyze(t *testing.T) {
 	r := relation.FromIntervals("R", nil)
-	s := Analyze(r, 0)
+	s := cost.Analyze(r, 0)
 	if s.Count != 0 || s.Span != 1 {
 		t.Fatalf("empty stats = %+v", s)
 	}
 	q := query.MustParse("R1 overlaps R2")
 	rels := genRels(t, q, 1000)
-	st := Analyze(rels[0], 0)
+	st := cost.Analyze(rels[0], 0)
 	if st.Count != 1000 {
 		t.Fatalf("count = %d", st.Count)
 	}
@@ -65,9 +66,9 @@ func TestAnalyze(t *testing.T) {
 func TestEstimatesTrackMeasurements(t *testing.T) {
 	q := query.MustParse("R1 overlaps R2 and R2 overlaps R3")
 	rels := genRels(t, q, 2000)
-	stats := make([]RelStats, len(rels))
+	stats := make([]cost.RelStats, len(rels))
 	for i, r := range rels {
-		stats[i] = Analyze(r, 0)
+		stats[i] = cost.Analyze(r, 0)
 	}
 	const k = 16
 	opts := core.Options{Partitions: k}
@@ -81,19 +82,19 @@ func TestEstimatesTrackMeasurements(t *testing.T) {
 			t.Errorf("%s: estimate %.0f vs measured %.0f (ratio %.2f) outside [0.5, 2]", name, est, got, r)
 		}
 	}
-	within("all-rep", EstimateAllRep(stats, k).Pairs, measure(t, core.AllRep{}, q, rels, opts))
-	within("rccis", EstimateRCCIS(stats, k, 1).Pairs, measure(t, core.RCCIS{}, q, rels, opts))
-	within("cascade", EstimateCascade(stats, q, k).Pairs, measure(t, core.Cascade{}, q, rels, opts))
+	within("all-rep", cost.EstimateAllRep(stats, k).Pairs, measure(t, core.AllRep{}, q, rels, opts))
+	within("rccis", cost.EstimateRCCIS(stats, k, 1).Pairs, measure(t, core.RCCIS{}, q, rels, opts))
+	within("cascade", cost.EstimateCascade(stats, q, k).Pairs, measure(t, core.Cascade{}, q, rels, opts))
 }
 
 func TestEstimateAllMatrixExactRouting(t *testing.T) {
 	q := query.MustParse("R1 before R2 and R2 before R3")
 	rels := genRels(t, q, 120)
-	stats := make([]RelStats, len(rels))
+	stats := make([]cost.RelStats, len(rels))
 	for i, r := range rels {
-		stats[i] = Analyze(r, 0)
+		stats[i] = cost.Analyze(r, 0)
 	}
-	est, err := EstimateAllMatrix(stats, q, 6)
+	est, err := cost.EstimateAllMatrix(stats, q, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestEstimateAllMatrixExactRouting(t *testing.T) {
 func TestAdviseOrdersAlgorithms(t *testing.T) {
 	q := query.MustParse("R1 overlaps R2 and R2 overlaps R3")
 	rels := genRels(t, q, 2000)
-	ests, err := Advise(q, rels, 16, 6)
+	ests, err := cost.Advise(q, rels, 16, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestAdviseOrdersAlgorithms(t *testing.T) {
 func TestAdviseSequence(t *testing.T) {
 	q := query.MustParse("R1 before R2 and R2 before R3")
 	rels := genRels(t, q, 500)
-	ests, err := Advise(q, rels, 16, 6)
+	ests, err := cost.Advise(q, rels, 16, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestAdviseSequence(t *testing.T) {
 
 func TestAdviseRejectsGeneral(t *testing.T) {
 	q := query.MustParse("R1.I overlaps R2.I and R1.A = R2.A")
-	if _, err := Advise(q, nil, 16, 6); err == nil {
+	if _, err := cost.Advise(q, nil, 16, 6); err == nil {
 		t.Fatal("general query accepted")
 	}
 }
@@ -152,7 +153,7 @@ func TestAdviseRejectsGeneral(t *testing.T) {
 func TestAdvisePartitions(t *testing.T) {
 	q := query.MustParse("R1 overlaps R2 and R2 overlaps R3")
 	rels := genRels(t, q, 2000)
-	k := AdvisePartitions(rels, nil)
+	k := cost.AdvisePartitions(rels, nil)
 	if k < 4 || k > 64 {
 		t.Fatalf("advised k = %d outside candidates", k)
 	}
@@ -170,7 +171,7 @@ func TestAdvisePartitions(t *testing.T) {
 		}
 		longs[i] = r
 	}
-	kLong := AdvisePartitions(longs, nil)
+	kLong := cost.AdvisePartitions(longs, nil)
 	if kLong > k {
 		t.Fatalf("long intervals advised k=%d, short k=%d — crossing cost ignored", kLong, k)
 	}

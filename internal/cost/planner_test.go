@@ -1,0 +1,62 @@
+package cost
+
+import (
+	"testing"
+
+	"intervaljoin/internal/interval"
+)
+
+func TestPartitionLoads(t *testing.T) {
+	part := interval.NewUniform(0, 100, 4)
+	sample := []interval.Interval{
+		{Start: 5, End: 10},  // partition 0
+		{Start: 30, End: 80}, // partitions 1..3
+		{Start: 99, End: 99}, // partition 3
+	}
+	loads := PartitionLoads(sample, part, 2)
+	want := []float64{2, 2, 2, 4}
+	if len(loads) != len(want) {
+		t.Fatalf("loads = %v", loads)
+	}
+	for i := range want {
+		if loads[i] != want[i] {
+			t.Fatalf("loads = %v, want %v", loads, want)
+		}
+	}
+	if got := PartitionLoads(nil, part, 1); len(got) != 4 {
+		t.Fatalf("empty-sample loads = %v", got)
+	}
+}
+
+func TestRecommendSplits(t *testing.T) {
+	// The fixed point leaves no virtual reducer above 1.25x the mean per
+	// key: total 16, and with the hot partition split 6 ways there are 9
+	// keys, budget 1.25*16/9 = 2.2 >= 13/6.
+	v := RecommendSplits([]float64{1, 1, 1, 13}, 1.25, 8)
+	want := []int{1, 1, 1, 6}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("splits = %v, want %v", v, want)
+		}
+	}
+	// Cap at maxSplit.
+	v = RecommendSplits([]float64{0, 0, 0, 100}, 1.25, 3)
+	if v[3] != 3 {
+		t.Fatalf("capped splits = %v", v)
+	}
+	// A tiny threshold forces the minimum split of 2 on anything above mean.
+	v = RecommendSplits([]float64{4, 5}, 0.01, 8)
+	if v[1] < 2 {
+		t.Fatalf("forced splits = %v", v)
+	}
+	// Uniform loads never split.
+	v = RecommendSplits([]float64{4, 4, 4, 4}, 1.25, 8)
+	for _, k := range v {
+		if k != 1 {
+			t.Fatalf("uniform splits = %v", v)
+		}
+	}
+	if got := RecommendSplits(nil, 1.25, 8); len(got) != 0 {
+		t.Fatalf("nil loads split = %v", got)
+	}
+}

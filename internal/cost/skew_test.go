@@ -1,9 +1,10 @@
-package cost
+package cost_test
 
 import (
 	"testing"
 
 	"intervaljoin/internal/core"
+	"intervaljoin/internal/cost"
 	"intervaljoin/internal/dfs"
 	"intervaljoin/internal/mr"
 	"intervaljoin/internal/query"
@@ -39,7 +40,7 @@ func uniformRel(t *testing.T, n int, seed int64) *relation.Relation {
 
 func TestAnalyzeHistogram(t *testing.T) {
 	r := uniformRel(t, 5000, 1)
-	h := AnalyzeHistogram(r, 0, 32)
+	h := cost.AnalyzeHistogram(r, 0, 32)
 	if h.Total != 5000 || len(h.Counts) != 32 {
 		t.Fatalf("histogram = %+v", h)
 	}
@@ -50,7 +51,7 @@ func TestAnalyzeHistogram(t *testing.T) {
 	if sum != 5000 {
 		t.Fatalf("bucket sum = %d", sum)
 	}
-	empty := AnalyzeHistogram(relation.FromIntervals("E", nil), 0, 8)
+	empty := cost.AnalyzeHistogram(relation.FromIntervals("E", nil), 0, 8)
 	if empty.Total != 0 || empty.LoadImbalance(4) != 1 {
 		t.Fatalf("empty histogram = %+v", empty)
 	}
@@ -58,8 +59,8 @@ func TestAnalyzeHistogram(t *testing.T) {
 
 func TestLoadImbalancePredicts(t *testing.T) {
 	const k = 16
-	uni := AnalyzeHistogram(uniformRel(t, 5000, 1), 0, 4*k).LoadImbalance(k)
-	zip := AnalyzeHistogram(zipfRel(t, 5000, 1), 0, 4*k).LoadImbalance(k)
+	uni := cost.AnalyzeHistogram(uniformRel(t, 5000, 1), 0, 4*k).LoadImbalance(k)
+	zip := cost.AnalyzeHistogram(zipfRel(t, 5000, 1), 0, 4*k).LoadImbalance(k)
 	if uni > 1.5 {
 		t.Fatalf("uniform data predicted imbalance %.2f", uni)
 	}
@@ -84,7 +85,7 @@ func TestPredictedImbalanceTracksMeasured(t *testing.T) {
 			}
 			rels[i].Schema.Name = q.Relations[i].Name
 		}
-		predicted := AnalyzeHistogram(rels[0], 0, 4*k).LoadImbalance(k)
+		predicted := cost.AnalyzeHistogram(rels[0], 0, 4*k).LoadImbalance(k)
 		engine := mr.NewEngine(mr.Config{Store: dfs.NewMem(), Workers: 4})
 		ctx, err := core.NewContext(engine, q, rels, core.Options{Partitions: k})
 		if err != nil {
@@ -104,14 +105,14 @@ func TestPredictedImbalanceTracksMeasured(t *testing.T) {
 
 func TestRecommendEquiDepth(t *testing.T) {
 	zipf := []*relation.Relation{zipfRel(t, 3000, 1), zipfRel(t, 3000, 2)}
-	if !RecommendEquiDepth(zipf, 16, 0) {
+	if !cost.RecommendEquiDepth(zipf, 16, 0) {
 		t.Fatal("zipf workload not recommended for equi-depth")
 	}
 	uni := []*relation.Relation{uniformRel(t, 3000, 1), uniformRel(t, 3000, 2)}
-	if RecommendEquiDepth(uni, 16, 0) {
+	if cost.RecommendEquiDepth(uni, 16, 0) {
 		t.Fatal("uniform workload recommended for equi-depth")
 	}
-	if RecommendEquiDepth(nil, 16, 0) {
+	if cost.RecommendEquiDepth(nil, 16, 0) {
 		t.Fatal("no relations recommended for equi-depth")
 	}
 }

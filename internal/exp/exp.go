@@ -41,6 +41,10 @@ type Config struct {
 	// experiment if any algorithm's output differs. Expensive; intended
 	// for tests.
 	Verify bool
+	// Adaptive enables skew-aware execution for every run: histogram-
+	// driven partition boundaries plus virtual splitting of hot partitions
+	// (core.Options.Adaptive).
+	Adaptive bool
 	// Materialize runs multi-cycle algorithms with every cycle boundary
 	// written to the store (sequential RunChain) instead of the default
 	// pipelined executor — for measuring what the pipelining buys.
@@ -173,6 +177,7 @@ type Run struct {
 func execute(cfg Config, alg core.Algorithm, q *query.Query, rels []*relation.Relation, opts core.Options) (Run, error) {
 	engine := mr.NewEngine(mr.Config{Store: dfs.NewMem(), Workers: cfg.Workers, Tracer: cfg.Tracer})
 	opts.Materialize = cfg.Materialize
+	opts.Adaptive = cfg.Adaptive
 	ctx, err := core.NewContext(engine, q, rels, opts)
 	if err != nil {
 		return Run{}, err

@@ -31,6 +31,10 @@ func TestTimeNowLoop(t *testing.T) {
 	runFixture(t, "timenowloop", "intervaljoin/internal/mr/lintfixture")
 }
 
+func TestPartitionBounds(t *testing.T) {
+	runFixture(t, "partitionbounds", "intervaljoin/lintfixture/bounds")
+}
+
 func TestColKernel(t *testing.T) {
 	// Distinct from hotpathban's fixture path: the loader caches packages
 	// by import path, so sharing it would hand this test the wrong fixture.

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PartitionBounds enforces error handling on the partitioning
+// constructors. interval.MakeUniform, interval.NewEquiDepth and
+// interval.NewExplicit validate their boundary arguments (ordering,
+// emptiness, t0 < tn) and report violations through their error result —
+// the returned Partitioning is unusable when the error is non-nil. A call
+// that discards the whole result, or blanks the error with `_`, turns a
+// malformed boundary set into a later panic (or, worse, a silently wrong
+// key layout) far from the call site; the adaptive planner builds
+// candidate boundary sets from data-derived samples, so these errors are
+// reachable, not theoretical.
+var PartitionBounds = &Analyzer{
+	Name: "partitionbounds",
+	Doc: "interval.MakeUniform/NewEquiDepth/NewExplicit call sites must check " +
+		"the error result; boundary validation failures are data-reachable",
+	Run: runPartitionBounds,
+}
+
+// partitionCtors are the error-returning partitioning constructors.
+var partitionCtors = map[string]bool{
+	"MakeUniform":  true,
+	"NewEquiDepth": true,
+	"NewExplicit":  true,
+}
+
+func runPartitionBounds(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if name, ok := partitionCtorCall(pass.Info, s.X); ok {
+					pass.Reportf(s.Pos(),
+						"result of interval.%s discarded; the error reports invalid partition boundaries",
+						name)
+				}
+			case *ast.AssignStmt:
+				// part, _ := interval.MakeUniform(...) — the error slot
+				// (last LHS position) blanked on a constructor call.
+				if len(s.Rhs) != 1 || len(s.Lhs) < 2 {
+					return true
+				}
+				name, ok := partitionCtorCall(pass.Info, s.Rhs[0])
+				if !ok {
+					return true
+				}
+				if id, isIdent := s.Lhs[len(s.Lhs)-1].(*ast.Ident); isIdent && id.Name == "_" {
+					pass.Reportf(id.Pos(),
+						"error from interval.%s blanked; check it — boundary validation failures are data-reachable",
+						name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// partitionCtorCall reports whether the expression is a call to one of the
+// partitioning constructors of the interval package, resolving the callee
+// through the type info so an unrelated NewExplicit is not mistaken for it.
+func partitionCtorCall(info *types.Info, e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !partitionCtors[fn.Name()] {
+		return "", false
+	}
+	path := fn.Pkg().Path()
+	if path != "internal/interval" && !hasPathSuffix(path, "internal/interval") {
+		return "", false
+	}
+	return fn.Name(), true
+}

@@ -1,0 +1,62 @@
+// Package fixture exercises the partitionbounds analyzer: the
+// partitioning constructors validate their boundary arguments and report
+// violations through the error result, so every call site must check it.
+package fixture
+
+import "intervaljoin/internal/interval"
+
+// checkedCall handles the error: allowed — this is the required shape.
+func checkedCall() interval.Partitioning {
+	p, err := interval.MakeUniform(0, 100, 4)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// propagated returns the pair unchanged: allowed, the caller checks.
+func propagated(bounds []int64) (interval.Partitioning, error) {
+	return interval.NewExplicit(bounds)
+}
+
+// discarded drops both results on the floor: flagged.
+func discarded() {
+	interval.MakeUniform(0, 100, 4) // want `result of interval\.MakeUniform discarded`
+}
+
+// blankedError keeps the partitioning but blanks the error: flagged.
+func blankedError(sample []int64) interval.Partitioning {
+	p, _ := interval.NewEquiDepth(0, 100, 4, sample) // want `error from interval\.NewEquiDepth blanked`
+	return p
+}
+
+// doubleBlank blanks everything: flagged on the error slot.
+func doubleBlank(bounds []int64) {
+	_, _ = interval.NewExplicit(bounds) // want `error from interval\.NewExplicit blanked`
+}
+
+// suppressed demonstrates the escape hatch; the reason is mandatory.
+func suppressed() {
+	//lint:ignore partitionbounds fixture demonstrates the annotated escape hatch
+	interval.MakeUniform(0, 100, 4)
+}
+
+// lookalike is an unrelated MakeUniform on a local type: not flagged, the
+// analyzer resolves the callee to the interval package through type info.
+type lookalike struct{}
+
+func (lookalike) MakeUniform(t0, tn int64, n int) {}
+
+func notTheCtor() {
+	var l lookalike
+	l.MakeUniform(0, 100, 4)
+}
+
+// panicVariant is the unchecked-by-design constructor: not the analyzer's
+// target, it has no error result.
+func panicVariant() interval.Partitioning {
+	return interval.NewUniform(0, 100, 4)
+}
+
+var _ = []any{checkedCall, propagated, discarded, blankedError, doubleBlank,
+	suppressed, notTheCtor, panicVariant}

@@ -49,6 +49,7 @@ func BuildReport(name string, t *obs.Tracer, m *Metrics) *obs.Report {
 		DistinctReducers: m.DistinctKeys,
 	}
 	r.Skew = obs.NewSkewReport(m.ReducerPairs, m.ReducerTime, skewTopK)
+	r.Plan = m.Plan
 	return r
 }
 

@@ -5,6 +5,8 @@ import (
 	"slices"
 	"strings"
 	"time"
+
+	"intervaljoin/internal/obs"
 )
 
 // Metrics captures what one job (or an aggregate of chained jobs) cost. The
@@ -81,6 +83,12 @@ type Metrics struct {
 	// LPT ≤ key-order; the gap is the straggler tail the ordering shaved.
 	MakespanKeyOrder time.Duration
 	MakespanLPT      time.Duration
+	// Plan carries the skew-adaptive partition plan the driver chose for
+	// the run (boundary source, auto-advised k, virtual-reducer layout),
+	// exported into metrics.json as the report's "plan" object. Nil when
+	// the driver ran the plain always-uniform layout. Merge keeps the
+	// first non-nil plan — a chain's cycles share one plan.
+	Plan *obs.PlanInfo
 	// TrueWalls holds tracer-measured per-phase wall clocks: the interval
 	// union of each phase's spans, so concurrent workers and pipelined
 	// cycles count once. The additive fields above (MapWall, ReduceWall,
@@ -151,6 +159,9 @@ func (m *Metrics) Merge(other *Metrics) {
 	m.StreamedBytes += other.StreamedBytes
 	m.MakespanKeyOrder += other.MakespanKeyOrder // cycles serialise
 	m.MakespanLPT += other.MakespanLPT
+	if m.Plan == nil {
+		m.Plan = other.Plan
+	}
 	for k, v := range other.ReducerPairs {
 		m.ReducerPairs[k] += v
 	}

@@ -62,6 +62,10 @@ const (
 	CatReduce  = "reduce"  // one reduce task (key)
 	CatOutput  = "output"  // committing reduce output to the store
 	CatBarrier = "barrier" // non-streamed boundary between pipeline groups
+
+	// Skew-adaptive execution phases (PR 7).
+	CatVirtualSplit = "virtual_split" // plan-time virtual-reducer splitting of hot partitions
+	CatResplit      = "resplit"       // mid-job re-split of an oversized reduce task
 )
 
 // Options configure a Tracer.

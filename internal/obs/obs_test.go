@@ -151,8 +151,8 @@ func TestConcurrentLanesRaceFree(t *testing.T) {
 func TestPhaseWallsUnion(t *testing.T) {
 	s := &Snapshot{Spans: []Span{
 		{Cat: CatMap, Start: 0, Dur: 10 * time.Millisecond},
-		{Cat: CatMap, Start: 5 * time.Millisecond, Dur: 10 * time.Millisecond},  // overlaps: union 0..15
-		{Cat: CatMap, Start: 20 * time.Millisecond, Dur: 5 * time.Millisecond},  // disjoint: +5
+		{Cat: CatMap, Start: 5 * time.Millisecond, Dur: 10 * time.Millisecond}, // overlaps: union 0..15
+		{Cat: CatMap, Start: 20 * time.Millisecond, Dur: 5 * time.Millisecond}, // disjoint: +5
 		{Cat: CatReduce, Start: 8 * time.Millisecond, Dur: 4 * time.Millisecond},
 	}}
 	walls := s.PhaseWalls(0)

@@ -63,6 +63,32 @@ type HistJSON struct {
 	Buckets map[string]int64 `json:"buckets,omitempty"`
 }
 
+// PlanInfo records the partition plan a driver chose for a run: how many
+// partitions, where the boundaries came from (uniform vs equi-depth
+// histogram), whether the partition count itself was auto-advised, and how
+// the virtual-reducer splitter expanded the key space. It is the
+// machine-readable trail of the skew-adaptive planner, so `-partitions
+// auto` and `-adaptive` runs are auditable from metrics.json alone.
+type PlanInfo struct {
+	// Partitions is the physical partition-interval count k.
+	Partitions int `json:"partitions"`
+	// BoundarySource is "uniform" or "equi-depth".
+	BoundarySource string `json:"boundary_source"`
+	// AutoK reports whether k was chosen by cost.AdvisePartitions.
+	AutoK bool `json:"auto_k,omitempty"`
+	// VirtualReducers is the total reduce-key count after splitting
+	// (equals Partitions when nothing was split).
+	VirtualReducers int `json:"virtual_reducers"`
+	// SplitPartitions counts partitions expanded into >1 virtual reducer.
+	SplitPartitions int `json:"split_partitions,omitempty"`
+	// Streams is the cell-cover dimensionality (input streams per join).
+	Streams int `json:"streams,omitempty"`
+	// SplitThreshold is the load/mean ratio beyond which a partition is
+	// split; MaxVirtual caps the per-partition virtual-reducer count.
+	SplitThreshold float64 `json:"split_threshold,omitempty"`
+	MaxVirtual     int     `json:"max_virtual,omitempty"`
+}
+
 // Report is the metrics.json document.
 type Report struct {
 	Name         string                `json:"name"`
@@ -72,6 +98,7 @@ type Report struct {
 	Counters     map[string]int64      `json:"counters,omitempty"`
 	Hists        map[string]HistJSON   `json:"hists,omitempty"`
 	Skew         *SkewReport           `json:"skew,omitempty"`
+	Plan         *PlanInfo             `json:"plan,omitempty"`
 	Lanes        int                   `json:"lanes"`
 	DroppedSpans int64                 `json:"dropped_spans,omitempty"`
 }

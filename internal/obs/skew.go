@@ -30,13 +30,19 @@ type SkewBucket struct {
 
 // SkewReport summarises the per-reducer load distribution of a run.
 type SkewReport struct {
-	Reducers   int           `json:"reducers"`
-	TotalPairs int64         `json:"total_pairs"`
-	MaxPairs   int64         `json:"max_pairs"`
-	MeanPairs  float64       `json:"mean_pairs"`
-	Imbalance  float64       `json:"imbalance"` // max/mean; 1.0 is perfectly balanced
-	Histogram  []SkewBucket  `json:"histogram,omitempty"`
-	Top        []ReducerLoad `json:"top,omitempty"` // heaviest reducers, descending
+	Reducers   int     `json:"reducers"`
+	TotalPairs int64   `json:"total_pairs"`
+	MaxPairs   int64   `json:"max_pairs"`
+	MeanPairs  float64 `json:"mean_pairs"`
+	Imbalance  float64 `json:"imbalance"` // max/mean; 1.0 is perfectly balanced
+	// Wall-clock counterparts of the pair stats, from the measured
+	// per-reducer reduce times: the makespan gate ("max reducer wall
+	// within 1.5× of mean") reads TimeImbalance.
+	MaxTimeNS     int64         `json:"max_time_ns,omitempty"`
+	MeanTimeNS    float64       `json:"mean_time_ns,omitempty"`
+	TimeImbalance float64       `json:"time_imbalance,omitempty"` // max/mean reducer wall
+	Histogram     []SkewBucket  `json:"histogram,omitempty"`
+	Top           []ReducerLoad `json:"top,omitempty"` // heaviest reducers, descending
 }
 
 // NewSkewReport builds the report from per-reducer pair counts and
@@ -62,6 +68,22 @@ func NewSkewReport(pairs map[int64]int64, times map[int64]time.Duration, topK in
 		r.Imbalance = float64(r.MaxPairs) / r.MeanPairs
 	} else {
 		r.Imbalance = 1
+	}
+	if len(times) > 0 {
+		var total int64
+		for _, d := range times {
+			ns := d.Nanoseconds()
+			total += ns
+			if ns > r.MaxTimeNS {
+				r.MaxTimeNS = ns
+			}
+		}
+		r.MeanTimeNS = float64(total) / float64(len(times))
+		if r.MeanTimeNS > 0 {
+			r.TimeImbalance = float64(r.MaxTimeNS) / r.MeanTimeNS
+		} else {
+			r.TimeImbalance = 1
+		}
 	}
 	for i, n := range hist.Buckets {
 		if n == 0 {

@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"intervaljoin/internal/relation"
+	"intervaljoin/internal/trace"
+)
+
+// Heavy-tail scenario family (the skew benchmarks' inputs): workloads
+// whose start points pile up at one end of the time range, so uniform
+// partition boundaries hand a few reducers most of the work. The two
+// members bracket the realistic range — a synthetic Zipf pile-up and a
+// replay of the paper's MAWI packet-train traces, whose flow burstiness
+// produces the same shape organically.
+
+// HeavyTailSpec returns the Zipf-start scenario for one relation: start
+// points Zipf-distributed over [0, 100K] (exponent 1.1, so the low end of
+// the range holds most of the mass), lengths uniform [1, 100] as in
+// Table 1. Under uniform boundaries partition 0 receives an order of
+// magnitude more intervals than the mean — the straggler shape Figure 4
+// shows for sequence queries, here induced by the data instead of the
+// query.
+func HeavyTailSpec(name string, n int, seed int64) Spec {
+	return Spec{
+		Name: name, NumIntervals: n,
+		StartDist: Zipf, LengthDist: Uniform,
+		TMin: 0, TMax: 100_000, IMin: 1, IMax: 100,
+		Seed: seed,
+	}
+}
+
+// MAWIReplay builds a relation by replaying one of the paper's MAWI trace
+// profiles (P03..P08, Table 2): synthesise the packet stream at the given
+// scale, cut it into packet trains with the paper's 500 ms gap rule, and
+// replicate the trains to target intervals (0 keeps the natural count).
+// Train starts inherit the flows' bursty arrivals, giving a heavy-tailed
+// per-partition load without any tuning knob.
+func MAWIReplay(name, profile string, scale float64, target int, seed int64) (*relation.Relation, error) {
+	p, err := trace.ProfileByName(profile)
+	if err != nil {
+		return nil, err
+	}
+	packets, err := trace.Synthesize(p, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	trains := trace.BuildTrains(packets, trace.DefaultCutoffMs)
+	if target > 0 {
+		trains = trace.ReplicateTrains(trains, target, p.DurationMs, seed)
+	}
+	return trace.TrainsRelation(name, trains), nil
+}

@@ -144,6 +144,11 @@ type EngineOptions struct {
 	// every run on this engine (see docs/OBSERVABILITY.md). Nil disables
 	// tracing at near-zero cost.
 	Tracer *Tracer
+	// ResplitPairThreshold, when positive, lets the engine re-split a
+	// reduce task whose value list reaches this size across spare workers
+	// mid-job (for algorithms that provide a decomposition; see
+	// docs/ALGORITHMS.md "Skew-aware execution"). 0 disables re-splitting.
+	ResplitPairThreshold int
 }
 
 // Engine runs queries on the built-in MapReduce engine.
@@ -165,7 +170,12 @@ func NewEngine(opts EngineOptions) (*Engine, error) {
 		store = dfs.NewMem()
 	}
 	return &Engine{
-		mr:     mr.NewEngine(mr.Config{Store: store, Workers: opts.Workers, Tracer: opts.Tracer}),
+		mr: mr.NewEngine(mr.Config{
+			Store:                store,
+			Workers:              opts.Workers,
+			Tracer:               opts.Tracer,
+			ResplitPairThreshold: opts.ResplitPairThreshold,
+		}),
 		tracer: opts.Tracer,
 	}, nil
 }
@@ -313,6 +323,15 @@ type CostEstimate = cost.Estimate
 // count, perDim the grid partitions per dimension.
 func Advise(q *Query, rels []*Relation, partitions, perDim int) ([]CostEstimate, error) {
 	return cost.Advise(q, rels, partitions, perDim)
+}
+
+// AdvisePartitions picks a 1-D partition count for the given relations by
+// minimising the cost model's predicted intermediate pairs over the
+// candidate counts (default candidates 4..64 in powers of two when nil) —
+// the "-partitions auto" mode of cmd/ijoin. Pair it with
+// RunOptions.AutoPartitions so the choice is recorded in metrics.json.
+func AdvisePartitions(rels []*Relation, candidates []int) int {
+	return cost.AdvisePartitions(rels, candidates)
 }
 
 // RecommendEquiDepth reports whether quantile partition boundaries

@@ -49,6 +49,13 @@ go test -run '^$' -bench '^BenchmarkChain' \
 go test -run '^$' -bench '^BenchmarkShuffle' \
     -benchmem -benchtime 5x -count "$REPS" ./internal/core/ | tee -a "$tmp"
 
+# Reduce-skew scenarios: uniform vs skew-aware execution on heavy-tail
+# inputs (Zipf starts and MAWI packet-train replay). Besides ns/op they
+# report the deterministic per-reducer pair imbalance and the measured
+# wall imbalance (docs/ALGORITHMS.md "Skew-aware execution").
+go test -run '^$' -bench 'ReduceSkew' \
+    -benchmem -benchtime 3x -count "$REPS" . | tee -a "$tmp"
+
 go run ./cmd/benchsummary -o "$OUT" < "$tmp"
 echo "wrote $OUT"
 
@@ -72,6 +79,18 @@ go run ./cmd/ijoin -query "R1 overlaps R2 and R2 overlaps R3" \
 go run ./cmd/benchsummary -phases artifacts/metrics.json
 echo "wrote artifacts/trace.json artifacts/metrics.json"
 
+# Skew artifact: the Zipf heavy-tail scenario under the skew-aware
+# executor (adaptive boundaries, virtual splitting deep enough to meet
+# the pair-imbalance ceiling check.sh gates via benchsummary -skewgate).
+go run ./cmd/genintervals -n 4000 -ds zipf -o "$benchdata/z1.txt"
+go run ./cmd/genintervals -n 4000 -ds zipf -seed 2 -o "$benchdata/z2.txt"
+go run ./cmd/ijoin -query "R1 overlaps R2" \
+    -rel R1="$benchdata/z1.txt" -rel R2="$benchdata/z2.txt" \
+    -adaptive -max-virtual 32 -workers 4 -o /dev/null \
+    -metrics artifacts/skew-metrics.json
+go run ./cmd/benchsummary -skew artifacts/skew-metrics.json
+echo "wrote artifacts/skew-metrics.json"
+
 # Phase baseline: BENCH-PHASES.json freezes the traced run's per-phase
 # walls (the dash keeps it out of check.sh's BENCH_<n>.json discovery).
 # check.sh gates the reduce phase against it via benchsummary -phasegate;
@@ -79,6 +98,14 @@ echo "wrote artifacts/trace.json artifacts/metrics.json"
 if [ ! -f BENCH-PHASES.json ]; then
     cp artifacts/metrics.json BENCH-PHASES.json
     echo "seeded BENCH-PHASES.json"
+fi
+
+# Skew baseline: BENCH-SKEW.json freezes the skew artifact's reducer
+# balance; check.sh prints deltas against it and gates the pair imbalance
+# with an absolute ceiling (benchsummary -skewgate).
+if [ ! -f BENCH-SKEW.json ]; then
+    cp artifacts/skew-metrics.json BENCH-SKEW.json
+    echo "seeded BENCH-SKEW.json"
 fi
 
 # When regenerating a later baseline, show the regression table against the

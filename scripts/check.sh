@@ -70,6 +70,16 @@ if [ "${SKIP_BENCH:-0}" != "1" ]; then
         go run ./cmd/benchsummary -threshold "${BENCH_THRESHOLD:-50}" -fail \
             -phases BENCH-PHASES.json,artifacts/metrics.json -phasegate reduce
     fi
+    # Reducer-balance gate: the skew-aware executor must keep the Zipf
+    # heavy-tail scenario's per-reducer pair imbalance (max/mean) under
+    # the absolute SKEW_THRESHOLD ceiling — the deterministic stand-in
+    # for the "max reducer wall within ~1.5x of mean" target, which the
+    # wall columns of the table track informationally.
+    if [ -f BENCH-SKEW.json ] && [ -f artifacts/skew-metrics.json ]; then
+        go run ./cmd/benchsummary -fail \
+            -skew BENCH-SKEW.json,artifacts/skew-metrics.json \
+            -skewgate "${SKEW_THRESHOLD:-1.5}"
+    fi
 fi
 
 echo "check.sh: all green"
