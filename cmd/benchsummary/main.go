@@ -28,6 +28,14 @@
 // the absolute ceiling into a non-zero exit — the skew-aware executor's
 // CI gate.
 //
+// -cache old.json,new.json (or a single file) prints the semantic-cache
+// table from metrics.json reports written by `ijoind -bench -metrics`:
+// span hit ratio, full/partial hit counts, cached vs delta rows, eviction
+// pressure and the warm/cold latency pair with the speedup, plus deltas
+// when two files are given. -cachegate <floor> (with -fail) turns a span
+// hit ratio below the absolute floor into a non-zero exit — the segment
+// cache's CI gate.
+//
 // -phases old.json,new.json (or a single file) additionally prints a
 // per-phase wall-clock table from metrics.json reports written by
 // `ijoin -metrics` / `experiments -metrics`: the tracer's true wall per
@@ -343,6 +351,73 @@ func gateSkew(w io.Writer, reports []*obs.Report, ceiling float64) int {
 	return 0
 }
 
+// cacheTable prints the semantic-cache statistics of one or two
+// metrics.json reports written by `ijoind -bench -metrics`: the span hit
+// ratio (fraction of requested window span served from cached segments),
+// query classification, row provenance, LRU pressure and the warm/cold
+// latency pair. With two reports the first is the old baseline and deltas
+// are shown.
+func cacheTable(w io.Writer, reports []*obs.Report) error {
+	old, cur := (*obs.Report)(nil), reports[len(reports)-1]
+	if len(reports) == 2 {
+		old = reports[0]
+	}
+	if cur.Cache == nil {
+		return fmt.Errorf("-cache: %s report has no cache section", cur.Name)
+	}
+	fmt.Fprintf(w, "\nsemantic cache (%s)\n", cur.Name)
+	fmt.Fprintf(w, "%-22s %14s %14s %8s\n", "stat", "old", "new", "delta")
+	oldCache, hasOld := (*obs.CacheReport)(nil), false
+	if old != nil && old.Cache != nil {
+		oldCache, hasOld = old.Cache, true
+	}
+	row := func(name string, f func(*obs.CacheReport) float64) {
+		newV := f(cur.Cache)
+		oldCell, deltaCell := "-", "-"
+		if hasOld {
+			oldV := f(oldCache)
+			oldCell = fmt.Sprintf("%.2f", oldV)
+			if oldV != 0 {
+				deltaCell = fmt.Sprintf("%+.1f%%", (newV-oldV)/oldV*100)
+			}
+		}
+		fmt.Fprintf(w, "%-22s %14s %14.2f %8s\n", name, oldCell, newV, deltaCell)
+	}
+	row("queries", func(c *obs.CacheReport) float64 { return float64(c.Lookups) })
+	row("hit ratio (span)", func(c *obs.CacheReport) float64 { return c.HitRatio })
+	row("full hits", func(c *obs.CacheReport) float64 { return float64(c.FullHits) })
+	row("partial hits", func(c *obs.CacheReport) float64 { return float64(c.PartialHits) })
+	row("misses", func(c *obs.CacheReport) float64 { return float64(c.Misses) })
+	row("hit segments", func(c *obs.CacheReport) float64 { return float64(c.HitSegments) })
+	row("cached rows", func(c *obs.CacheReport) float64 { return float64(c.CachedRows) })
+	row("delta rows", func(c *obs.CacheReport) float64 { return float64(c.DeltaRows) })
+	row("evictions", func(c *obs.CacheReport) float64 { return float64(c.Evictions) })
+	row("bytes in use (KB)", func(c *obs.CacheReport) float64 { return float64(c.BytesInUse) / 1024 })
+	if cur.Cache.ColdNS > 0 {
+		row("cold mean ms", func(c *obs.CacheReport) float64 { return float64(c.ColdNS) / 1e6 })
+		row("warm mean ms", func(c *obs.CacheReport) float64 { return float64(c.WarmNS) / 1e6 })
+		row("speedup (cold/warm)", func(c *obs.CacheReport) float64 { return c.Speedup })
+	}
+	return nil
+}
+
+// gateCache checks the newest report's span hit ratio against an absolute
+// floor (the checked-in cache budget), returning 1 and printing the
+// verdict when it is undercut. Like gateSkew this is absolute, not a
+// relative delta: the segment cache promises to serve at least the floor
+// fraction of the zipfian mix's window span, so drifting baselines must
+// not loosen it.
+func gateCache(w io.Writer, reports []*obs.Report, floor float64) int {
+	cur := reports[len(reports)-1]
+	ratio := cur.Cache.HitRatio
+	if ratio < floor {
+		fmt.Fprintf(w, "cache span hit ratio %.3f below the %.2f floor\n", ratio, floor)
+		return 1
+	}
+	fmt.Fprintf(w, "cache span hit ratio %.3f meets the %.2f floor\n", ratio, floor)
+	return 0
+}
+
 // phaseOrder lists the span categories in execution order for the wall
 // table.
 var phaseOrder = []string{
@@ -454,6 +529,8 @@ func main() {
 	phasegate := flag.String("phasegate", "", "with a two-file -phases, gate this phase's wall-clock delta (e.g. reduce)")
 	skew := flag.String("skew", "", "metrics.json file (or old,new pair) whose reducer-balance table to print")
 	skewgate := flag.Float64("skewgate", 0, "with -skew, fail if the new report's reducer pair imbalance exceeds this absolute ceiling")
+	cacheArg := flag.String("cache", "", "metrics.json file (or old,new pair) whose semantic-cache table to print")
+	cachegate := flag.Float64("cachegate", 0, "with -cache, fail if the new report's span hit ratio falls below this absolute floor")
 	flag.Parse()
 
 	if *cmp {
@@ -505,6 +582,20 @@ func main() {
 				n += gateSkew(os.Stdout, reports, *skewgate)
 			}
 		}
+		if *cacheArg != "" {
+			reports, err := loadReports(*cacheArg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchsummary:", err)
+				os.Exit(1)
+			}
+			if err := cacheTable(os.Stdout, reports); err != nil {
+				fmt.Fprintln(os.Stderr, "benchsummary:", err)
+				os.Exit(1)
+			}
+			if *cachegate > 0 {
+				n += gateCache(os.Stdout, reports, *cachegate)
+			}
+		}
 		if n > 0 {
 			fmt.Printf("%d regression(s) beyond %.0f%%\n", n, *threshold)
 			if *failOnRegress {
@@ -514,7 +605,7 @@ func main() {
 		return
 	}
 
-	if *phases != "" || *skew != "" {
+	if *phases != "" || *skew != "" || *cacheArg != "" {
 		fails := 0
 		if *phases != "" {
 			reports, err := loadReports(*phases)
@@ -544,6 +635,20 @@ func main() {
 			}
 			if *skewgate > 0 {
 				fails += gateSkew(os.Stdout, reports, *skewgate)
+			}
+		}
+		if *cacheArg != "" {
+			reports, err := loadReports(*cacheArg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchsummary:", err)
+				os.Exit(1)
+			}
+			if err := cacheTable(os.Stdout, reports); err != nil {
+				fmt.Fprintln(os.Stderr, "benchsummary:", err)
+				os.Exit(1)
+			}
+			if *cachegate > 0 {
+				fails += gateCache(os.Stdout, reports, *cachegate)
 			}
 		}
 		if fails > 0 && *failOnRegress {

@@ -1,0 +1,204 @@
+package cmdtest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startIjoind launches the server on an OS-assigned port and returns its
+// base URL once the listen line appears on stderr. The caller signals and
+// waits via the returned command.
+func startIjoind(t *testing.T, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, "ijoind"),
+		append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	// The serving line is "ijoind: serving <time> on <addr> (relations: ...)".
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, " on "); i >= 0 && strings.Contains(line, "serving") {
+				rest := line[i+4:]
+				if j := strings.Index(rest, " ("); j >= 0 {
+					rest = rest[:j]
+				}
+				addrc <- rest
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return cmd, "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("ijoind did not start serving within 30s")
+		return nil, ""
+	}
+}
+
+// postQuery sends one windowed query and decodes the response.
+func postQuery(t *testing.T, base, q string, lo, hi int64) map[string]json.RawMessage {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"query": q, "lo": lo, "hi": hi})
+	resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query [%d,%d]: status %d", lo, hi, resp.StatusCode)
+	}
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// rowSet decodes a response's rows into the "id,id" strings batch ijoin
+// prints, as a set.
+func rowSet(t *testing.T, raw json.RawMessage) map[string]bool {
+	t.Helper()
+	var rows [][]int64
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatal(err)
+	}
+	set := make(map[string]bool, len(rows))
+	for _, r := range rows {
+		parts := make([]string, len(r))
+		for i, id := range r {
+			parts[i] = fmt.Sprintf("%d", id)
+		}
+		set[strings.Join(parts, ",")] = true
+	}
+	return set
+}
+
+// TestIjoindServesCachedQueries boots the server on real relation files,
+// issues overlapping windowed queries (so the second is served at least
+// partly from the segment cache), and checks the whole-range answer is
+// exactly the batch ijoin output. Then it exercises graceful shutdown:
+// SIGTERM must drain, flush -metrics, and exit cleanly.
+func TestIjoindServesCachedQueries(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.txt")
+	b := filepath.Join(dir, "b.txt")
+	metrics := filepath.Join(dir, "metrics.json")
+	mustRun(t, "genintervals", "-n", "200", "-tmax", "1000", "-imax", "50", "-seed", "1", "-o", a)
+	mustRun(t, "genintervals", "-n", "200", "-tmax", "1000", "-imax", "50", "-seed", "2", "-o", b)
+
+	cmd, base := startIjoind(t, "-rel", "R1="+a, "-rel", "R2="+b, "-metrics", metrics)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	const q = "R1 overlaps R2"
+	postQuery(t, base, q, 0, 600)
+	warm := postQuery(t, base, q, 300, 900)
+	var hitSegs int
+	if err := json.Unmarshal(warm["hit_segments"], &hitSegs); err != nil {
+		t.Fatal(err)
+	}
+	if hitSegs == 0 {
+		t.Error("overlapping window [300,900] after [0,600] hit no cached segment")
+	}
+	full := postQuery(t, base, q, 0, 10_000)
+
+	// The whole-range answer — merged from cached segments plus delta
+	// windows — must be exactly the batch join.
+	batch := mustRun(t, "ijoin", "-query", q, "-rel", "R1="+a, "-rel", "R2="+b, "-partitions", "8")
+	want := make(map[string]bool)
+	for _, l := range nonEmptyLines(batch) {
+		want[strings.TrimSpace(l)] = true
+	}
+	got := rowSet(t, full["rows"])
+	if len(got) != len(want) {
+		t.Fatalf("server answered %d rows, batch ijoin %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("server answer missing batch row %s", k)
+		}
+	}
+
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := readAll(resp)
+	if !strings.Contains(stats, `"cache"`) || !strings.Contains(stats, `"hit_ratio"`) {
+		t.Fatalf("stats missing cache section: %s", stats)
+	}
+
+	// Graceful shutdown: SIGTERM drains in-flight work, flushes metrics,
+	// and exits 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitc := make(chan error, 1)
+	go func() { waitc <- cmd.Wait() }()
+	select {
+	case err := <-waitc:
+		if err != nil {
+			t.Fatalf("ijoind exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("ijoind did not exit within 30s of SIGTERM")
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("metrics not flushed on shutdown: %v", err)
+	}
+	if !strings.Contains(string(data), `"cache"`) {
+		t.Fatalf("flushed metrics missing cache section: %s", data)
+	}
+}
+
+func TestIjoindBenchVerifiesWarmAgainstCold(t *testing.T) {
+	out, errOut, err := run(t, "ijoind", "-bench", "-queries", "12", "-rows", "1500", "-workers", "2")
+	if err != nil {
+		t.Fatalf("ijoind -bench: %v\nstderr: %s", err, errOut)
+	}
+	if !strings.Contains(out, "hit_ratio=") || !strings.Contains(out, "speedup=") {
+		t.Fatalf("bench summary malformed:\n%s", out)
+	}
+}
+
+func readAll(resp *http.Response) (string, error) {
+	defer resp.Body.Close()
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	return sb.String(), sc.Err()
+}

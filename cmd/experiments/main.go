@@ -31,6 +31,8 @@ func main() {
 		workers = flag.Int("workers", 0, "engine parallelism (0 = GOMAXPROCS)")
 		verify  = flag.Bool("verify", false, "cross-check every run against the oracle")
 
+		querymix = flag.Bool("querymix", false, "shorthand for -exp querymix: the zipfian query-mix cache experiment")
+
 		adaptive = flag.Bool("adaptive", false, "skew-aware execution: adaptive boundaries and virtual reducer splitting")
 		materal  = flag.Bool("materialize", false, "materialize every MR cycle boundary instead of streaming it")
 		asJSON   = flag.Bool("json", false, "emit JSON instead of aligned text")
@@ -39,6 +41,9 @@ func main() {
 	)
 	flag.Parse()
 
+	if *querymix {
+		*id = "querymix"
+	}
 	if *id == "list" {
 		for _, e := range exp.All() {
 			fmt.Printf("%-20s %s\n", e.ID, e.Title)

@@ -1,0 +1,446 @@
+// Command ijoind is the long-running interval-join service: it holds
+// resident, pre-staged relations on the engine's store and answers
+// windowed join queries over an HTTP/JSON API, serving covered time spans
+// from a semantic segment cache and running the join engine only over the
+// uncovered delta windows (see docs/SERVICE.md).
+//
+// Serve mode:
+//
+//	ijoind -rel R1=a.txt -rel R2=b.txt [-addr :7077] [-cache-mb 64]
+//	       [-max-inflight 4] [-workers N] [-partitions 16] [-per-dim 6]
+//	       [-algorithm name] [-metrics metrics.json]
+//
+//	POST /query   {"query":"R1 overlaps R2","lo":0,"hi":5000}
+//	              → {"rows":[[3,7],...],"hit_segments":1,"delta_windows":[...],...}
+//	GET  /stats   → cache accounting JSON
+//	GET  /healthz → 200 "ok" (503 while draining)
+//
+// Admission control holds at most -max-inflight queries in the join path;
+// excess requests get 429. SIGINT/SIGTERM drains in-flight queries,
+// answers new ones with 503, flushes -metrics, and exits.
+//
+// Bench mode (-bench) runs the zipfian query-mix benchmark without HTTP:
+// a cold pass (every query joined from scratch) against a warm pass (the
+// same mix through the segment cache), verifying byte-identical row sets,
+// and writes the cache section of metrics.json that benchsummary -cache
+// reads. Without -rel bindings it generates the paper's Table 1 relations.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"intervaljoin"
+	"intervaljoin/internal/cache"
+	"intervaljoin/internal/core"
+	"intervaljoin/internal/dfs"
+	"intervaljoin/internal/mr"
+	"intervaljoin/internal/obs"
+	"intervaljoin/internal/query"
+	"intervaljoin/internal/relation"
+	"intervaljoin/internal/workload"
+)
+
+type relArg struct {
+	name, path string
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7077", "HTTP listen address")
+		cacheMB    = flag.Int64("cache-mb", 64, "segment cache byte budget in MiB")
+		maxInfl    = flag.Int("max-inflight", 4, "admission control: concurrent queries beyond this get 429")
+		workers    = flag.Int("workers", 0, "engine parallelism (0 = GOMAXPROCS)")
+		partitions = flag.Int("partitions", 16, "partitions for 1-D algorithms")
+		perDim     = flag.Int("per-dim", 6, "partitions per grid dimension for matrix algorithms")
+		algorithm  = flag.String("algorithm", "", "join algorithm (default: planner choice per query)")
+		dataDir    = flag.String("data-dir", "", "store relations and intermediates on disk under this directory")
+		metricsOut = flag.String("metrics", "", "write metrics.json (with the cache section) here on shutdown / after -bench")
+		bench      = flag.Bool("bench", false, "run the zipfian query-mix benchmark and exit (no HTTP)")
+		benchQuery = flag.String("query", "R1 overlaps R2", "bench: the join query of the mix")
+		queries    = flag.Int("queries", 200, "bench: number of windows in the mix")
+		skew       = flag.Float64("skew", 1.5, "bench: zipf exponent of the hotspot popularity (>1)")
+		hotspots   = flag.Int("hotspots", 8, "bench: number of hot window centers")
+		rows       = flag.Int("rows", 20_000, "bench: generated rows per relation when no -rel is given")
+		seed       = flag.Int64("seed", 1, "bench: generation and mix seed")
+	)
+	var relArgs []relArg
+	flag.Func("rel", "resident relation binding name=file (repeatable)", func(s string) error {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 || eq == len(s)-1 {
+			return fmt.Errorf("want name=file, got %q", s)
+		}
+		relArgs = append(relArgs, relArg{name: s[:eq], path: s[eq+1:]})
+		return nil
+	})
+	flag.Parse()
+
+	tracer := obs.New(obs.Options{})
+	var store dfs.Store = dfs.NewMem()
+	if *dataDir != "" {
+		d, err := dfs.NewDisk(*dataDir)
+		if err != nil {
+			fatal(err)
+		}
+		store = d
+	}
+	engine := mr.NewEngine(mr.Config{Store: store, Workers: *workers, Tracer: tracer})
+
+	var algFn func(*query.Query) core.Algorithm
+	if *algorithm != "" {
+		alg, err := intervaljoin.AlgorithmByName(*algorithm)
+		if err != nil {
+			fatal(err)
+		}
+		algFn = func(*query.Query) core.Algorithm { return alg }
+	}
+	svc, err := cache.NewService(cache.ServiceConfig{
+		Engine:     engine,
+		CacheBytes: *cacheMB << 20,
+		Tracer:     tracer,
+		Opts:       core.Options{Partitions: *partitions, PartitionsPerDim: *perDim},
+		Algorithm:  algFn,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	rels, err := loadOrGenerate(relArgs, *bench, *rows, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	var tmin, tmax int64 = 0, 1
+	if t0, tn, ok := relation.Bounds(rels...); ok {
+		tmin, tmax = t0, tn
+	}
+	for _, r := range rels {
+		if _, err := svc.Register(r); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *bench {
+		if err := runBench(svc, tracer, benchSpec{
+			query: *benchQuery, queries: *queries, skew: *skew, hotspots: *hotspots,
+			tmin: tmin, tmax: tmax, seed: *seed, metricsOut: *metricsOut,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := serve(svc, tracer, *addr, *maxInfl, *metricsOut); err != nil {
+		fatal(err)
+	}
+}
+
+// loadOrGenerate loads the -rel bindings, or (bench mode only) generates
+// the paper's Table 1 relations R1 and R2.
+func loadOrGenerate(relArgs []relArg, bench bool, rows int, seed int64) ([]*relation.Relation, error) {
+	if len(relArgs) == 0 {
+		if !bench {
+			return nil, fmt.Errorf("no -rel bindings; serve mode needs resident relations")
+		}
+		r1, err := workload.Generate(workload.Table1Spec("R1", rows, seed))
+		if err != nil {
+			return nil, err
+		}
+		r2, err := workload.Generate(workload.Table1Spec("R2", rows, seed+1))
+		if err != nil {
+			return nil, err
+		}
+		return []*relation.Relation{r1, r2}, nil
+	}
+	rels := make([]*relation.Relation, 0, len(relArgs))
+	for _, ra := range relArgs {
+		rel, err := relation.LoadFile(relation.NewSchema(ra.name), ra.path)
+		if err != nil {
+			return nil, err
+		}
+		rels = append(rels, rel)
+	}
+	return rels, nil
+}
+
+// ---- serve mode ----
+
+type server struct {
+	svc      *cache.Service
+	tracer   *obs.Tracer
+	inflight chan struct{}
+	draining atomic.Bool
+}
+
+type queryRequest struct {
+	Query string `json:"query"`
+	Lo    int64  `json:"lo"`
+	Hi    int64  `json:"hi"`
+}
+
+type windowJSON struct {
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+}
+
+type queryResponse struct {
+	Rows         [][]int64    `json:"rows"`
+	Window       windowJSON   `json:"window"`
+	HitSegments  int          `json:"hit_segments"`
+	DeltaWindows []windowJSON `json:"delta_windows,omitempty"`
+	CachedRows   int64        `json:"cached_rows"`
+	DeltaRows    int64        `json:"delta_rows"`
+	Algorithm    string       `json:"algorithm,omitempty"`
+	WallNS       int64        `json:"wall_ns"`
+}
+
+func serve(svc *cache.Service, tracer *obs.Tracer, addr string, maxInflight int, metricsOut string) error {
+	if maxInflight <= 0 {
+		maxInflight = 1
+	}
+	s := &server{svc: svc, tracer: tracer, inflight: make(chan struct{}, maxInflight)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: mux}
+	fmt.Fprintf(os.Stderr, "ijoind: serving %v on %s (relations: %s)\n",
+		time.Now().Format(time.RFC3339), ln.Addr(), strings.Join(svc.Relations(), ", "))
+
+	// Graceful shutdown: first signal stops accepting work — new queries
+	// see 503 — and drains the in-flight ones; then metrics flush and exit.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		<-sigc
+		s.draining.Store(true)
+		fmt.Fprintln(os.Stderr, "ijoind: draining in-flight queries")
+		// Take every admission slot: all in-flight queries have finished
+		// once the channel fills.
+		for i := 0; i < cap(s.inflight); i++ {
+			s.inflight <- struct{}{}
+		}
+		done <- httpSrv.Close()
+	}()
+	err = httpSrv.Serve(ln)
+	if err == http.ErrServerClosed {
+		err = <-done
+	}
+	if metricsOut != "" {
+		if werr := writeFileWith(metricsOut, func(w io.Writer) error {
+			return cacheReportJSON(w, svc, tracer, 0, 0)
+		}); werr != nil && err == nil {
+			err = werr
+		}
+		fmt.Fprintf(os.Stderr, "ijoind: metrics flushed to %s\n", metricsOut)
+	}
+	return err
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		defer func() { <-s.inflight }()
+	default:
+		http.Error(w, "too many in-flight queries", http.StatusTooManyRequests)
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q, err := query.Parse(req.Query)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ans, err := s.svc.Query(q, cache.Window{Lo: req.Lo, Hi: req.Hi})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	resp := queryResponse{
+		Rows:        make([][]int64, len(ans.Rows)),
+		Window:      windowJSON{Lo: int64(ans.Window.Lo), Hi: int64(ans.Window.Hi)},
+		HitSegments: ans.HitSegments,
+		CachedRows:  ans.CachedRows,
+		DeltaRows:   ans.DeltaRows,
+		Algorithm:   ans.Algorithm,
+		WallNS:      ans.Wall.Nanoseconds(),
+	}
+	for i, t := range ans.Rows {
+		resp.Rows[i] = t
+	}
+	for _, d := range ans.DeltaWindows {
+		resp.DeltaWindows = append(resp.DeltaWindows, windowJSON{Lo: int64(d.Lo), Hi: int64(d.Hi)})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	cacheReportJSON(w, s.svc, s.tracer, 0, 0)
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// ---- bench mode ----
+
+type benchSpec struct {
+	query      string
+	queries    int
+	skew       float64
+	hotspots   int
+	tmin, tmax int64
+	seed       int64
+	metricsOut string
+}
+
+// runBench measures the zipfian mix cold (every query joined from scratch,
+// cache bypassed) and warm (through the segment cache), verifies the row
+// sets match query-by-query, and writes/prints the cache report.
+func runBench(svc *cache.Service, tracer *obs.Tracer, b benchSpec) error {
+	q, err := query.Parse(b.query)
+	if err != nil {
+		return err
+	}
+	mix, err := workload.ZipfQueryMix(workload.QueryMixSpec{
+		N: b.queries, TMin: b.tmin, TMax: b.tmax,
+		Hotspots: b.hotspots, Skew: b.skew, Seed: b.seed,
+	})
+	if err != nil {
+		return err
+	}
+	var coldNS, warmNS int64
+	for i, w := range mix {
+		win := cache.Window{Lo: w.Lo, Hi: w.Hi}
+		cold, err := svc.RunCold(q, win)
+		if err != nil {
+			return err
+		}
+		warm, err := svc.Query(q, win)
+		if err != nil {
+			return err
+		}
+		coldNS += cold.Wall.Nanoseconds()
+		warmNS += warm.Wall.Nanoseconds()
+		if err := sameRows(cold.Rows, warm.Rows); err != nil {
+			return fmt.Errorf("query %d window [%d,%d]: warm result diverges from cold: %w", i, w.Lo, w.Hi, err)
+		}
+	}
+	n := int64(len(mix))
+	if n == 0 {
+		return fmt.Errorf("empty query mix")
+	}
+	coldNS /= n
+	warmNS /= n
+	st := svc.Stats()
+	speedup := float64(coldNS) / float64(max64(warmNS, 1))
+	fmt.Printf("queries=%d hit_ratio=%.3f full_hits=%d partial_hits=%d misses=%d segments_merged=%d\n",
+		st.Lookups, st.HitRatio(), st.FullHits, st.PartialHits, st.Misses, st.HitSegments)
+	fmt.Printf("cold_mean=%v warm_mean=%v speedup=%.1fx cached_rows=%d delta_rows=%d evictions=%d\n",
+		time.Duration(coldNS), time.Duration(warmNS), speedup, st.CachedRows, st.DeltaRows, st.Evictions)
+	if b.metricsOut != "" {
+		return writeFileWith(b.metricsOut, func(w io.Writer) error {
+			return cacheReportJSON(w, svc, tracer, coldNS, warmNS)
+		})
+	}
+	return nil
+}
+
+func sameRows(a, b []core.OutputTuple) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("row counts differ: cold %d, warm %d", len(a), len(b))
+	}
+	for i := range a {
+		ka, kb := a[i].Key(), b[i].Key()
+		if ka != kb {
+			return fmt.Errorf("row %d differs: cold %s, warm %s", i, ka, kb)
+		}
+	}
+	return nil
+}
+
+// cacheReportJSON writes the metrics.json report with the cache section
+// filled from the service's accounting (and mean cold/warm walls when the
+// caller measured them).
+func cacheReportJSON(w io.Writer, svc *cache.Service, tracer *obs.Tracer, coldNS, warmNS int64) error {
+	st := svc.Stats()
+	rep := obs.NewReport("cache-mix", tracer.Snapshot())
+	rep.Cache = &obs.CacheReport{
+		Lookups:       st.Lookups,
+		FullHits:      st.FullHits,
+		PartialHits:   st.PartialHits,
+		Misses:        st.Misses,
+		HitSegments:   st.HitSegments,
+		CachedRows:    st.CachedRows,
+		DeltaRows:     st.DeltaRows,
+		SpanRequested: st.SpanRequested,
+		SpanCovered:   st.SpanCovered,
+		HitRatio:      st.HitRatio(),
+		Insertions:    st.Insertions,
+		Evictions:     st.Evictions,
+		BytesInUse:    st.BytesInUse,
+		BytesBudget:   st.BytesBudget,
+		ColdNS:        coldNS,
+		WarmNS:        warmNS,
+	}
+	if coldNS > 0 && warmNS > 0 {
+		rep.Cache.Speedup = float64(coldNS) / float64(warmNS)
+	}
+	return rep.WriteJSON(w)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// writeFileWith creates path and streams fn's output into it.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ijoind:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,267 @@
+// Package cache implements the semantic result cache behind the ijoind
+// join service: completed join results stored as time-range segments,
+// keyed by (canonical plan, predicate family, resident-relation versions),
+// with byte-budgeted LRU eviction.
+//
+// Window semantics. A windowed query over the closed time range [lo, hi]
+// returns exactly the join rows whose anchor — the first interval
+// attribute of the query's first relation — intersects the window. That
+// definition makes results segment-decomposable: the answer for a window
+// is the union of the answers for any cover of it, with duplicates only
+// for rows whose anchor straddles a piece boundary (the "halo"; anchors
+// are joined whole, never clipped, so a straddling row appears in every
+// adjacent piece and merging dedups on the output-tuple key). A cached
+// segment therefore serves any later window by clipping: keep the rows
+// whose anchor intersects the query window.
+//
+// Segments of one key are kept window-disjoint by construction — a miss
+// inserts only the uncovered gap windows — so covered/uncovered
+// decomposition is a linear scan of the sorted segment list.
+package cache
+
+import (
+	"container/list"
+	"slices"
+	"sync"
+
+	"intervaljoin/internal/core"
+	"intervaljoin/internal/interval"
+)
+
+// Key identifies the result space a segment belongs to. Two queries share
+// a key exactly when their canonical plans coincide over identical
+// resident-relation versions; any re-registration of an input bumps the
+// version string and orphans prior segments (they age out via LRU).
+// Construct Keys with every field set — the cachekey lint analyzer
+// enforces that Versions and Family are never omitted, since a key that
+// drops either would serve stale or cross-family rows.
+type Key struct {
+	// Plan is core.CanonicalPlan of the query: normalized conjuncts over
+	// the ordered relation list.
+	Plan string
+	// Family is the query's predicate family ("colocation", "sequence",
+	// "hybrid", "general").
+	Family string
+	// Versions renders the resident inputs as "name@vN" in query relation
+	// order.
+	Versions string
+}
+
+// Window is a closed time range [Lo, Hi].
+type Window struct {
+	Lo, Hi interval.Point
+}
+
+// Span is the window's closed length.
+func (w Window) Span() int64 { return int64(w.Hi-w.Lo) + 1 }
+
+// Row is one cached join result row: the output tuple plus its anchor
+// interval (the first attribute of the first relation's tuple), kept so a
+// later query can clip the segment to its own window.
+type Row struct {
+	IDs    core.OutputTuple
+	Anchor interval.Interval
+}
+
+// Segment is one cached result range: every row whose anchor intersects
+// Win. Segments are immutable after insertion, so lookups may share them
+// outside the cache lock.
+type Segment struct {
+	Key  Key
+	Win  Window
+	Rows []Row
+
+	bytes int64
+	elem  *list.Element
+}
+
+// rowBytes approximates a row's resident size: anchor (16) + id slice
+// header (24) + ids.
+func rowBytes(r Row) int64 { return 40 + 8*int64(len(r.IDs)) }
+
+// segmentOverhead approximates a segment's fixed cost in the budget.
+const segmentOverhead = 128
+
+// Stats is the cache's cumulative accounting. Hit counters map onto the
+// obs counters the service exports (cache_hit_segments, cache_delta_rows,
+// ...); the span pair defines the semantic hit ratio.
+type Stats struct {
+	// Lookups counts queries; FullHits/PartialHits/Misses classify them by
+	// whether the cache covered all, some, or none of the window span.
+	Lookups, FullHits, PartialHits, Misses int64
+	// HitSegments counts segments handed to queries for merging.
+	HitSegments int64
+	// CachedRows counts rows served from segments (before clipping);
+	// DeltaRows counts rows inserted from delta-window joins.
+	CachedRows, DeltaRows int64
+	// SpanRequested/SpanCovered accumulate closed window lengths.
+	SpanRequested, SpanCovered int64
+	// Insertions/Evictions/BytesInUse track the byte-budgeted LRU.
+	Insertions, Evictions int64
+	BytesInUse            int64
+	BytesBudget           int64
+}
+
+// HitRatio is the fraction of requested window span served from cache.
+func (s Stats) HitRatio() float64 {
+	if s.SpanRequested == 0 {
+		return 0
+	}
+	return float64(s.SpanCovered) / float64(s.SpanRequested)
+}
+
+// Cache is the byte-budgeted LRU segment store. Safe for concurrent use.
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	lru    *list.List          // of *Segment; front = most recently used
+	segs   map[Key][]*Segment  // per key, sorted by Win.Lo, windows disjoint
+	stats  Stats
+}
+
+// DefaultBudget is the byte budget used when New is given a non-positive
+// one.
+const DefaultBudget int64 = 64 << 20
+
+// New makes an empty cache with the given byte budget.
+func New(budgetBytes int64) *Cache {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultBudget
+	}
+	return &Cache{budget: budgetBytes, lru: list.New(), segs: make(map[Key][]*Segment)}
+}
+
+// Lookup returns the cached segments intersecting the window (oldest window
+// first) and the uncovered gap windows, and updates the hit accounting.
+// Returned segments are immutable shared views; the caller clips their rows
+// to its own window and dedups against the gaps' delta results.
+func (c *Cache) Lookup(k Key, w Window) (hits []*Segment, gaps []Window) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Lookups++
+	c.stats.SpanRequested += w.Span()
+	cur := w.Lo
+	for _, s := range c.segs[k] {
+		if s.Win.Hi < w.Lo || s.Win.Lo > w.Hi {
+			continue
+		}
+		if s.Win.Lo > cur {
+			gaps = append(gaps, Window{Lo: cur, Hi: s.Win.Lo - 1})
+		}
+		hits = append(hits, s)
+		c.lru.MoveToFront(s.elem)
+		c.stats.CachedRows += int64(len(s.Rows))
+		if s.Win.Hi >= cur {
+			cur = s.Win.Hi + 1
+		}
+		if cur > w.Hi {
+			break
+		}
+	}
+	if cur <= w.Hi {
+		gaps = append(gaps, Window{Lo: cur, Hi: w.Hi})
+	}
+	covered := w.Span()
+	for _, g := range gaps {
+		covered -= g.Span()
+	}
+	c.stats.SpanCovered += covered
+	c.stats.HitSegments += int64(len(hits))
+	switch {
+	case len(gaps) == 0:
+		c.stats.FullHits++
+	case len(hits) > 0:
+		c.stats.PartialHits++
+	default:
+		c.stats.Misses++
+	}
+	return hits, gaps
+}
+
+// Insert caches rows as the segment for window w under the key. The window
+// must be one of the gaps a Lookup returned; if it meanwhile overlaps an
+// existing segment (two queries raced on the same gap), the insert is
+// dropped — the disjointness invariant wins over the duplicate work.
+func (c *Cache) Insert(k Key, w Window, rows []Row) *Segment {
+	// Segments hold rows in canonical order so lookups merge sorted runs.
+	// Engine results arrive sorted already; re-sorting here is a no-op
+	// guard on the cold path.
+	if !slices.IsSortedFunc(rows, compareRowIDs) {
+		slices.SortFunc(rows, compareRowIDs)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	segs := c.segs[k]
+	at := len(segs)
+	for i, s := range segs {
+		if s.Win.Hi >= w.Lo && s.Win.Lo <= w.Hi {
+			return nil
+		}
+		if s.Win.Lo > w.Hi {
+			at = i
+			break
+		}
+	}
+	seg := &Segment{Key: k, Win: w, Rows: rows, bytes: segmentOverhead}
+	for _, r := range rows {
+		seg.bytes += rowBytes(r)
+	}
+	c.segs[k] = append(segs[:at:at], append([]*Segment{seg}, segs[at:]...)...)
+	seg.elem = c.lru.PushFront(seg)
+	c.bytes += seg.bytes
+	c.stats.Insertions++
+	c.stats.DeltaRows += int64(len(rows))
+	c.evictLocked()
+	return seg
+}
+
+// evictLocked drops least-recently-used segments until the budget holds.
+// A single segment larger than the whole budget is evicted immediately
+// after insertion — correct (the cache just stays cold) and simple.
+func (c *Cache) evictLocked() {
+	for c.bytes > c.budget && c.lru.Len() > 0 {
+		s := c.lru.Back().Value.(*Segment)
+		c.removeLocked(s)
+		c.stats.Evictions++
+	}
+}
+
+// removeLocked unlinks the segment from the LRU and the per-key list.
+// Callers hold c.mu (the Locked suffix is the contract).
+func (c *Cache) removeLocked(s *Segment) {
+	c.lru.Remove(s.elem)
+	segs := c.segs[s.Key]
+	for i, t := range segs {
+		if t == s {
+			//lint:ignore shardlock called with c.mu held by evictLocked's callers
+			c.segs[s.Key] = append(segs[:i:i], segs[i+1:]...)
+			break
+		}
+	}
+	if len(c.segs[s.Key]) == 0 {
+		//lint:ignore shardlock called with c.mu held by evictLocked's callers
+		delete(c.segs, s.Key)
+	}
+	//lint:ignore shardlock called with c.mu held by evictLocked's callers
+	c.bytes -= s.bytes
+}
+
+func compareRowIDs(a, b Row) int { return compareTuples(a.IDs, b.IDs) }
+
+// Stats returns a snapshot of the cumulative accounting.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.BytesInUse = c.bytes
+	s.BytesBudget = c.budget
+	return s
+}
+
+// Len reports the number of resident segments.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -71,7 +71,7 @@ func (a AllMatrix) Run(ctx *Context) (*Result, error) {
 
 	inputs := make([]mr.Input, m)
 	for ri := range ctx.Rels {
-		inputs[ri] = mr.Input{File: ctx.inputFile(ri), Tag: ri}
+		inputs[ri] = ctx.relInput(ri, ri)
 	}
 
 	// Shared across reduce calls: the plan is static and per-run state is

@@ -41,7 +41,7 @@ func (a AllRep) Run(ctx *Context) (*Result, error) {
 	var replicated int64
 	inputs := make([]mr.Input, m)
 	for ri := range ctx.Rels {
-		inputs[ri] = mr.Input{File: ctx.inputFile(ri), Tag: ri}
+		inputs[ri] = ctx.relInput(ri, ri)
 		if ri != projectRel {
 			replicated += int64(ctx.Rels[ri].Len())
 		}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"slices"
+	"strconv"
+	"strings"
+
+	"intervaljoin/internal/query"
+)
+
+// CanonicalPlan renders a query as the canonical plan string the cache
+// service keys result segments on. The query is normalized first
+// (query.Normalize: inverse-form predicates swap operands), the relation
+// list is rendered in query order — relation order is semantic, it fixes
+// the output tuple's id positions — and the conjuncts are rendered on
+// operand indices and sorted, so conjunct order does not fragment the
+// cache. Two queries produce the same plan string exactly when their
+// normalized conjunctions over the same ordered relation list are
+// identical: "R2 after R1" and "R1 before R2" share a plan, while any
+// change in predicates, operands, attributes, or relation order does not.
+func CanonicalPlan(q *query.Query) string {
+	n := q.Normalize()
+	var b strings.Builder
+	for i, s := range n.Relations {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s.Name)
+		b.WriteByte('(')
+		b.WriteString(strings.Join(s.Attrs, " "))
+		b.WriteByte(')')
+	}
+	b.WriteByte('|')
+	conds := make([]string, len(n.Conds))
+	for i, c := range n.Conds {
+		conds[i] = renderCond(c)
+	}
+	slices.Sort(conds)
+	b.WriteString(strings.Join(conds, "&"))
+	return b.String()
+}
+
+// renderCond renders one normalized conjunct on operand indices:
+// "r0.a0 overlaps r1.a0".
+func renderCond(c query.Condition) string {
+	var b strings.Builder
+	b.WriteByte('r')
+	b.WriteString(strconv.Itoa(c.Left.Rel))
+	b.WriteString(".a")
+	b.WriteString(strconv.Itoa(c.Left.Attr))
+	b.WriteByte(' ')
+	b.WriteString(c.Pred.String())
+	b.WriteByte(' ')
+	b.WriteByte('r')
+	b.WriteString(strconv.Itoa(c.Right.Rel))
+	b.WriteString(".a")
+	b.WriteString(strconv.Itoa(c.Right.Attr))
+	return b.String()
+}

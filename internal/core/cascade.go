@@ -204,11 +204,11 @@ func (c Cascade) stepJob(ctx *Context, opts Options, plan *execPlan, gridPart in
 
 	var inputs []mr.Input
 	if current == "" {
-		inputs = append(inputs, mr.Input{File: ctx.inputFile(step.existing), Tag: intermediateTag})
+		inputs = append(inputs, ctx.relInput(step.existing, intermediateTag))
 	} else {
 		inputs = append(inputs, mr.Input{File: current, Tag: intermediateTag})
 	}
-	inputs = append(inputs, mr.Input{File: ctx.inputFile(step.novel), Tag: step.novel})
+	inputs = append(inputs, ctx.relInput(step.novel, step.novel))
 
 	firstStep := current == ""
 	strategy := interval.JoinStrategy(step.driving.Pred)

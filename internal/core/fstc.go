@@ -152,7 +152,7 @@ func (FSTC) sequenceJob(ctx *Context, opts Options, part interval.Partitioning,
 	}
 	inputs := make([]mr.Input, len(seqRels))
 	for i, r := range seqRels {
-		inputs[i] = mr.Input{File: ctx.inputFile(r), Tag: r}
+		inputs[i] = ctx.relInput(r, r)
 	}
 
 	// Shared across reduce calls: the plan is static and per-run state is
@@ -249,7 +249,7 @@ func (FSTC) colocStepJob(ctx *Context, opts Options, part interval.Partitioning,
 		Name: opts.Scratch + "/coloc-step-" + strconv.Itoa(novel),
 		Inputs: []mr.Input{
 			{File: current, Tag: intermediateTag},
-			{File: ctx.inputFile(novel), Tag: novel},
+			ctx.relInput(novel, novel),
 		},
 		Map: func(tag int, record string, emit mr.Emitter) error {
 			if tag == intermediateTag {

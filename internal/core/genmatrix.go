@@ -251,7 +251,7 @@ func (GenMatrix) markJob(ctx *Context, opts Options, d *query.Decomposition,
 
 	inputs := make([]mr.Input, len(ctx.Rels))
 	for ri := range ctx.Rels {
-		inputs[ri] = mr.Input{File: ctx.inputFile(ri), Tag: ri}
+		inputs[ri] = ctx.relInput(ri, ri)
 	}
 	// Vertices per relation per component, and per-component reducers.
 	attrOfComp := make([]map[int]int, len(d.Components)) // comp -> rel -> attr

@@ -47,7 +47,7 @@ func (r RCCIS) Run(ctx *Context) (*Result, error) {
 	part := plan.part
 	inputs := make([]mr.Input, m)
 	for ri := range ctx.Rels {
-		inputs[ri] = mr.Input{File: ctx.inputFile(ri), Tag: ri}
+		inputs[ri] = ctx.relInput(ri, ri)
 	}
 	marked := opts.Scratch + "/marked"
 

@@ -92,7 +92,7 @@ func componentMarkJob(ctx *Context, opts Options, part interval.Partitioning,
 	o := int64(part.Len())
 	inputs := make([]mr.Input, len(ctx.Rels))
 	for ri := range ctx.Rels {
-		inputs[ri] = mr.Input{File: ctx.inputFile(ri), Tag: ri}
+		inputs[ri] = ctx.relInput(ri, ri)
 	}
 
 	// Per-component reducers, built once.

@@ -58,8 +58,8 @@ func (tw TwoWay) Run(ctx *Context) (*Result, error) {
 	job := mr.Job{
 		Name: opts.Scratch + "/join",
 		Inputs: []mr.Input{
-			{File: ctx.inputFile(0), Tag: 0},
-			{File: ctx.inputFile(1), Tag: 1},
+			ctx.relInput(0, 0),
+			ctx.relInput(1, 1),
 		},
 		Map: func(tag int, record string, emit mr.Emitter) error {
 			t, err := relation.DecodeTuple(record)

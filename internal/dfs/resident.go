@@ -1,0 +1,90 @@
+package dfs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Residents is the resident-relation registry of a long-running store: a
+// named, versioned set of record files staged once and shared read-only by
+// every subsequent job. Registering a relation writes its records under a
+// version-stamped file name ("resident/<name>@v<N>") and bumps the
+// version; readers always address a specific version, so a re-registration
+// never mutates a file a running job is scanning, and a result cache keyed
+// on the version string can never serve rows computed from superseded data.
+type Residents struct {
+	mu       sync.Mutex
+	store    Store
+	versions map[string]int
+}
+
+// NewResidents makes an empty registry over the store.
+func NewResidents(store Store) *Residents {
+	return &Residents{store: store, versions: make(map[string]int)}
+}
+
+// ResidentFile is the store file name of version v of a resident relation.
+func ResidentFile(name string, version int) string {
+	return "resident/" + name + "@v" + strconv.Itoa(version)
+}
+
+// Register stages the records as the next version of the named relation and
+// returns the versioned file name. Prior versions stay on the store until
+// Drop removes them, so in-flight readers of the old version are safe.
+func (r *Residents) Register(name string, records []string) (file string, version int, err error) {
+	if name == "" {
+		return "", 0, fmt.Errorf("dfs: resident relation needs a name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	version = r.versions[name] + 1
+	file = ResidentFile(name, version)
+	if err := WriteAll(r.store, file, records); err != nil {
+		return "", 0, err
+	}
+	r.versions[name] = version
+	return file, version, nil
+}
+
+// Current returns the newest registered version of the named relation.
+func (r *Residents) Current(name string) (file string, version int, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	version, ok = r.versions[name]
+	if !ok {
+		return "", 0, false
+	}
+	return ResidentFile(name, version), version, true
+}
+
+// Names lists the registered relation names, sorted.
+func (r *Residents) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.versions))
+	for n := range r.versions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Drop removes superseded versions of the named relation from the store,
+// keeping the current one. It is the caller's compaction hook; the registry
+// never removes files on its own.
+func (r *Residents) Drop(name string) error {
+	r.mu.Lock()
+	cur := r.versions[name]
+	r.mu.Unlock()
+	for v := 1; v < cur; v++ {
+		f := ResidentFile(name, v)
+		if r.store.Exists(f) {
+			if err := r.store.Remove(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

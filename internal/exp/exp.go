@@ -287,6 +287,7 @@ func All() []Experiment {
 		{"ablation-pruning", "PASM under zero-pruning adversarial workload (DESIGN §6)", AblationPruning},
 		{"ablation-skew", "equi-depth vs uniform partitioning on zipf-skewed data (DESIGN §6)", AblationSkew},
 		{"ablation-range-shuffle", "range-coalesced shuffle: logical vs physical volume per algorithm", AblationRangeShuffle},
+		{"querymix", "semantic segment cache on zipfian query mixes (ijoind, DESIGN §cache)", QueryMix},
 		{"advisor", "cost model predictions vs measurements (Section 7.2 future work)", AdvisorValidation},
 	}
 }

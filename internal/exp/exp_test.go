@@ -410,8 +410,8 @@ func TestRenderAndRegistry(t *testing.T) {
 			t.Errorf("render missing %q in:\n%s", want, out)
 		}
 	}
-	if len(All()) != 14 {
-		t.Fatalf("experiments = %d, want 14", len(All()))
+	if len(All()) != 15 {
+		t.Fatalf("experiments = %d, want 15", len(All()))
 	}
 	if _, err := ByID("table1"); err != nil {
 		t.Fatal(err)

@@ -35,6 +35,26 @@ func TestPartitionBounds(t *testing.T) {
 	runFixture(t, "partitionbounds", "intervaljoin/lintfixture/bounds")
 }
 
+func TestCacheKey(t *testing.T) {
+	// The import path must sit under internal/cache: the analyzer scopes to
+	// the cache's packages, like hotpathban scopes to core and mr.
+	runFixture(t, "cachekey", "intervaljoin/internal/cache/lintfixture")
+}
+
+// TestCacheKeyScope reloads the fixture under a neutral import path:
+// outside the cache's packages a partial cache.Key literal may be a
+// legitimate sentinel or test scaffold, so the analyzer must stay silent.
+func TestCacheKeyScope(t *testing.T) {
+	pkg, err := fixtureLoader(t).LoadDir(filepath.Join("testdata", "cachekey"), "intervaljoin/lintfixture/notcache")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := RunAnalyzers(pkg, []*Analyzer{CacheKey})
+	for _, d := range diags {
+		t.Errorf("diagnostic outside the cache scope: %s", d)
+	}
+}
+
 func TestColKernel(t *testing.T) {
 	// Distinct from hotpathban's fixture path: the loader caches packages
 	// by import path, so sharing it would hand this test the wrong fixture.

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CacheKey enforces complete cache-key construction in the semantic
+// segment cache. A cache.Key identifies a result space by canonical plan,
+// predicate family, and resident-relation versions; a keyed composite
+// literal that omits Versions serves stale rows after a relation is
+// re-registered, and one that omits Family lets two queries whose plans
+// render identically but classify differently share segments. Both bugs
+// are silent — the cache returns plausible rows — so the construction
+// rule is enforced mechanically: every keyed cache.Key literal in the
+// cache's packages must set Plan, Family and Versions explicitly
+// (positional literals necessarily set all fields and pass).
+var CacheKey = &Analyzer{
+	Name: "cachekey",
+	Doc: "cache.Key literals in internal/cache must set Plan, Family and " +
+		"Versions; a key missing the relation versions or predicate family " +
+		"serves stale or cross-family cached rows",
+	Run: runCacheKey,
+}
+
+// cacheKeyScope limits the check to the packages that construct live cache
+// keys; the ijlint driver scopes per package path, mirroring hotpathban.
+var cacheKeyScope = []string{"internal/cache"}
+
+func runCacheKey(pass *Pass) {
+	inScope := false
+	for _, s := range cacheKeyScope {
+		if strings.Contains(pass.Pkg.Path(), s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[lit]
+			if !ok || !namedTypeIs(tv.Type, "internal/cache", "Key") {
+				return true
+			}
+			// A positional literal must supply every field to compile, so
+			// only keyed (or empty) literals can under-specify the key.
+			if len(lit.Elts) > 0 {
+				if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+					return true
+				}
+			}
+			set := make(map[string]bool, len(lit.Elts))
+			for _, e := range lit.Elts {
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						set[id.Name] = true
+					}
+				}
+			}
+			var missing []string
+			for _, field := range []string{"Plan", "Family", "Versions"} {
+				if !set[field] {
+					missing = append(missing, field)
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(lit.Pos(),
+					"cache.Key literal omits %s; a key must carry the canonical plan, predicate family and relation versions",
+					strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}

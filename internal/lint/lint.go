@@ -1,9 +1,10 @@
-// Package lint is ijlint's analysis framework plus the eight
+// Package lint is ijlint's analysis framework plus the nine
 // domain-specific analyzers that mechanically enforce the engine's
 // invariants (exhaustive Allen-predicate switches, emitter escape
 // discipline, sync.Pool hygiene, shard-lock guarding, the hot-path
 // forbid-list, the per-pair-loop clock-read ban, the columnar-kernel
-// purity rule, and checked partition-boundary construction).
+// purity rule, checked partition-boundary construction, and complete
+// semantic-cache key construction).
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis —
 // an Analyzer runs over a type-checked Pass and reports Diagnostics —
@@ -70,7 +71,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the eight ijlint analyzers in their canonical order.
+// All returns the nine ijlint analyzers in their canonical order.
 func All() []*Analyzer {
 	return []*Analyzer{
 		AllenExhaustive,
@@ -81,6 +82,7 @@ func All() []*Analyzer {
 		TimeNowLoop,
 		ColKernel,
 		PartitionBounds,
+		CacheKey,
 	}
 }
 

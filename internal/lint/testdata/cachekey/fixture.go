@@ -1,0 +1,21 @@
+// Fixture for the cachekey analyzer: cache.Key literals in the cache's
+// packages must set Plan, Family and Versions.
+package fixture
+
+import "intervaljoin/internal/cache"
+
+func buildKeys(plan, family, versions string) []cache.Key {
+	complete := cache.Key{Plan: plan, Family: family, Versions: versions}
+	positional := cache.Key{plan, family, versions}
+	noVersions := cache.Key{Plan: plan, Family: family}   // want `omits Versions`
+	noFamily := cache.Key{Plan: plan, Versions: versions} // want `omits Family`
+	planOnly := cache.Key{Plan: plan}                     // want `omits Family, Versions`
+	zero := cache.Key{}                                   // want `omits Plan, Family, Versions`
+	return []cache.Key{complete, positional, noVersions, noFamily, planOnly, zero}
+}
+
+func lookupByKey(c *cache.Cache, plan, family, versions string) {
+	// Keys used for lookups under-specify just as dangerously as inserts.
+	c.Lookup(cache.Key{Plan: plan, Family: family}, cache.Window{Lo: 0, Hi: 10}) // want `omits Versions`
+	c.Lookup(cache.Key{Plan: plan, Family: family, Versions: versions}, cache.Window{Lo: 0, Hi: 10})
+}

@@ -19,6 +19,11 @@ type Metrics struct {
 	Cycles int
 	// MapInputRecords counts records read by map tasks across inputs.
 	MapInputRecords int64
+	// FilteredRecords counts records dropped at feed time by Input.Where
+	// before reaching any map task — the records a delta-window run skipped
+	// relative to a full scan of the same inputs. Not included in
+	// MapInputRecords.
+	FilteredRecords int64
 	// IntermediatePairs counts emitted key-value pairs — the map→reduce
 	// communication volume. This is the logical count: a range emission
 	// addressed to r reducers counts r pairs, exactly what the per-key emit
@@ -137,6 +142,7 @@ func NewMetrics(job string) *Metrics { return newMetrics(job) }
 // values.
 func (m *Metrics) Merge(other *Metrics) {
 	m.MapInputRecords += other.MapInputRecords
+	m.FilteredRecords += other.FilteredRecords
 	m.IntermediatePairs += other.IntermediatePairs
 	m.IntermediateBytes += other.IntermediateBytes
 	m.PhysicalPairs += other.PhysicalPairs

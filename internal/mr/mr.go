@@ -111,6 +111,16 @@ var ErrTransient = errors.New("mr: transient task failure")
 type Input struct {
 	File string
 	Tag  int
+	// Where optionally filters records at feed time: only records for
+	// which it returns true reach the map tasks; the rest are dropped
+	// before batching and counted in Metrics.FilteredRecords. This is the
+	// delta-window execution entry point: the cache service re-runs a join
+	// over only the tuples intersecting an uncovered time window by
+	// feeding the resident relation file through a window predicate,
+	// without re-staging a filtered copy. Nil feeds every record. The
+	// function must be safe for concurrent calls (one reader goroutine per
+	// input file).
+	Where func(record string) bool
 }
 
 // expand resolves a directory input to its member files.
@@ -423,10 +433,12 @@ func recycleValues(vs *[]string) {
 	valuesPool.Put(vs)
 }
 
-// feedFile is one resolved input file with its map tag.
+// feedFile is one resolved input file with its map tag and optional
+// feed-time record filter.
 type feedFile struct {
-	name string
-	tag  int
+	name  string
+	tag   int
+	where func(string) bool
 }
 
 func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord, jobLane *obs.Lane) (*shuffleState, error) {
@@ -440,7 +452,7 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord, job
 			return nil, fmt.Errorf("mr: job %s: %w", job.Name, err)
 		}
 		for _, f := range fs {
-			files = append(files, feedFile{name: f, tag: in.Tag})
+			files = append(files, feedFile{name: f, tag: in.Tag, where: in.Where})
 		}
 	}
 
@@ -581,7 +593,7 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord, job
 	// Feed record batches with one reader per file (bounded by the worker
 	// count), so multi-file and multi-input jobs are not throttled by a
 	// single reader goroutine.
-	var records atomic.Int64
+	var records, filtered atomic.Int64
 	feedErrc := make(chan error, len(files))
 	filec := make(chan feedFile)
 	readers := e.workers
@@ -597,7 +609,7 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord, job
 			defer e.tracer.Release(lane)
 			for f := range filec {
 				fStart := lane.Begin()
-				if err := e.feedFile(job, f, work, &records); err != nil {
+				if err := e.feedFile(job, f, work, &records, &filtered); err != nil {
 					feedErrc <- err
 					// Keep draining so the dispatcher never blocks.
 				}
@@ -639,6 +651,7 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord, job
 	}
 
 	m.MapInputRecords = records.Load()
+	m.FilteredRecords = filtered.Load()
 	m.MapWall = time.Since(mapStart)
 
 	shuffle := &shuffleState{}
@@ -741,15 +754,16 @@ func (e *Engine) mapPhase(job Job, m *Metrics, stream <-chan []taggedRecord, job
 	return shuffle, nil
 }
 
-// feedFile streams one input file into map batches.
-func (e *Engine) feedFile(job Job, f feedFile, work chan<- []taggedRecord, records *atomic.Int64) error {
+// feedFile streams one input file into map batches, applying the input's
+// feed-time filter (if any) before batching.
+func (e *Engine) feedFile(job Job, f feedFile, work chan<- []taggedRecord, records, filtered *atomic.Int64) error {
 	it, err := e.store.Open(f.name)
 	if err != nil {
 		return fmt.Errorf("mr: job %s: %w", job.Name, err)
 	}
 	defer it.Close()
 	batch := batchPool.Get().([]taggedRecord)
-	n := int64(0)
+	n, dropped := int64(0), int64(0)
 	for {
 		rec, ok, err := it.Next()
 		if err != nil {
@@ -759,6 +773,10 @@ func (e *Engine) feedFile(job Job, f feedFile, work chan<- []taggedRecord, recor
 		if !ok {
 			break
 		}
+		if f.where != nil && !f.where(rec) {
+			dropped++
+			continue
+		}
 		n++
 		batch = append(batch, taggedRecord{tag: f.tag, record: rec})
 		if len(batch) == mapBatchSize {
@@ -767,6 +785,7 @@ func (e *Engine) feedFile(job Job, f feedFile, work chan<- []taggedRecord, recor
 		}
 	}
 	records.Add(n)
+	filtered.Add(dropped)
 	if len(batch) > 0 {
 		work <- batch
 	} else {

@@ -89,6 +89,42 @@ type PlanInfo struct {
 	MaxVirtual     int     `json:"max_virtual,omitempty"`
 }
 
+// CacheReport summarises the semantic segment cache over a query mix: the
+// hit accounting the ijoind bench mode measures and benchsummary -cache
+// tabulates (and -cachegate gates). Span ratios are over closed window
+// lengths, so HitRatio is the fraction of requested time range served from
+// cache rather than a per-query coin flip.
+type CacheReport struct {
+	// Lookups, FullHits, PartialHits and Misses count queries by how much
+	// of their window the cache covered (all / some / none).
+	Lookups     int64 `json:"lookups"`
+	FullHits    int64 `json:"full_hits"`
+	PartialHits int64 `json:"partial_hits"`
+	Misses      int64 `json:"misses"`
+	// HitSegments counts cached segments merged into answers.
+	HitSegments int64 `json:"hit_segments"`
+	// CachedRows / DeltaRows split answer rows by provenance: merged from
+	// cached segments vs computed by delta-window joins.
+	CachedRows int64 `json:"cached_rows"`
+	DeltaRows  int64 `json:"delta_rows"`
+	// SpanRequested / SpanCovered accumulate closed window lengths; their
+	// ratio is the semantic hit ratio.
+	SpanRequested int64   `json:"span_requested"`
+	SpanCovered   int64   `json:"span_covered"`
+	HitRatio      float64 `json:"hit_ratio"`
+	// Insertions / Evictions / BytesInUse / BytesBudget describe the
+	// byte-budgeted LRU.
+	Insertions  int64 `json:"insertions"`
+	Evictions   int64 `json:"evictions"`
+	BytesInUse  int64 `json:"bytes_in_use"`
+	BytesBudget int64 `json:"bytes_budget"`
+	// ColdNS / WarmNS are mean per-query walls for the cold pass (empty
+	// cache) and warm pass of the benchmark mix; Speedup is cold/warm.
+	ColdNS  int64   `json:"cold_ns,omitempty"`
+	WarmNS  int64   `json:"warm_ns,omitempty"`
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
 // Report is the metrics.json document.
 type Report struct {
 	Name         string                `json:"name"`
@@ -99,6 +135,7 @@ type Report struct {
 	Hists        map[string]HistJSON   `json:"hists,omitempty"`
 	Skew         *SkewReport           `json:"skew,omitempty"`
 	Plan         *PlanInfo             `json:"plan,omitempty"`
+	Cache        *CacheReport          `json:"cache,omitempty"`
 	Lanes        int                   `json:"lanes"`
 	DroppedSpans int64                 `json:"dropped_spans,omitempty"`
 }

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// QueryWindow is one time-range query of a mix: the closed range [Lo, Hi].
+type QueryWindow struct {
+	Lo, Hi int64
+}
+
+// QueryMixSpec describes a zipfian time-range query mix: N windows whose
+// centers cluster on a small set of hot spots with zipf-distributed
+// popularity. Consecutive queries against the hot spots overlap heavily —
+// the access pattern a semantic segment cache converts into partial and
+// full hits — while tail queries land on rarely-visited ranges and stay
+// cold. Skew tunes the zipf exponent: higher concentrates more of the mix
+// on the hottest spot.
+type QueryMixSpec struct {
+	// N is the number of queries.
+	N int
+	// TMin and TMax bound the time range windows are drawn from.
+	TMin, TMax int64
+	// Hotspots is the number of hot centers spread across the range
+	// (default 8).
+	Hotspots int
+	// Skew is the zipf exponent over hotspot ranks; must exceed 1
+	// (default 1.5). Higher means the hottest spots absorb more queries.
+	Skew float64
+	// SpanMin and SpanMax bound the window length (defaults: 1/20 and 1/4
+	// of the time range).
+	SpanMin, SpanMax int64
+	// Jitter shifts each window's center uniformly within ±Jitter around
+	// its hotspot, so repeat visits overlap without coinciding (default:
+	// half the mean span).
+	Jitter int64
+	// Seed makes the mix deterministic.
+	Seed int64
+}
+
+func (s QueryMixSpec) withDefaults() QueryMixSpec {
+	span := s.TMax - s.TMin
+	if s.Hotspots <= 0 {
+		s.Hotspots = 8
+	}
+	if s.Skew == 0 {
+		s.Skew = 1.5
+	}
+	if s.SpanMin <= 0 {
+		s.SpanMin = max64(1, span/20)
+	}
+	if s.SpanMax <= 0 {
+		s.SpanMax = max64(s.SpanMin, span/4)
+	}
+	if s.Jitter <= 0 {
+		s.Jitter = (s.SpanMin + s.SpanMax) / 4
+	}
+	return s
+}
+
+// Validate reports the first problem with the spec.
+func (s QueryMixSpec) Validate() error {
+	if s.N < 0 {
+		return fmt.Errorf("workload: negative query count %d", s.N)
+	}
+	if s.TMax <= s.TMin {
+		return fmt.Errorf("workload: empty time range [%d, %d]", s.TMin, s.TMax)
+	}
+	if s.Skew != 0 && s.Skew <= 1 {
+		return fmt.Errorf("workload: zipf exponent %v must exceed 1", s.Skew)
+	}
+	if s.SpanMin < 0 || (s.SpanMax != 0 && s.SpanMax < s.SpanMin) {
+		return fmt.Errorf("workload: bad span range [%d, %d]", s.SpanMin, s.SpanMax)
+	}
+	return nil
+}
+
+// ZipfQueryMix generates the query mix. Deterministic in the seed.
+func ZipfQueryMix(spec QueryMixSpec) ([]QueryWindow, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s := spec.withDefaults()
+	rng := rand.New(rand.NewSource(s.Seed))
+	ranks := rand.NewZipf(rng, s.Skew, 1, uint64(s.Hotspots-1))
+	// Hot centers sit mid-stride across the range; a fixed shuffle decouples
+	// rank popularity from time order so the hottest ranges are not all at
+	// the range's low end.
+	centers := make([]int64, s.Hotspots)
+	stride := (s.TMax - s.TMin) / int64(s.Hotspots)
+	for i := range centers {
+		centers[i] = s.TMin + stride/2 + int64(i)*stride
+	}
+	rng.Shuffle(len(centers), func(i, j int) { centers[i], centers[j] = centers[j], centers[i] })
+
+	out := make([]QueryWindow, s.N)
+	for i := range out {
+		c := centers[ranks.Uint64()]
+		c += rng.Int63n(2*s.Jitter+1) - s.Jitter
+		span := s.SpanMin
+		if s.SpanMax > s.SpanMin {
+			span += rng.Int63n(s.SpanMax - s.SpanMin + 1)
+		}
+		lo := c - span/2
+		hi := lo + span
+		if lo < s.TMin {
+			lo, hi = s.TMin, s.TMin+span
+		}
+		if hi > s.TMax {
+			hi = s.TMax
+			lo = max64(s.TMin, hi-span)
+		}
+		out[i] = QueryWindow{Lo: lo, Hi: hi}
+	}
+	return out, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,65 @@
+package workload
+
+import "testing"
+
+func TestZipfQueryMixDeterministicAndBounded(t *testing.T) {
+	spec := QueryMixSpec{N: 200, TMin: 0, TMax: 100_000, Seed: 42}
+	a, err := ZipfQueryMix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ZipfQueryMix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 200 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("mix not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i].Lo < 0 || a[i].Hi > 100_000 || a[i].Hi < a[i].Lo {
+			t.Fatalf("window %d out of bounds: %v", i, a[i])
+		}
+	}
+}
+
+func TestZipfQueryMixSkewConcentrates(t *testing.T) {
+	// Count queries per hotspot stride; high skew must concentrate far more
+	// mass on the top stride than low skew.
+	share := func(skew float64) float64 {
+		ws, err := ZipfQueryMix(QueryMixSpec{N: 2000, TMin: 0, TMax: 100_000, Skew: skew, Hotspots: 16,
+			SpanMin: 2000, SpanMax: 2500, Jitter: 500, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[int64]int)
+		for _, w := range ws {
+			counts[(w.Lo+w.Hi)/2/(100_000/16)]++
+		}
+		top := 0
+		for _, c := range counts {
+			if c > top {
+				top = c
+			}
+		}
+		return float64(top) / float64(len(ws))
+	}
+	lo, hi := share(1.1), share(3.0)
+	if hi <= lo {
+		t.Fatalf("skew 3.0 top-stride share %.3f not above skew 1.1 share %.3f", hi, lo)
+	}
+	if hi < 0.5 {
+		t.Fatalf("skew 3.0 should concentrate >50%% on the top stride, got %.3f", hi)
+	}
+}
+
+func TestZipfQueryMixValidation(t *testing.T) {
+	if _, err := ZipfQueryMix(QueryMixSpec{N: 1, TMin: 10, TMax: 10}); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	if _, err := ZipfQueryMix(QueryMixSpec{N: 1, TMin: 0, TMax: 10, Skew: 0.5}); err == nil {
+		t.Fatal("exponent <= 1 accepted")
+	}
+}

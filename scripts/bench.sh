@@ -91,6 +91,16 @@ go run ./cmd/ijoin -query "R1 overlaps R2" \
 go run ./cmd/benchsummary -skew artifacts/skew-metrics.json
 echo "wrote artifacts/skew-metrics.json"
 
+# Cache artifact: the ijoind zipfian query-mix benchmark — cold run vs
+# semantic-cache-served run per window, byte-identical results enforced
+# inside the benchmark. artifacts/cache-metrics.json carries the cache
+# section (hit ratio, warm/cold means, speedup) that benchsummary -cache
+# renders and check.sh gates via -cachegate.
+go run ./cmd/ijoind -bench -queries 120 -rows 12000 -workers 4 \
+    -metrics artifacts/cache-metrics.json
+go run ./cmd/benchsummary -cache artifacts/cache-metrics.json
+echo "wrote artifacts/cache-metrics.json"
+
 # Phase baseline: BENCH-PHASES.json freezes the traced run's per-phase
 # walls (the dash keeps it out of check.sh's BENCH_<n>.json discovery).
 # check.sh gates the reduce phase against it via benchsummary -phasegate;
@@ -106,6 +116,14 @@ fi
 if [ ! -f BENCH-SKEW.json ]; then
     cp artifacts/skew-metrics.json BENCH-SKEW.json
     echo "seeded BENCH-SKEW.json"
+fi
+
+# Cache baseline: BENCH-CACHE.json freezes the query-mix cache run;
+# check.sh prints deltas against it and gates the span hit ratio with an
+# absolute floor (benchsummary -cachegate).
+if [ ! -f BENCH-CACHE.json ]; then
+    cp artifacts/cache-metrics.json BENCH-CACHE.json
+    echo "seeded BENCH-CACHE.json"
 fi
 
 # When regenerating a later baseline, show the regression table against the

@@ -80,6 +80,15 @@ if [ "${SKIP_BENCH:-0}" != "1" ]; then
             -skew BENCH-SKEW.json,artifacts/skew-metrics.json \
             -skewgate "${SKEW_THRESHOLD:-1.5}"
     fi
+    # Semantic-cache gate: the ijoind zipfian query-mix run must keep its
+    # span hit ratio at or above the absolute CACHE_THRESHOLD floor — the
+    # deterministic stand-in for the "warm >= 5x cold" latency target,
+    # which the warm/cold rows of the table track informationally.
+    if [ -f BENCH-CACHE.json ] && [ -f artifacts/cache-metrics.json ]; then
+        go run ./cmd/benchsummary -fail \
+            -cache BENCH-CACHE.json,artifacts/cache-metrics.json \
+            -cachegate "${CACHE_THRESHOLD:-0.8}"
+    fi
 fi
 
 echo "check.sh: all green"
