@@ -219,7 +219,12 @@ func (c Cascade) stepJob(ctx *Context, opts Options, plan *execPlan, gridPart in
 
 	// The 2-D matrix variant projects both sides into a consistent-cell
 	// grid instead (Section 7.2 configuration for the cascade baseline).
-	g, _ := grid.New([]int{gridPart.Len(), gridPart.Len()})
+	g, err := grid.New([]int{gridPart.Len(), gridPart.Len()})
+	if err != nil {
+		// A partitioner always has at least one bucket per dimension, so a
+		// grid over two copies of it can only fail on a planner bug.
+		panic("core: cascade grid construction failed: " + err.Error())
+	}
 	// Dimension 0 carries the lesser operand of the driving condition.
 	boundLesser := (step.driving.Pred.LessThanOrder() == interval.LeftLess) == boundIsLeft
 	cons := []grid.Less{{A: 0, B: 1}}

@@ -1,0 +1,489 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"intervaljoin/internal/lint/flow"
+)
+
+// ErrorFlowScope lists the package-path fragments on which the errorflow
+// analyzer is enforced. The engine path must never swallow an error: every
+// error value has to reach a return, a Metrics counter, an error channel,
+// or a panic. Presentation helpers (String methods and the like) outside
+// these packages are free to drop never-failing writer errors.
+var ErrorFlowScope = []string{
+	"internal/core",
+	"internal/mr",
+	"internal/dfs",
+	"internal/cache",
+}
+
+// ErrorFlow enforces error-flow discipline on the engine path.
+var ErrorFlow = &Analyzer{
+	Name: "errorflow",
+	Doc: "Errors on the engine path must be consulted: no blank-discarding " +
+		"an error result, no dropping one by calling for side effects only " +
+		"(unless the statement sits on a failure path that already returns, " +
+		"sends, or panics an error), no assigning an error that is never " +
+		"read or is overwritten unread, and no passing a live error into a " +
+		"function that ignores its error parameter.",
+	Run: runErrorFlow,
+}
+
+var errorIface = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is exactly the error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorIface)
+}
+
+func errorFlowInScope(path string) bool {
+	for _, s := range ErrorFlowScope {
+		if strings.Contains(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func runErrorFlow(pass *Pass) {
+	if !errorFlowInScope(pass.Pkg.Path()) {
+		return
+	}
+	sinks := errorSinks(pass.Flow)
+	for _, file := range pass.Files {
+		checkErrorDiscards(pass, file)
+		checkDeadErrors(pass, file)
+		checkStmtLists(pass, file)
+		checkErrorSinkCalls(pass, file, sinks)
+	}
+}
+
+// checkErrorDiscards flags assignments that blank an error produced by a
+// call: `_ = f()` and `v, _ := g()` where the blanked slot is error-typed.
+// Type assertions and map lookups (`v, _ := x.(T)`) are not calls and are
+// untouched.
+func checkErrorDiscards(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+			// Tuple form: one call, several results.
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tup, ok := pass.Info.TypeOf(call).(*types.Tuple)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if isBlankIdent(lhs) && i < tup.Len() && isErrorType(tup.At(i).Type()) {
+					pass.Reportf(lhs.Pos(), "error result of %s discarded with _; errors on the engine path must reach a return, Metrics, or a panic", callName(call))
+				}
+			}
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if !isBlankIdent(lhs) || i >= len(as.Rhs) {
+				continue
+			}
+			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+				continue // conversion, not a call
+			}
+			if isErrorType(pass.Info.TypeOf(call)) {
+				pass.Reportf(lhs.Pos(), "error result of %s discarded with _; errors on the engine path must reach a return, Metrics, or a panic", callName(call))
+			}
+		}
+		return true
+	})
+}
+
+func isBlankIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// callName renders a short name for the called function, for messages.
+func callName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(f.X).(*ast.Ident); ok {
+			return x.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "the call"
+}
+
+// checkStmtLists walks every statement list of the file (block bodies and
+// switch/select clause bodies) and applies the two list-local rules: bare
+// error-dropping call statements, and error assignments overwritten before
+// any read.
+func checkStmtLists(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			list = s.List
+		case *ast.CaseClause:
+			list = s.Body
+		case *ast.CommClause:
+			list = s.Body
+		default:
+			return true
+		}
+		checkBareDrops(pass, list)
+		checkErrorOverwrites(pass, list)
+		return true
+	})
+}
+
+// checkBareDrops flags expression statements whose call returns an error
+// that nothing receives. Exemptions: calls on never-failing writers
+// (strings.Builder, bytes.Buffer), and statements on a failure path — a
+// later statement in the same block returns an error, sends an error on a
+// channel, or panics, so the drop is best-effort cleanup with the real
+// error already in flight.
+func checkBareDrops(pass *Pass, list []ast.Stmt) {
+	for i, s := range list {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			continue
+		}
+		if !resultHasError(pass.Info.TypeOf(call)) {
+			continue
+		}
+		if neverFailsReceiver(pass.Info, call) {
+			continue
+		}
+		if failureExitFollows(pass.Info, list[i+1:]) {
+			continue
+		}
+		pass.Reportf(es.Pos(), "call to %s drops its error result; check it or route it to a return, Metrics, or a panic", callName(call))
+	}
+}
+
+// resultHasError reports whether the call's result type includes an error.
+func resultHasError(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+// neverFailsReceiver reports whether the call is a method on a writer whose
+// error result is documented to always be nil, or an fmt.Fprint* call whose
+// destination is such a writer.
+func neverFailsReceiver(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if x, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if pn, ok := info.Uses[x].(*types.PkgName); ok {
+			if pn.Imported().Path() == "fmt" && strings.HasPrefix(sel.Sel.Name, "Fprint") && len(call.Args) > 0 {
+				return infallibleWriter(info.TypeOf(call.Args[0]))
+			}
+			return false
+		}
+	}
+	return infallibleWriter(info.TypeOf(sel.X))
+}
+
+// infallibleWriter reports whether t (possibly a pointer) is a writer that
+// never returns a non-nil error.
+func infallibleWriter(t types.Type) bool {
+	return namedTypeIs(t, "strings", "Builder") || namedTypeIs(t, "bytes", "Buffer")
+}
+
+// failureExitFollows reports whether any of the statements returns an
+// error-typed value, sends an error-typed value, or panics.
+func failureExitFollows(info *types.Info, rest []ast.Stmt) bool {
+	for _, s := range rest {
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if isErrorType(info.TypeOf(r)) && !info.Types[r].IsNil() {
+					return true
+				}
+			}
+		case *ast.SendStmt:
+			if isErrorType(info.TypeOf(s.Value)) {
+				return true
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isBuiltin(info, call, "panic") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkDeadErrors flags error variables defined from a call and never read
+// anywhere in the function. Reads are uses outside assignment left-hand
+// sides, so `err = f()` alone does not count as consulting err.
+func checkDeadErrors(pass *Pass, file *ast.File) {
+	// Idents appearing as the target of an assignment.
+	lhsIdents := make(map[*ast.Ident]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				lhsIdents[id] = true
+			}
+		}
+		return true
+	})
+	reads := make(map[types.Object]int)
+	ast.Inspect(file, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || lhsIdents[id] {
+			return true
+		}
+		if obj := pass.Info.Uses[id]; obj != nil {
+			reads[obj]++
+		}
+		return true
+	})
+	ast.Inspect(file, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil || !isErrorType(obj.Type()) || reads[obj] > 0 {
+				continue
+			}
+			if !rhsHasCall(as, i) {
+				continue
+			}
+			pass.Reportf(id.Pos(), "error assigned to %s is never consulted", id.Name)
+		}
+		return true
+	})
+}
+
+// rhsHasCall reports whether slot i of the assignment is produced by a call.
+func rhsHasCall(as *ast.AssignStmt, i int) bool {
+	var rhs ast.Expr
+	if len(as.Rhs) == 1 {
+		rhs = as.Rhs[0]
+	} else if i < len(as.Rhs) {
+		rhs = as.Rhs[i]
+	} else {
+		return false
+	}
+	_, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	return ok
+}
+
+// checkErrorOverwrites flags an error assignment whose value is overwritten
+// by the next statement that mentions the variable, without any read in
+// between: the first result can never influence control flow.
+func checkErrorOverwrites(pass *Pass, list []ast.Stmt) {
+	for i, s := range list {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		for k, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" || !rhsHasCall(as, k) {
+				continue
+			}
+			obj := assignTarget(pass.Info, id)
+			if obj == nil || !isErrorType(obj.Type()) {
+				continue
+			}
+			// Another slot of the same statement may read obj (rare but
+			// possible via a function call argument); treat as a read.
+			for j := i + 1; j < len(list); j++ {
+				next := list[j]
+				if !mentionsObject(pass.Info, next, obj) {
+					continue
+				}
+				if pureReassign(pass.Info, next, obj) {
+					pass.Reportf(id.Pos(), "error assigned to %s is overwritten before it is consulted", id.Name)
+				}
+				break
+			}
+		}
+	}
+}
+
+// assignTarget resolves the object an assignment's LHS ident denotes,
+// whether the statement defines it or reuses it.
+func assignTarget(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// mentionsObject reports whether the statement references obj at all,
+// as a definition or a use.
+func mentionsObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok {
+			if info.Uses[id] == obj || info.Defs[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// pureReassign reports whether the statement assigns to obj without also
+// reading it: every mention of obj is an assignment LHS ident.
+func pureReassign(info *types.Info, n ast.Node, obj types.Object) bool {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	total, lhs := 0, 0
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+			total++
+		}
+		return true
+	})
+	for _, l := range as.Lhs {
+		if id, ok := ast.Unparen(l).(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+			lhs++
+		}
+	}
+	return lhs > 0 && total == lhs
+}
+
+// errSinkSummary records, per function, the indices of error-typed
+// parameters the body never consults.
+type errSinkSummary struct {
+	sinks map[*flow.Node][]int
+}
+
+// errorSinks computes (memoized on the graph) which module functions ignore
+// an error-typed parameter. Methods whose name matches a method of any
+// module interface are skipped: their signature is contractual, an unused
+// parameter there is the interface's business, not the caller's.
+func errorSinks(g *flow.Graph) *errSinkSummary {
+	return g.Memo("errorflow", func() any {
+		ifaceMethods := make(map[string]bool)
+		for _, u := range g.Units {
+			scope := u.Pkg.Scope()
+			for _, name := range scope.Names() {
+				tn, ok := scope.Lookup(name).(*types.TypeName)
+				if !ok {
+					continue
+				}
+				iface, ok := tn.Type().Underlying().(*types.Interface)
+				if !ok {
+					continue
+				}
+				for i := 0; i < iface.NumMethods(); i++ {
+					ifaceMethods[iface.Method(i).Name()] = true
+				}
+			}
+		}
+		s := &errSinkSummary{sinks: make(map[*flow.Node][]int)}
+		for _, n := range g.Nodes() {
+			sig := n.Signature()
+			if sig == nil || n.Body == nil {
+				continue
+			}
+			if fn := n.Func; fn != nil && sig.Recv() != nil && ifaceMethods[fn.Name()] {
+				continue
+			}
+			for i := 0; i < sig.Params().Len(); i++ {
+				p := sig.Params().At(i)
+				if !isErrorType(p.Type()) {
+					continue
+				}
+				if p.Name() != "_" && p.Name() != "" && usesObject(n.Unit.Info, n.Body, p) {
+					continue
+				}
+				s.sinks[n] = append(s.sinks[n], i)
+			}
+		}
+		return s
+	}).(*errSinkSummary)
+}
+
+// checkErrorSinkCalls flags call sites that pass a non-nil error expression
+// into a parameter the callee provably ignores.
+func checkErrorSinkCalls(pass *Pass, file *ast.File, sinks *errSinkSummary) {
+	if len(sinks.sinks) == 0 {
+		return
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, callee := range pass.Flow.Callees(pass.Unit, call) {
+			idxs := sinks.sinks[callee]
+			if len(idxs) == 0 {
+				continue
+			}
+			sig := callee.Signature()
+			for _, i := range idxs {
+				argi := i
+				if sig.Recv() != nil {
+					// Method expressions take the receiver as the first
+					// argument, shifting the parameters right by one.
+					if se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+						if sel, selOK := pass.Unit.Info.Selections[se]; selOK && sel.Kind() == types.MethodExpr {
+							argi = i + 1
+						}
+					}
+				}
+				if argi >= len(call.Args) || sig.Variadic() && argi >= sig.Params().Len()-1 {
+					continue
+				}
+				arg := call.Args[argi]
+				if tv, ok := pass.Info.Types[arg]; ok && tv.IsNil() {
+					continue
+				}
+				if !isErrorType(pass.Info.TypeOf(arg)) {
+					continue
+				}
+				pass.Reportf(arg.Pos(), "error passed to %s, which never consults that parameter: the value is silently dropped", callee.String())
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,330 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is the control-flow graph of one function body: basic blocks of
+// simple statements and conditions connected by successor edges. Nested
+// function literal bodies are excluded — each literal is its own call
+// graph node with its own CFG. Goto edges are not modeled (the module has
+// none); a goto ends its block like a return.
+type CFG struct {
+	Entry  *Block
+	Blocks []*Block
+	pos    map[ast.Node]nodePos
+}
+
+// Block is one basic block. Nodes holds simple statements and the
+// expression operands of composite statements (an if condition, a switch
+// tag, a range header) in execution order.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+type nodePos struct {
+	block *Block
+	index int
+}
+
+// Reaches reports whether execution can flow from just after node `from`
+// to node `to`, following successor edges. Both must be CFG nodes of this
+// graph.
+func (c *CFG) Reaches(from, to ast.Node) bool {
+	fp, ok := c.pos[from]
+	tp, ok2 := c.pos[to]
+	if !ok || !ok2 {
+		return false
+	}
+	if fp.block == tp.block && tp.index > fp.index {
+		return true
+	}
+	seen := make(map[*Block]bool)
+	stack := append([]*Block(nil), fp.block.Succs...)
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		if b == tp.block {
+			return true
+		}
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}
+
+// Contains reports whether n is a node of this CFG.
+func (c *CFG) Contains(n ast.Node) bool {
+	_, ok := c.pos[n]
+	return ok
+}
+
+type cfgBuilder struct {
+	cfg      *CFG
+	cur      *Block
+	frames   []frame
+	label    string
+	fallFrom *Block
+}
+
+// frame is one enclosing breakable construct. cont is nil for switches
+// and selects.
+type frame struct {
+	label string
+	brk   *Block
+	cont  *Block
+}
+
+func buildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{pos: make(map[ast.Node]nodePos)}}
+	b.cfg.Entry = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmt(body)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if _, dup := b.cfg.pos[n]; dup {
+		return
+	}
+	b.cfg.pos[n] = nodePos{b.cur, len(b.cur.Nodes)}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// takeLabel consumes the pending label of a labeled statement.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+func (b *cfgBuilder) findFrame(label *ast.Ident, needCont bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needCont && f.cont == nil {
+			continue
+		}
+		if label == nil || f.label == label.Name {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, t := range s.List {
+			b.stmt(t)
+		}
+	case *ast.LabeledStmt:
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+		b.label = ""
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = b.newBlock()
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	default:
+		// Simple statements: expr, assign, incdec, send, decl, defer, go,
+		// empty.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	b.takeLabel()
+	b.stmt(s.Init)
+	b.add(s.Cond)
+	cond := b.cur
+	thenB := b.newBlock()
+	b.link(cond, thenB)
+	b.cur = thenB
+	b.stmt(s.Body)
+	thenEnd := b.cur
+	join := b.newBlock()
+	b.link(thenEnd, join)
+	if s.Else != nil {
+		elseB := b.newBlock()
+		b.link(cond, elseB)
+		b.cur = elseB
+		b.stmt(s.Else)
+		b.link(b.cur, join)
+	} else {
+		b.link(cond, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	b.stmt(s.Init)
+	head := b.newBlock()
+	b.link(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	exit := b.newBlock()
+	post := b.newBlock()
+	if s.Cond != nil {
+		b.link(head, exit)
+	}
+	b.frames = append(b.frames, frame{label, exit, post})
+	body := b.newBlock()
+	b.link(head, body)
+	b.cur = body
+	b.stmt(s.Body)
+	b.link(b.cur, post)
+	b.cur = post
+	b.stmt(s.Post)
+	b.link(b.cur, head)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = exit
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock()
+	b.link(b.cur, head)
+	b.cur = head
+	b.add(s) // header node: WalkExprs yields key, value, and operand
+	exit := b.newBlock()
+	b.link(head, exit)
+	b.frames = append(b.frames, frame{label, exit, head})
+	body := b.newBlock()
+	b.link(head, body)
+	b.cur = body
+	b.stmt(s.Body)
+	b.link(b.cur, head)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = exit
+}
+
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	b.stmt(init)
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	header := b.cur
+	exit := b.newBlock()
+	b.frames = append(b.frames, frame{label, exit, nil})
+	clauses := body.List
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.link(header, bodies[i])
+		b.cur = bodies[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		for _, t := range cc.Body {
+			b.stmt(t)
+		}
+		if b.fallFrom != nil {
+			if i+1 < len(clauses) {
+				b.link(b.fallFrom, bodies[i+1])
+			}
+			b.fallFrom = nil
+		}
+		b.link(b.cur, exit)
+	}
+	if !hasDefault {
+		b.link(header, exit)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = exit
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	header := b.cur
+	exit := b.newBlock()
+	b.frames = append(b.frames, frame{label, exit, nil})
+	for _, cl := range s.Body.List {
+		cc := cl.(*ast.CommClause)
+		body := b.newBlock()
+		b.link(header, body)
+		b.cur = body
+		b.stmt(cc.Comm)
+		for _, t := range cc.Body {
+			b.stmt(t)
+		}
+		b.link(b.cur, exit)
+	}
+	if len(s.Body.List) == 0 {
+		b.link(header, exit)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = exit
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		if f := b.findFrame(s.Label, false); f != nil {
+			b.link(b.cur, f.brk)
+		}
+		b.cur = b.newBlock()
+	case token.CONTINUE:
+		if f := b.findFrame(s.Label, true); f != nil {
+			b.link(b.cur, f.cont)
+		}
+		b.cur = b.newBlock()
+	case token.GOTO:
+		b.add(s)
+		b.cur = b.newBlock()
+	case token.FALLTHROUGH:
+		b.fallFrom = b.cur
+		b.cur = b.newBlock()
+	}
+}

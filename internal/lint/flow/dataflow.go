@@ -1,0 +1,95 @@
+package flow
+
+import "go/ast"
+
+// Forward runs a forward fixed-point dataflow analysis over the CFG and
+// returns the in-state of every reachable block. The transfer function
+// xfer is applied to each node of a block in order and may mutate and
+// return its argument; join must return the least upper bound of its
+// arguments without mutating either; equal decides convergence; clone
+// copies a state.
+func Forward[T any](c *CFG, entry T, xfer func(T, ast.Node) T, join func(T, T) T, clone func(T) T, equal func(T, T) bool) map[*Block]T {
+	in := map[*Block]T{c.Entry: entry}
+	work := []*Block{c.Entry}
+	inWork := map[*Block]bool{c.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		state := clone(in[b])
+		for _, n := range b.Nodes {
+			state = xfer(state, n)
+		}
+		for _, s := range b.Succs {
+			cur, ok := in[s]
+			var next T
+			if !ok {
+				next = clone(state)
+			} else {
+				next = join(cur, state)
+				if equal(next, cur) {
+					continue
+				}
+			}
+			in[s] = next
+			if !inWork[s] {
+				inWork[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// Facts is the string-set lattice most analyzers need: a fact is present
+// or absent, and joining unions the sets.
+type Facts map[string]bool
+
+// Clone copies the fact set.
+func (f Facts) Clone() Facts {
+	c := make(Facts, len(f))
+	for k := range f {
+		c[k] = true
+	}
+	return c
+}
+
+func factsJoin(a, b Facts) Facts {
+	u := a.Clone()
+	for k := range b {
+		u[k] = true
+	}
+	return u
+}
+
+func factsEqual(a, b Facts) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForwardFacts runs Forward with the union lattice and returns the facts
+// holding immediately before each CFG node. Nodes of unreachable blocks
+// map to the empty set.
+func ForwardFacts(c *CFG, entry Facts, xfer func(Facts, ast.Node) Facts) map[ast.Node]Facts {
+	in := Forward(c, entry, xfer, factsJoin, Facts.Clone, factsEqual)
+	before := make(map[ast.Node]Facts)
+	for _, b := range c.Blocks {
+		state, ok := in[b]
+		if !ok {
+			state = Facts{}
+		}
+		state = state.Clone()
+		for _, n := range b.Nodes {
+			before[n] = state.Clone()
+			state = xfer(state, n)
+		}
+	}
+	return before
+}

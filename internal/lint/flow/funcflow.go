@@ -1,0 +1,354 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// flowBuilder computes Graph.flows: for every variable, field, and
+// parameter, the set of module function nodes whose values may be stored
+// in it. The analysis is flow-insensitive and runs to a fixed point over
+// four kinds of facts:
+//
+//	objVals[o]  function values known to flow into object o
+//	objObj[o]   objects whose values flow into o (o = src)
+//	objRet[o]   nodes whose return values flow into o (o = f())
+//	retVals[n]  function values node n may return
+//	retObj[n]   objects whose values n may return
+//	retRet[n]   nodes whose return values n may return
+type flowBuilder struct {
+	g       *Graph
+	objVals map[types.Object]map[*Node]bool
+	objObj  map[types.Object]map[types.Object]bool
+	objRet  map[types.Object]map[*Node]bool
+	retVals map[*Node]map[*Node]bool
+	retObj  map[*Node]map[types.Object]bool
+	retRet  map[*Node]map[*Node]bool
+}
+
+func newFlowBuilder(g *Graph) *flowBuilder {
+	return &flowBuilder{
+		g:       g,
+		objVals: make(map[types.Object]map[*Node]bool),
+		objObj:  make(map[types.Object]map[types.Object]bool),
+		objRet:  make(map[types.Object]map[*Node]bool),
+		retVals: make(map[*Node]map[*Node]bool),
+		retObj:  make(map[*Node]map[types.Object]bool),
+		retRet:  make(map[*Node]map[*Node]bool),
+	}
+}
+
+func (b *flowBuilder) build() {
+	for _, u := range b.g.Units {
+		for _, f := range u.Files {
+			b.collectFile(u, f)
+		}
+	}
+	// Return statements attribute to their enclosing node, so they are
+	// collected per node body (shallow: a literal's returns are its own).
+	for _, n := range b.g.nodes {
+		b.collectReturns(n)
+	}
+	b.propagate()
+	for obj, vals := range b.objVals {
+		for n := range vals {
+			b.g.flows[obj] = append(b.g.flows[obj], n)
+		}
+	}
+}
+
+// collectFile records every site where a function value flows into an
+// object: assignments, var specs, composite literal fields, and call
+// arguments binding to parameters.
+func (b *flowBuilder) collectFile(u *Unit, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i := range s.Lhs {
+				if dst := lhsObj(u, s.Lhs[i]); dst != nil {
+					b.flowInto(u, dst, s.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(s.Names) != len(s.Values) {
+				return true
+			}
+			for i, name := range s.Names {
+				if dst := u.Info.Defs[name]; dst != nil {
+					b.flowInto(u, dst, s.Values[i])
+				}
+			}
+		case *ast.CompositeLit:
+			b.collectComposite(u, s)
+		case *ast.CallExpr:
+			b.collectCallArgs(u, s)
+		}
+		return true
+	})
+}
+
+// collectComposite maps struct literal elements onto their field objects.
+func (b *flowBuilder) collectComposite(u *Unit, cl *ast.CompositeLit) {
+	typ := u.Info.TypeOf(cl)
+	if typ == nil {
+		return
+	}
+	if ptr, ok := typ.(*types.Pointer); ok {
+		typ = ptr.Elem()
+	}
+	st, ok := typ.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range cl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok {
+				if field := u.Info.Uses[key]; field != nil {
+					b.flowInto(u, field, kv.Value)
+				}
+			}
+			continue
+		}
+		if i < st.NumFields() {
+			b.flowInto(u, st.Field(i), elt)
+		}
+	}
+}
+
+// collectCallArgs binds call arguments to the parameters of directly
+// resolvable callees. Arguments to indirect or interface calls are not
+// tracked (the engine's callbacks bind through fields and assignments).
+func (b *flowBuilder) collectCallArgs(u *Unit, call *ast.CallExpr) {
+	for _, callee := range b.directCallees(u, call) {
+		sig := callee.Signature()
+		params := sig.Params()
+		for i, arg := range call.Args {
+			if i >= params.Len() || (sig.Variadic() && i >= params.Len()-1) {
+				break
+			}
+			b.flowInto(u, params.At(i), arg)
+		}
+	}
+}
+
+// collectReturns records which function values node n may return.
+func (b *flowBuilder) collectReturns(n *Node) {
+	var walk func(s ast.Stmt)
+	visit := func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false // a literal's returns belong to its own node
+		}
+		if ret, ok := node.(*ast.ReturnStmt); ok {
+			for _, res := range ret.Results {
+				nodes, objs, rets := b.sources(n.Unit, res)
+				for _, v := range nodes {
+					addSet(b.retVals, n, v)
+				}
+				for _, o := range objs {
+					addSet(b.retObj, n, o)
+				}
+				for _, r := range rets {
+					addSet(b.retRet, n, r)
+				}
+			}
+		}
+		return true
+	}
+	walk = func(s ast.Stmt) { ast.Inspect(s, visit) }
+	walk(n.Body)
+}
+
+// flowInto records that the function values of expr may be stored in dst.
+func (b *flowBuilder) flowInto(u *Unit, dst types.Object, expr ast.Expr) {
+	if dst == nil {
+		return
+	}
+	nodes, objs, rets := b.sources(u, expr)
+	for _, n := range nodes {
+		addSet(b.objVals, dst, n)
+	}
+	for _, o := range objs {
+		if o != dst {
+			addSet(b.objObj, dst, o)
+		}
+	}
+	for _, n := range rets {
+		addSet(b.objRet, dst, n)
+	}
+}
+
+// sources decomposes an expression into the function values it may
+// evaluate to: concrete nodes, objects whose stored values it reads, and
+// nodes whose return values it is.
+func (b *flowBuilder) sources(u *Unit, e ast.Expr) (nodes []*Node, objs []types.Object, rets []*Node) {
+	switch x := unwrap(e).(type) {
+	case *ast.FuncLit:
+		if n := b.g.byLit[x]; n != nil {
+			nodes = append(nodes, n)
+		}
+	case *ast.Ident:
+		switch o := u.Info.Uses[x].(type) {
+		case *types.Func:
+			if n := b.g.NodeOf(o); n != nil {
+				nodes = append(nodes, n)
+			}
+		case *types.Var:
+			objs = append(objs, o)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := u.Info.Selections[x]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					if n := b.g.NodeOf(fn); n != nil {
+						nodes = append(nodes, n)
+					}
+				}
+			case types.FieldVal:
+				objs = append(objs, sel.Obj())
+			}
+			return nodes, objs, rets
+		}
+		switch o := u.Info.Uses[x.Sel].(type) {
+		case *types.Func:
+			if n := b.g.NodeOf(o); n != nil {
+				nodes = append(nodes, n)
+			}
+		case *types.Var:
+			objs = append(objs, o)
+		}
+	case *ast.CallExpr:
+		if tv, ok := u.Info.Types[x.Fun]; ok && tv.IsType() {
+			// Type conversion (mr.MapFunc(f)): pass the operand through.
+			if len(x.Args) == 1 {
+				return b.sources(u, x.Args[0])
+			}
+			return nodes, objs, rets
+		}
+		rets = append(rets, b.directCallees(u, x)...)
+	case *ast.UnaryExpr:
+		return b.sources(u, x.X)
+	}
+	return nodes, objs, rets
+}
+
+// directCallees resolves a call to its statically known module callees
+// (named functions, methods on concrete types, immediately invoked
+// literals) — the subset resolvable before the flow fixed point runs.
+func (b *flowBuilder) directCallees(u *Unit, call *ast.CallExpr) []*Node {
+	switch fun := unwrap(call.Fun).(type) {
+	case *ast.FuncLit:
+		if n := b.g.byLit[fun]; n != nil {
+			return []*Node{n}
+		}
+	case *ast.Ident:
+		if fn, ok := u.Info.Uses[fun].(*types.Func); ok {
+			if n := b.g.NodeOf(fn); n != nil {
+				return []*Node{n}
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := u.Info.Selections[fun]; ok {
+			if sel.Kind() == types.MethodVal {
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					if _, isIface := sel.Recv().Underlying().(*types.Interface); !isIface {
+						if n := b.g.NodeOf(fn); n != nil {
+							return []*Node{n}
+						}
+					}
+				}
+			}
+			return nil
+		}
+		if fn, ok := u.Info.Uses[fun.Sel].(*types.Func); ok {
+			if n := b.g.NodeOf(fn); n != nil {
+				return []*Node{n}
+			}
+		}
+	}
+	return nil
+}
+
+// propagate runs the transfer rules to a fixed point.
+func (b *flowBuilder) propagate() {
+	for changed := true; changed; {
+		changed = false
+		for dst, srcs := range b.objObj {
+			for src := range srcs {
+				for v := range b.objVals[src] {
+					if addSet(b.objVals, dst, v) {
+						changed = true
+					}
+				}
+			}
+		}
+		for dst, ns := range b.objRet {
+			for n := range ns {
+				for v := range b.retVals[n] {
+					if addSet(b.objVals, dst, v) {
+						changed = true
+					}
+				}
+			}
+		}
+		for n, objs := range b.retObj {
+			for o := range objs {
+				for v := range b.objVals[o] {
+					if addSet(b.retVals, n, v) {
+						changed = true
+					}
+				}
+			}
+		}
+		for n, ms := range b.retRet {
+			for m := range ms {
+				for v := range b.retVals[m] {
+					if addSet(b.retVals, n, v) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// lhsObj resolves an assignment target to its object: a variable, a
+// struct field (including through pointers), or a package variable.
+func lhsObj(u *Unit, e ast.Expr) types.Object {
+	switch l := unwrap(e).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return nil
+		}
+		if o := u.Info.Defs[l]; o != nil {
+			return o
+		}
+		return u.Info.Uses[l]
+	case *ast.SelectorExpr:
+		if sel, ok := u.Info.Selections[l]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return u.Info.Uses[l.Sel]
+	case *ast.StarExpr:
+		return lhsObj(u, l.X)
+	}
+	return nil
+}
+
+// addSet inserts v into m[k], allocating the inner set, and reports
+// whether it was new.
+func addSet[K comparable, V comparable](m map[K]map[V]bool, k K, v V) bool {
+	s := m[k]
+	if s == nil {
+		s = make(map[V]bool)
+		m[k] = s
+	}
+	if s[v] {
+		return false
+	}
+	s[v] = true
+	return true
+}

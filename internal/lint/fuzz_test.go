@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseIgnore hammers the //lint:ignore parser with arbitrary comment
+// text and checks its invariants: recognition is exactly the trimmed
+// prefix test, a directive without a reason never suppresses anything,
+// and a positive match is always backed by an explicit name or "all".
+func FuzzParseIgnore(f *testing.F) {
+	f.Add("//lint:ignore hotpathban reason text")
+	f.Add("//lint:ignore a,b reason")
+	f.Add("//lint:ignore all everything is fine here")
+	f.Add("//lint:ignore")
+	f.Add("//lint:ignore noreason")
+	f.Add("// plain comment")
+	f.Add("//lint:ignore ,,, odd names")
+	f.Add("  //lint:ignore padded directive names")
+	f.Add("//lint:ignoreXtrailing junk")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, ok := parseIgnore(text)
+		if ok != strings.HasPrefix(strings.TrimSpace(text), "//lint:ignore") {
+			t.Fatalf("parseIgnore(%q) recognition = %v, disagrees with the prefix rule", text, ok)
+		}
+		if !ok {
+			return
+		}
+		for _, name := range []string{"hotpathban", "errorflow", "x"} {
+			if !d.matches(name) {
+				continue
+			}
+			if d.reason == "" {
+				t.Fatalf("parseIgnore(%q): matches(%q) with an empty reason", text, name)
+			}
+			backed := false
+			for _, n := range d.names {
+				if n == name || n == "all" {
+					backed = true
+				}
+			}
+			if !backed {
+				t.Fatalf("parseIgnore(%q): matches(%q) without a backing name", text, name)
+			}
+		}
+	})
+}

@@ -1,0 +1,480 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"intervaljoin/internal/lint/flow"
+)
+
+// GoroutineLeak demands a provable join for every go statement: the
+// spawner (or a function it demonstrably calls) must observe the
+// goroutine's termination before its own scope completes. Three proof
+// shapes are accepted, checked through the CFG and the call graph:
+//
+//   - WaitGroup: the goroutine calls Done (possibly inside a helper it
+//     was handed the WaitGroup through), an Add on the same WaitGroup
+//     reaches the go statement, and a Wait on it is reachable after.
+//   - Channel handoff: the goroutine sends on or closes a channel the
+//     spawner receives from after the go statement — or receives from a
+//     channel the spawner later sends on or closes (worker feeding).
+//   - Context: the goroutine receives from a context's Done channel, so
+//     cancellation bounds its lifetime.
+//
+// WaitGroups and channels reached through struct fields may be joined by
+// a different method than the spawner (start/stop object patterns); for
+// those the Wait/receive may live anywhere in the module. A goroutine
+// with none of these is a leak: in a long-running service it outlives
+// its task, and in the coming multi-node runtime it becomes a silent
+// zombie worker.
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc: "every go statement needs a provable join: WaitGroup Add/Done/Wait " +
+		"balance, a channel handoff the spawner completes, or a bounding context",
+	Run: runGoroutineLeak,
+}
+
+type joinKind int
+
+const (
+	jDone joinKind = iota
+	jAdd
+	jWait
+	jSend
+	jRecv
+	joinKinds
+)
+
+// joinSummary is one function's join-relevant behavior: the WaitGroup
+// and channel objects it touches (roots), the same facts expressed over
+// its own parameters (params, mapped through call sites), and whether it
+// receives from a context's Done channel.
+type joinSummary struct {
+	roots  [joinKinds]map[types.Object]bool
+	params [joinKinds]map[int]bool
+	ctx    bool
+}
+
+func (s *joinSummary) addRoot(kind joinKind, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	if s.roots[kind] == nil {
+		s.roots[kind] = make(map[types.Object]bool)
+	}
+	if s.roots[kind][obj] {
+		return false
+	}
+	s.roots[kind][obj] = true
+	return true
+}
+
+func (s *joinSummary) addParam(kind joinKind, i int) bool {
+	if s.params[kind] == nil {
+		s.params[kind] = make(map[int]bool)
+	}
+	if s.params[kind][i] {
+		return false
+	}
+	s.params[kind][i] = true
+	return true
+}
+
+type leakAnalysis struct {
+	sums map[*flow.Node]*joinSummary
+	// Join facts on field and package-level objects, anywhere in the
+	// module: the transferred-join fallback for start/stop patterns.
+	fieldOps [joinKinds]map[types.Object]bool
+}
+
+func runGoroutineLeak(pass *Pass) {
+	g := pass.Flow
+	a := g.Memo("goroutineleak", func() any { return buildLeakAnalysis(g) }).(*leakAnalysis)
+	for _, n := range g.Nodes() {
+		if n.Unit != pass.Unit {
+			continue
+		}
+		checkGoStmts(pass, a, n)
+	}
+}
+
+func checkGoStmts(pass *Pass, a *leakAnalysis, n *flow.Node) {
+	g := pass.Flow
+	cfg := g.CFG(n)
+
+	// The spawner's own join facts, one entry per CFG node, with
+	// deferred facts flagged: a deferred Wait or close runs at function
+	// exit, which is always "after" the go statement.
+	type nodeFacts struct {
+		node     ast.Node
+		deferred bool
+		ops      [joinKinds]map[types.Object]bool
+	}
+	var facts []nodeFacts
+	for _, b := range cfg.Blocks {
+		for _, node := range b.Nodes {
+			if _, ok := node.(*ast.GoStmt); ok {
+				continue
+			}
+			nf := nodeFacts{node: node}
+			_, nf.deferred = node.(*ast.DeferStmt)
+			collect := func(kind joinKind, obj types.Object) {
+				if obj == nil {
+					return
+				}
+				if nf.ops[kind] == nil {
+					nf.ops[kind] = make(map[types.Object]bool)
+				}
+				nf.ops[kind][obj] = true
+			}
+			nodeJoinOps(n.Unit, g, a, node, collect)
+			facts = append(facts, nf)
+		}
+	}
+
+	for _, b := range cfg.Blocks {
+		for _, node := range b.Nodes {
+			gs, ok := node.(*ast.GoStmt)
+			if !ok {
+				continue
+			}
+			callees := g.Callees(n.Unit, gs.Call)
+			if len(callees) == 0 {
+				pass.Reportf(gs.Pos(), "goroutine spawns a function outside the analysis scope; no join can be proven")
+				continue
+			}
+			var G joinSummary
+			for _, m := range callees {
+				mapSummary(&G, a.sums[m], n.Unit, gs.Call.Args)
+			}
+			if G.ctx {
+				continue
+			}
+			afterHas := func(kind joinKind, obj types.Object) bool {
+				for _, nf := range facts {
+					if nf.ops[kind][obj] && (nf.deferred || cfg.Reaches(gs, nf.node)) {
+						return true
+					}
+				}
+				return false
+			}
+			beforeHas := func(kind joinKind, obj types.Object) bool {
+				for _, nf := range facts {
+					if nf.ops[kind][obj] && !nf.deferred && cfg.Reaches(nf.node, gs) {
+						return true
+					}
+				}
+				return false
+			}
+			proven := false
+			sawWG, sawWait := false, false
+			for wg := range G.roots[jDone] {
+				sawWG = true
+				waitOK := afterHas(jWait, wg) || (sharedJoinObject(wg) && a.fieldOps[jWait][wg])
+				addOK := beforeHas(jAdd, wg) || (sharedJoinObject(wg) && a.fieldOps[jAdd][wg])
+				if waitOK {
+					sawWait = true
+				}
+				if waitOK && addOK {
+					proven = true
+					break
+				}
+			}
+			for ch := range G.roots[jSend] {
+				if proven {
+					break
+				}
+				if afterHas(jRecv, ch) || (sharedJoinObject(ch) && a.fieldOps[jRecv][ch]) {
+					proven = true
+				}
+			}
+			for ch := range G.roots[jRecv] {
+				if proven {
+					break
+				}
+				if afterHas(jSend, ch) || (sharedJoinObject(ch) && a.fieldOps[jSend][ch]) {
+					proven = true
+				}
+			}
+			if proven {
+				continue
+			}
+			switch {
+			case sawWG && !sawWait:
+				pass.Reportf(gs.Pos(), "goroutine calls Done but no Wait on the same WaitGroup is reachable after the go statement")
+			case sawWG:
+				pass.Reportf(gs.Pos(), "goroutine joins a WaitGroup but no Add on it reaches the go statement")
+			case len(G.roots[jSend]) > 0 || len(G.roots[jRecv]) > 0:
+				pass.Reportf(gs.Pos(), "goroutine uses a channel but the spawner never completes the handoff after the go statement")
+			default:
+				pass.Reportf(gs.Pos(), "goroutine has no provable join: use a WaitGroup, a channel handoff, or a bounding context")
+			}
+		}
+	}
+}
+
+// nodeJoinOps reports one CFG node's join facts, resolving calls into
+// module functions through their summaries.
+func nodeJoinOps(u *flow.Unit, g *flow.Graph, a *leakAnalysis, node ast.Node, collect func(joinKind, types.Object)) {
+	if rs, ok := node.(*ast.RangeStmt); ok {
+		if isChanType(u.Info.TypeOf(rs.X)) {
+			collect(jRecv, joinRoot(u, rs.X))
+		}
+	}
+	flow.WalkExprs(node, func(c ast.Node) bool {
+		switch x := c.(type) {
+		case *ast.CallExpr:
+			if kind, obj, ok := wgOp(u, x); ok {
+				collect(kind, obj)
+				return true
+			}
+			if isBuiltin(u.Info, x, "close") && len(x.Args) == 1 {
+				collect(jSend, joinRoot(u, x.Args[0]))
+				return true
+			}
+			for _, m := range g.Callees(u, x) {
+				var mapped joinSummary
+				mapSummary(&mapped, a.sums[m], u, x.Args)
+				for kind := joinKind(0); kind < joinKinds; kind++ {
+					for obj := range mapped.roots[kind] {
+						collect(kind, obj)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			collect(jSend, joinRoot(u, x.Chan))
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !isCtxDone(u, x.X) {
+				collect(jRecv, joinRoot(u, x.X))
+			}
+		}
+		return true
+	})
+}
+
+// mapSummary unions src into dst, rewriting src's parameter facts
+// through the call's arguments.
+func mapSummary(dst *joinSummary, src *joinSummary, u *flow.Unit, args []ast.Expr) {
+	if src == nil {
+		return
+	}
+	dst.ctx = dst.ctx || src.ctx
+	for kind := joinKind(0); kind < joinKinds; kind++ {
+		for obj := range src.roots[kind] {
+			dst.addRoot(kind, obj)
+		}
+		for i := range src.params[kind] {
+			if i < len(args) {
+				dst.addRoot(kind, joinRoot(u, args[i]))
+			}
+		}
+	}
+}
+
+// buildLeakAnalysis computes join summaries for every module function to
+// a fixed point over the call graph.
+func buildLeakAnalysis(g *flow.Graph) *leakAnalysis {
+	a := &leakAnalysis{sums: make(map[*flow.Node]*joinSummary)}
+
+	type callSite struct {
+		call    *ast.CallExpr
+		callees []*flow.Node
+	}
+	sites := make(map[*flow.Node][]callSite)
+	paramIdx := make(map[*flow.Node]map[types.Object]int)
+
+	for _, n := range g.Nodes() {
+		n := n
+		sum := &joinSummary{}
+		a.sums[n] = sum
+		idx := make(map[types.Object]int)
+		params := n.Signature().Params()
+		for i := 0; i < params.Len(); i++ {
+			idx[params.At(i)] = i
+		}
+		paramIdx[n] = idx
+		record := func(kind joinKind, obj types.Object) bool {
+			if obj == nil {
+				return false
+			}
+			if i, ok := idx[obj]; ok {
+				return sum.addParam(kind, i)
+			}
+			return sum.addRoot(kind, obj)
+		}
+		summaryWalk(n.Body, func(c ast.Node) bool {
+			switch x := c.(type) {
+			case *ast.CallExpr:
+				if kind, obj, ok := wgOp(n.Unit, x); ok {
+					record(kind, obj)
+					return true
+				}
+				if isBuiltin(n.Unit.Info, x, "close") && len(x.Args) == 1 {
+					record(jSend, joinRoot(n.Unit, x.Args[0]))
+					return true
+				}
+				if ms := g.Callees(n.Unit, x); len(ms) > 0 {
+					sites[n] = append(sites[n], callSite{x, ms})
+				}
+			case *ast.SendStmt:
+				record(jSend, joinRoot(n.Unit, x.Chan))
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					if isCtxDone(n.Unit, x.X) {
+						sum.ctx = true
+					} else {
+						record(jRecv, joinRoot(n.Unit, x.X))
+					}
+				}
+			case *ast.RangeStmt:
+				if isChanType(n.Unit.Info.TypeOf(x.X)) {
+					record(jRecv, joinRoot(n.Unit, x.X))
+				}
+			}
+			return true
+		})
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for n, ss := range sites {
+			sum := a.sums[n]
+			idx := paramIdx[n]
+			record := func(kind joinKind, obj types.Object) bool {
+				if obj == nil {
+					return false
+				}
+				if i, ok := idx[obj]; ok {
+					return sum.addParam(kind, i)
+				}
+				return sum.addRoot(kind, obj)
+			}
+			for _, s := range ss {
+				for _, m := range s.callees {
+					ms := a.sums[m]
+					if ms == nil {
+						continue
+					}
+					if ms.ctx && !sum.ctx {
+						sum.ctx = true
+						changed = true
+					}
+					for kind := joinKind(0); kind < joinKinds; kind++ {
+						for obj := range ms.roots[kind] {
+							if record(kind, obj) {
+								changed = true
+							}
+						}
+						for i := range ms.params[kind] {
+							if i < len(s.call.Args) {
+								if record(kind, joinRoot(n.Unit, s.call.Args[i])) {
+									changed = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for kind := joinKind(0); kind < joinKinds; kind++ {
+		a.fieldOps[kind] = make(map[types.Object]bool)
+		for _, sum := range a.sums {
+			for obj := range sum.roots[kind] {
+				if sharedJoinObject(obj) {
+					a.fieldOps[kind][obj] = true
+				}
+			}
+		}
+	}
+	return a
+}
+
+// sharedJoinObject reports whether the WaitGroup or channel lives in a
+// struct field or package variable — join resources whose Wait side may
+// legitimately be a different function than the spawner.
+func sharedJoinObject(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.IsField() || (v.Parent() != nil && v.Parent().Parent() == types.Universe)
+}
+
+// wgOp classifies a sync.WaitGroup Add/Done/Wait method call and
+// resolves the receiver to its root object.
+func wgOp(u *flow.Unit, call *ast.CallExpr) (joinKind, types.Object, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0, nil, false
+	}
+	var kind joinKind
+	switch sel.Sel.Name {
+	case "Add":
+		kind = jAdd
+	case "Done":
+		kind = jDone
+	case "Wait":
+		kind = jWait
+	default:
+		return 0, nil, false
+	}
+	fn, ok := u.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return 0, nil, false
+	}
+	if t := u.Info.TypeOf(sel.X); t == nil || !namedTypeIs(t, "sync", "WaitGroup") {
+		return 0, nil, false
+	}
+	return kind, joinRoot(u, sel.X), true
+}
+
+// joinRoot resolves an expression to the object identifying its join
+// resource: a local variable, a parameter, a struct field, or a package
+// variable. Field identity is the field object itself, shared by every
+// instance — coarse, and exactly what the transferred-join rule needs.
+func joinRoot(u *flow.Unit, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := u.Info.Uses[x]; o != nil {
+			return o
+		}
+		return u.Info.Defs[x]
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return joinRoot(u, x.X)
+		}
+	case *ast.StarExpr:
+		return joinRoot(u, x.X)
+	case *ast.SelectorExpr:
+		if sel, ok := u.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return u.Info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// isCtxDone reports whether e is a context's Done() call.
+func isCtxDone(u *flow.Unit, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	t := u.Info.TypeOf(sel.X)
+	return t != nil && namedTypeIs(t, "context", "Context")
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

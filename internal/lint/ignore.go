@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"fmt"
+	"go/token"
 	"strings"
 )
 
@@ -49,36 +51,55 @@ func parseIgnore(text string) (ignoreDirective, bool) {
 	}, true
 }
 
-// filterIgnored drops diagnostics suppressed by //lint:ignore directives in
-// the package's files.
-func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
-	// Collect directives keyed by file and line.
+// directiveSite is one //lint:ignore comment found in a loaded package,
+// with a record of whether it suppressed anything during a run.
+type directiveSite struct {
+	d    ignoreDirective
+	pos  token.Position
+	used bool
+}
+
+// collectDirectives gathers every //lint:ignore comment of the packages.
+func collectDirectives(pkgs []*Package) []*directiveSite {
+	var sites []*directiveSite
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, ok := parseIgnore(c.Text)
+					if !ok {
+						continue
+					}
+					sites = append(sites, &directiveSite{d: d, pos: pkg.Fset.Position(c.Pos())})
+				}
+			}
+		}
+	}
+	return sites
+}
+
+// applyIgnores drops diagnostics suppressed by the directives, marking
+// each directive that did the suppressing.
+func applyIgnores(sites []*directiveSite, diags []Diagnostic) []Diagnostic {
+	if len(sites) == 0 {
+		return diags
+	}
 	type key struct {
 		file string
 		line int
 	}
-	directives := make(map[key][]ignoreDirective)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				d, ok := parseIgnore(c.Text)
-				if !ok {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				directives[key{pos.Filename, pos.Line}] = append(directives[key{pos.Filename, pos.Line}], d)
-			}
-		}
-	}
-	if len(directives) == 0 {
-		return diags
+	index := make(map[key][]*directiveSite, len(sites))
+	for _, s := range sites {
+		k := key{s.pos.Filename, s.pos.Line}
+		index[k] = append(index[k], s)
 	}
 	kept := diags[:0]
 	for _, d := range diags {
 		suppressed := false
 		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-			for _, dir := range directives[key{d.Pos.Filename, line}] {
-				if dir.matches(d.Analyzer) {
+			for _, s := range index[key{d.Pos.Filename, line}] {
+				if s.d.matches(d.Analyzer) {
+					s.used = true
 					suppressed = true
 				}
 			}
@@ -88,4 +109,67 @@ func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
 		}
 	}
 	return kept
+}
+
+// unusedIgnores reports directives that suppressed nothing, in the
+// staticcheck style, so burned-down suppressions cannot rot in the tree.
+// A directive is only judged when the run can actually judge it: every
+// analyzer it names must have been in the run set ("all" requires the
+// full set), otherwise the suppressed finding may simply not have been
+// looked for. Malformed directives — an unknown analyzer name, or a
+// missing reason, which the matcher never honors — are always findings.
+func unusedIgnores(sites []*directiveSite, ran []*Analyzer) []Diagnostic {
+	ranSet := make(map[string]bool, len(ran))
+	for _, a := range ran {
+		ranSet[a.Name] = true
+	}
+	fullSet := true
+	for _, a := range All() {
+		if !ranSet[a.Name] {
+			fullSet = false
+			break
+		}
+	}
+	var diags []Diagnostic
+	report := func(s *directiveSite, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      s.pos,
+			Analyzer: "unusedignore",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, s := range sites {
+		if s.used {
+			continue
+		}
+		if len(s.d.names) == 0 {
+			report(s, "//lint:ignore directive has no analyzer list; it suppresses nothing")
+			continue
+		}
+		if s.d.reason == "" {
+			report(s, "//lint:ignore directive has no reason; it suppresses nothing")
+			continue
+		}
+		judgeable := true
+		for _, n := range s.d.names {
+			if n == "all" {
+				if !fullSet {
+					judgeable = false
+				}
+				continue
+			}
+			if ByName(n) == nil {
+				report(s, "//lint:ignore names unknown analyzer %q", n)
+				judgeable = false
+				break
+			}
+			if !ranSet[n] {
+				judgeable = false
+			}
+		}
+		if judgeable {
+			report(s, "//lint:ignore %s suppresses no finding; remove the stale directive", strings.Join(s.d.names, ","))
+		}
+	}
+	return diags
 }

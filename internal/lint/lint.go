@@ -1,10 +1,16 @@
-// Package lint is ijlint's analysis framework plus the nine
+// Package lint is ijlint's analysis framework plus the twelve
 // domain-specific analyzers that mechanically enforce the engine's
 // invariants (exhaustive Allen-predicate switches, emitter escape
 // discipline, sync.Pool hygiene, shard-lock guarding, the hot-path
 // forbid-list, the per-pair-loop clock-read ban, the columnar-kernel
-// purity rule, checked partition-boundary construction, and complete
-// semantic-cache key construction).
+// purity rule, checked partition-boundary construction, complete
+// semantic-cache key construction, canonical lock ordering, provable
+// goroutine joins, and error-flow discipline).
+//
+// Since the interprocedural layer landed, analyzers also get flow facts:
+// a module-wide call graph, per-function CFGs, and a forward dataflow
+// engine (internal/lint/flow), exposed on the Pass. The last four
+// analyzers are built on it; the rest remain single-file AST walks.
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis —
 // an Analyzer runs over a type-checked Pass and reports Diagnostics —
@@ -20,6 +26,9 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
+
+	"intervaljoin/internal/lint/flow"
 )
 
 // Analyzer is one named static check.
@@ -46,6 +55,13 @@ type Pass struct {
 	Pkg *types.Package
 	// Info holds the type-checker's recordings for the package.
 	Info *types.Info
+	// Flow is the interprocedural fact layer: the static call graph over
+	// every package of the run (the whole module under RunModule, just
+	// this package under RunAnalyzers) plus per-function CFGs and the
+	// dataflow engine.
+	Flow *flow.Graph
+	// Unit is this package's view inside Flow.
+	Unit *flow.Unit
 
 	diags *[]Diagnostic
 }
@@ -71,7 +87,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the nine ijlint analyzers in their canonical order.
+// All returns the twelve ijlint analyzers in their canonical order.
 func All() []*Analyzer {
 	return []*Analyzer{
 		AllenExhaustive,
@@ -83,6 +99,9 @@ func All() []*Analyzer {
 		ColKernel,
 		PartitionBounds,
 		CacheKey,
+		LockOrder,
+		GoroutineLeak,
+		ErrorFlow,
 	}
 }
 
@@ -96,9 +115,18 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
-// RunAnalyzers applies the analyzers to pkg and returns the findings that
-// are not suppressed by //lint:ignore directives, sorted by position.
+// unit builds the package's flow view.
+func (pkg *Package) unit() *flow.Unit {
+	return &flow.Unit{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info}
+}
+
+// RunAnalyzers applies the analyzers to one package and returns the
+// findings that are not suppressed by //lint:ignore directives, sorted by
+// position. Interprocedural facts are scoped to the package; use
+// RunModule for whole-module resolution and for unused-ignore findings.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	unit := pkg.unit()
+	g := flow.Build([]*flow.Unit{unit})
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -107,11 +135,64 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Flow:     g,
+			Unit:     unit,
 			diags:    &diags,
 		}
 		a.Run(pass)
 	}
-	diags = filterIgnored(pkg, diags)
+	diags = applyIgnores(collectDirectives([]*Package{pkg}), diags)
+	sortDiagnostics(diags)
+	return diags
+}
+
+// Timing is one analyzer's wall-clock cost over a RunModule call, summed
+// across packages. The pseudo-entry "(callgraph)" reports the shared
+// interprocedural graph construction.
+type Timing struct {
+	Analyzer string
+	Wall     time.Duration
+}
+
+// RunModule applies the analyzers to every package over one module-wide
+// call graph, so interprocedural analyzers see cross-package flows. On
+// top of the analyzers' own findings it reports //lint:ignore directives
+// that suppressed nothing (analyzer name "unusedignore"), so burned-down
+// suppressions cannot rot in the tree.
+func RunModule(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
+	units := make([]*flow.Unit, len(pkgs))
+	for i, pkg := range pkgs {
+		units[i] = pkg.unit()
+	}
+	start := time.Now()
+	g := flow.Build(units)
+	timings := []Timing{{Analyzer: "(callgraph)", Wall: time.Since(start)}}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		t0 := time.Now()
+		for i, pkg := range pkgs {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Flow:     g,
+				Unit:     units[i],
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+		timings = append(timings, Timing{Analyzer: a.Name, Wall: time.Since(t0)})
+	}
+	sites := collectDirectives(pkgs)
+	diags = applyIgnores(sites, diags)
+	diags = append(diags, unusedIgnores(sites, analyzers)...)
+	sortDiagnostics(diags)
+	return diags, timings
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -122,7 +203,6 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Column < b.Column
 	})
-	return diags
 }
 
 // namedTypeIs reports whether t (after stripping one level of pointer) is

@@ -3,13 +3,16 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -118,7 +121,11 @@ func (l *Loader) Load(path string) (*Package, error) {
 
 // LoadDir type-checks the single package in dir under the given import
 // path. Test files (_test.go) are excluded: ijlint checks the shipped
-// code, and the hot-path rules explicitly exempt tests.
+// code, and the hot-path rules explicitly exempt tests. Files whose
+// //go:build (or legacy // +build) constraint evaluates false for the
+// current GOOS/GOARCH are excluded the same way the go tool excludes
+// them; file-name suffix conventions (_linux.go) are not interpreted —
+// this module does not use them.
 func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	if pkg, ok := l.pkgs[path]; ok {
 		return pkg, nil
@@ -151,7 +158,13 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lint: %w", err)
 		}
+		if buildConstraintExcludes(f) {
+			continue
+		}
 		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: all Go files in %s are excluded by build constraints", dir)
 	}
 
 	info := &types.Info{
@@ -184,6 +197,64 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	}
 	l.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// buildConstraintExcludes reports whether the file carries a build
+// constraint, in a comment preceding the package clause, that evaluates
+// false for the current environment.
+func buildConstraintExcludes(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue // not a constraint comment
+			}
+			if !expr.Eval(buildTagSatisfied) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildTagSatisfied is the constraint evaluator: the running GOOS, GOARCH,
+// the gc toolchain, the unix umbrella, and released go1.N versions are
+// true; everything else (custom tags like "never" or "integration") is
+// false, matching an ijlint run with no -tags flag.
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "aix", "android", "darwin", "dragonfly", "freebsd", "hurd",
+			"illumos", "ios", "linux", "netbsd", "openbsd", "solaris":
+			return true
+		}
+		return false
+	}
+	if v, ok := strings.CutPrefix(tag, "go1."); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return false
+		}
+		cur, ok := strings.CutPrefix(runtime.Version(), "go1.")
+		if !ok {
+			return true // devel toolchain: assume every release tag holds
+		}
+		if dot := strings.IndexByte(cur, '.'); dot >= 0 {
+			cur = cur[:dot]
+		}
+		minor, err := strconv.Atoi(cur)
+		if err != nil {
+			return true
+		}
+		return n <= minor
+	}
+	return false
 }
 
 // Expand resolves package patterns relative to the module root into import

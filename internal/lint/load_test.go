@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadDirBuildTags checks the loader's file filtering: an impossible
+// //go:build constraint excludes its file (which would otherwise fail the
+// load — it references an undefined symbol), a tautological constraint
+// keeps its file, and _test.go files never load.
+func TestLoadDirBuildTags(t *testing.T) {
+	pkg, err := fixtureLoader(t).LoadDir(filepath.Join("testdata", "loader"), "intervaljoin/lintfixture/loaderfix")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	scope := pkg.Types.Scope()
+	if scope.Lookup("Kept") == nil {
+		t.Error("unconditional file was not loaded: Kept is missing")
+	}
+	if scope.Lookup("Tagged") == nil {
+		t.Error("tautologically-tagged file was not loaded: Tagged is missing")
+	}
+	if scope.Lookup("Skipped") != nil {
+		t.Error("file tagged //go:build never was loaded")
+	}
+	if scope.Lookup("FromTest") != nil {
+		t.Error("_test.go file was loaded")
+	}
+	if len(pkg.Files) != 2 {
+		t.Errorf("loaded %d files, want 2", len(pkg.Files))
+	}
+}
+
+// TestLoadDirTypeError checks that a package that fails type-checking is
+// reported as an error rather than a panic or a silent partial package.
+func TestLoadDirTypeError(t *testing.T) {
+	_, err := fixtureLoader(t).LoadDir(filepath.Join("testdata", "loaderbad"), "intervaljoin/lintfixture/loaderbad")
+	if err == nil {
+		t.Fatal("LoadDir on a broken package returned nil error")
+	}
+	if !strings.Contains(err.Error(), "type-checking") {
+		t.Errorf("error %q does not mention type-checking", err)
+	}
+}
+
+// TestBuildTagSatisfied pins the evaluator's semantics for the tags the
+// module can encounter.
+func TestBuildTagSatisfied(t *testing.T) {
+	if !buildTagSatisfied("gc") {
+		t.Error("gc must be satisfied")
+	}
+	if buildTagSatisfied("never") {
+		t.Error("custom tags must not be satisfied")
+	}
+	if buildTagSatisfied("go1.9999") {
+		t.Error("future release tags must not be satisfied")
+	}
+	if !buildTagSatisfied("go1.1") {
+		t.Error("ancient release tags must be satisfied")
+	}
+}

@@ -54,6 +54,38 @@ func invertedRange(emit mr.Emitter) {
 	emit.EmitRange(5, 3, "v") // want `EmitRange bounds are constants with lo \(5\) > hi \(3\)`
 }
 
+// stashField parks its parameter in a package-level holder: the direct
+// escape is flagged here, and every call site handing an emitter in is
+// flagged at the caller.
+func stashField(h *holder, emit mr.Emitter) {
+	h.emit = emit // want `stored in a struct field or package variable`
+}
+
+// launder forwards its emitter into an escaping parameter: flagged at the
+// call, and launder's own parameter becomes escaping in turn.
+func launder(h *holder, emit mr.Emitter) {
+	stashField(h, emit) // want `mr\.Emitter passed to .*stashField, which lets it escape`
+}
+
+// deep escapes only through two levels of calls.
+func deep(h *holder, emit mr.Emitter) {
+	deepMid(h, emit) // want `mr\.Emitter passed to .*deepMid, which lets it escape`
+}
+
+func deepMid(h *holder, emit mr.Emitter) {
+	launder(h, emit) // want `mr\.Emitter passed to .*launder, which lets it escape`
+}
+
+// forwardSafe hands the emitter to a helper that only emits: compliant.
+func forwardSafe(emit mr.Emitter) {
+	emitPair(emit, 1, "a")
+	emitPair(emit, 2, "b")
+}
+
+func emitPair(emit mr.Emitter, key int64, value string) {
+	emit.Emit(key, value)
+}
+
 // wellBehaved uses the emitter only within the call: compliant. Runtime
 // EmitRange bounds are never second-guessed.
 func wellBehaved(tag int, record string, emit mr.Emitter) error {
@@ -66,4 +98,5 @@ func wellBehaved(tag int, record string, emit mr.Emitter) error {
 
 func bounds(string) (int64, int64) { return 2, 1 }
 
-var _ = []any{storeField, storeGlobal, storeViaAlias, spawn, leak, send, pack, invertedRange, wellBehaved}
+var _ = []any{storeField, storeGlobal, storeViaAlias, spawn, leak, send, pack,
+	stashField, launder, deep, deepMid, forwardSafe, invertedRange, wellBehaved}

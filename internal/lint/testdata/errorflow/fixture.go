@@ -1,0 +1,126 @@
+// Package errfixture exercises the error-flow analyzer. The harness
+// loads it under an import path inside internal/core, where the
+// discipline is enforced; the scope test reloads it under a neutral path
+// and expects silence.
+package errfixture
+
+import "strings"
+
+type fault struct{ msg string }
+
+func (f *fault) Error() string { return f.msg }
+
+func mightFail() error { return nil }
+
+func twoRet() (int, error) { return 0, nil }
+
+type closer struct{ open bool }
+
+func (c *closer) close() error {
+	c.open = false
+	return nil
+}
+
+// discard blanks an error result outright.
+func discard() {
+	_ = mightFail() // want `error result of mightFail discarded with _`
+}
+
+// tupleDiscard blanks the error slot of a multi-result call.
+func tupleDiscard() int {
+	v, _ := twoRet() // want `error result of twoRet discarded with _`
+	return v
+}
+
+// commaOkForms are not calls; blanking their second slot is fine.
+func commaOkForms(m map[string]int, x any) int {
+	v, _ := m["k"]
+	s, _ := x.(int)
+	return v + s
+}
+
+// bareDrop calls for effect and lets the error fall on the floor.
+func bareDrop(c *closer) {
+	c.close() // want `call to c\.close drops its error result`
+}
+
+// cleanupPath drops a close on a failure path: the real error is already
+// heading for the return statement, so best-effort cleanup is fine.
+func cleanupPath(c *closer) error {
+	if err := mightFail(); err != nil {
+		c.close()
+		return err
+	}
+	return c.close()
+}
+
+// deferredClose is the idiomatic read-side close; defers are exempt.
+func deferredClose(c *closer) {
+	defer c.close()
+}
+
+// builderWrites never fail; both method calls and Fprint-style writes
+// into a builder are exempt.
+func builderWrites() string {
+	var b strings.Builder
+	b.WriteString("ok")
+	return b.String()
+}
+
+// checked consults the error.
+func checked(c *closer) error {
+	if err := c.close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// overwritten assigns an error and clobbers it before any read.
+func overwritten() error {
+	err := mightFail() // want `error assigned to err is overwritten before it is consulted`
+	err = mightFail()
+	return err
+}
+
+// retried reads the error between assignments; no dead store.
+func retried() error {
+	err := mightFail()
+	if err == nil {
+		return nil
+	}
+	err = mightFail()
+	return err
+}
+
+// sinkParam ignores its error parameter entirely.
+func sinkParam(kind string, err error) string { return kind }
+
+// viaSink hands a live error to a function that provably drops it.
+func viaSink() {
+	if err := mightFail(); err != nil {
+		sinkParam("cleanup", err) // want `error passed to .*sinkParam, which never consults that parameter`
+	}
+}
+
+// nilToSink passes an explicit nil; there is no error to lose.
+func nilToSink() {
+	sinkParam("noop", nil)
+}
+
+// observer's signature is pinned by an interface: an unused error
+// parameter there is contractual, not a sink.
+type observer interface {
+	Observe(err error)
+}
+
+type nopObserver struct{}
+
+func (nopObserver) Observe(err error) {}
+
+func notify(o observer, err error) {
+	o.Observe(err)
+}
+
+var _ = []any{discard, tupleDiscard, commaOkForms, bareDrop, cleanupPath,
+	deferredClose, builderWrites, checked, overwritten, retried, viaSink,
+	nilToSink, notify, (*fault)(nil)}

@@ -1,0 +1,115 @@
+// Package goroutineleak exercises the provable-join analyzer: every go
+// statement must be joined by a WaitGroup, a channel handoff the spawner
+// completes, or a bounding context.
+package goroutineleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// leakPlain spawns a goroutine with no join at all.
+func leakPlain() {
+	go work() // want `goroutine has no provable join: use a WaitGroup, a channel handoff, or a bounding context`
+}
+
+// joinedWG is the canonical Add/Done/Wait balance.
+func joinedWG() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// missingWait calls Done but the spawner never waits.
+func missingWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine calls Done but no Wait on the same WaitGroup is reachable after the go statement`
+		defer wg.Done()
+		work()
+	}()
+}
+
+// missingAdd waits, but no Add reaches the go statement, so Wait may
+// return before the goroutine even starts.
+func missingAdd() {
+	var wg sync.WaitGroup
+	go func() { // want `goroutine joins a WaitGroup but no Add on it reaches the go statement`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// joinedChan hands its result off on a channel the spawner drains.
+func joinedChan() int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	return <-ch
+}
+
+// chanNoRecv sends on a channel nobody ever receives from.
+func chanNoRecv() {
+	ch := make(chan int, 1)
+	go func() { ch <- 1 }() // want `goroutine uses a channel but the spawner never completes the handoff after the go statement`
+}
+
+// rangeWorker drains a channel the spawner closes after feeding it: the
+// close completes the handoff.
+func rangeWorker() {
+	ch := make(chan int)
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+	ch <- 1
+	close(ch)
+}
+
+// ctxBound is bounded by context cancellation.
+func ctxBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+// joinedCrossFunc proves the join through worker's summary: the Done on
+// the parameter maps back to the spawner's WaitGroup.
+func joinedCrossFunc() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+	wg.Wait()
+}
+
+func pseudoWorker(wg *sync.WaitGroup) {
+	wg.Add(1) // adds, never signals completion
+}
+
+// leakCrossFunc looks joined but the helper never calls Done.
+func leakCrossFunc() {
+	var wg sync.WaitGroup
+	go pseudoWorker(&wg) // want `goroutine has no provable join: use a WaitGroup, a channel handoff, or a bounding context`
+	wg.Wait()
+}
+
+// spawnArg spawns a function value the analysis cannot resolve: nothing
+// in the module flows into f.
+func spawnArg(f func()) {
+	go f() // want `goroutine spawns a function outside the analysis scope; no join can be proven`
+}
+
+var _ = []any{leakPlain, joinedWG, missingWait, missingAdd, joinedChan,
+	chanNoRecv, rangeWorker, ctxBound, joinedCrossFunc, leakCrossFunc, spawnArg}

@@ -1,0 +1,5 @@
+// _test.go files are never loaded; an undefined symbol here must not
+// break the package.
+package loaderfix
+
+var FromTest = definedNowhereEither

@@ -1,0 +1,5 @@
+// Package loaderfix is the loader's edge-case fixture.
+package loaderfix
+
+// Kept is defined in the unconditional file.
+const Kept = 1

@@ -1,0 +1,7 @@
+//go:build never
+
+// This file must be excluded by its build constraint: it references an
+// undefined symbol, so accidentally including it fails the whole load.
+package loaderfix
+
+var Skipped = definedNowhere

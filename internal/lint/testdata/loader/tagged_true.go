@@ -1,0 +1,7 @@
+//go:build gc || !gc
+
+package loaderfix
+
+// Tagged is defined in a file whose constraint is a tautology, so it must
+// be included on every toolchain.
+const Tagged = 2

@@ -1,0 +1,5 @@
+// Package loaderbad fails to type-check: the loader must report the
+// error, not panic.
+package loaderbad
+
+var X = notDefinedAnywhere + 1

@@ -1,0 +1,142 @@
+// Package lockorder exercises the canonical-lock-order analyzer. The
+// test harness appends this package's lock classes to CanonicalLockOrder
+// in the order: acct.mu, ledger.mu, alpha.mu, beta.mu, gamma.mu,
+// delta.mu, sigma.mu. ping.m, pong.m and stats.mu stay unlisted.
+//
+// Each scenario uses its own struct types: lock classes are module-wide,
+// so sharing a type between a compliant and a violating shape would let
+// one scenario's edges turn another's into a cycle.
+package lockorder
+
+import "sync"
+
+type acct struct {
+	mu  sync.Mutex
+	bal int
+}
+
+type ledger struct {
+	mu  sync.Mutex
+	log []string
+}
+
+// inOrder nests in the canonical direction: acct before ledger.
+func inOrder(a *acct, l *ledger) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	l.mu.Lock()
+	l.log = append(l.log, "ok")
+	l.mu.Unlock()
+	a.bal++
+}
+
+// unlockFirst releases before acquiring; no nesting, no edge.
+func unlockFirst(a *acct, l *ledger) {
+	l.mu.Lock()
+	l.log = append(l.log, "ok")
+	l.mu.Unlock()
+	a.mu.Lock()
+	a.bal++
+	a.mu.Unlock()
+}
+
+// spawnEmptyHeld: a goroutine starts with an empty held set, so locking
+// the spawner's class inside it is not a re-acquisition edge.
+func spawnEmptyHeld(a *acct) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		var b acct
+		b.mu.Lock()
+		b.bal++
+		b.mu.Unlock()
+		close(done)
+	}()
+	<-done
+}
+
+type alpha struct{ mu sync.Mutex }
+type beta struct{ mu sync.Mutex }
+
+// reversed acquires alpha while holding beta — alpha is earlier in the
+// canonical order, so this inverts it. (This is the only alpha/beta
+// nesting, so it is a plain order violation, not a cycle.)
+func reversed(x *alpha, y *beta) {
+	y.mu.Lock()
+	x.mu.Lock() // want `lock lintfixture/lockorder\.alpha\.mu acquired while holding lintfixture/lockorder\.beta\.mu, which is later in the canonical lock order`
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+type gamma struct{ mu sync.Mutex }
+type delta struct{ mu sync.Mutex }
+
+func lockGamma(g *gamma) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+}
+
+// viaHelper holds delta and calls a helper that acquires gamma: the
+// violating edge crosses the function boundary and is reported at the
+// call site.
+func viaHelper(g *gamma, d *delta) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	lockGamma(g) // want `lock lintfixture/lockorder\.gamma\.mu acquired while holding lintfixture/lockorder\.delta\.mu, which is later in the canonical lock order \(via call to`
+}
+
+type selfy struct{ mu sync.Mutex }
+
+// handOverHand re-acquires a held class on a second instance.
+func handOverHand(a, b *selfy) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock lintfixture/lockorder\.selfy\.mu acquired while an instance of it is already held`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func lockAcct(a *acct) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+// relockVia re-acquires a held class through a helper call.
+func relockVia(a, b *acct) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lockAcct(b) // want `lock lintfixture/lockorder\.acct\.mu acquired while an instance of it is already held \(via call to`
+}
+
+type ping struct{ m sync.Mutex }
+type pong struct{ m sync.Mutex }
+
+// pingThenPong and pongThenPing acquire the pair in both orders: a
+// deadlock cycle, reported at both inner acquisitions.
+func pingThenPong(p *ping, q *pong) {
+	p.m.Lock()
+	q.m.Lock() // want `lock-order cycle: lintfixture/lockorder\.ping\.m and lintfixture/lockorder\.pong\.m are acquired in both orders`
+	q.m.Unlock()
+	p.m.Unlock()
+}
+
+func pongThenPing(p *ping, q *pong) {
+	q.m.Lock()
+	p.m.Lock() // want `lock-order cycle: lintfixture/lockorder\.pong\.m and lintfixture/lockorder\.ping\.m are acquired in both orders`
+	p.m.Unlock()
+	q.m.Unlock()
+}
+
+type sigma struct{ mu sync.Mutex }
+type stats struct{ mu sync.Mutex }
+
+// nestUnlisted nests a class that is missing from CanonicalLockOrder.
+func nestUnlisted(s *sigma, st *stats) {
+	s.mu.Lock()
+	st.mu.Lock() // want `lock lintfixture/lockorder\.stats\.mu nests with lintfixture/lockorder\.sigma\.mu but is not in CanonicalLockOrder`
+	st.mu.Unlock()
+	s.mu.Unlock()
+}
+
+var _ = []any{inOrder, unlockFirst, spawnEmptyHeld, reversed, viaHelper,
+	handOverHand, relockVia, pingThenPong, pongThenPing, nestUnlisted}

@@ -1,0 +1,31 @@
+// Package unusedfixture exercises unused-//lint:ignore reporting: the
+// directive suppressing a real finding stays silent, every other shape
+// below is itself a finding under RunModule.
+package unusedfixture
+
+import "fmt"
+
+// formatAll carries the one legitimate suppression: the Sprintf sits in a
+// loop inside a hot-path package, and the directive suppresses it.
+func formatAll(vs []int) string {
+	out := ""
+	for _, v := range vs {
+		//lint:ignore hotpathban diagnostic formatting, measured off the hot loop
+		out = fmt.Sprintf("%s,%d", out, v)
+	}
+	return out
+}
+
+//lint:ignore hotpathban nothing on this line ever triggered the analyzer
+func quiet() {}
+
+//lint:ignore
+func noList() {}
+
+//lint:ignore hotpathban
+func noReason() {}
+
+//lint:ignore nosuch because the analyzer was renamed away
+func unknownName() {}
+
+var _ = []any{formatAll, quiet, noList, noReason, unknownName}

@@ -64,6 +64,10 @@ type Metrics struct {
 	// runs by the external shuffle; SpillRuns is the number of runs.
 	SpilledPairs int64
 	SpillRuns    int
+	// CleanupFailures counts scratch spill files that could not be removed
+	// after the job finished. The job's result is unaffected, but leaked
+	// scratch space is worth surfacing instead of silently dropping.
+	CleanupFailures int
 	// CombineInputPairs / CombineOutputPairs measure the map-side
 	// combiner's fold (equal when no combiner is set — both zero).
 	CombineInputPairs  int64
@@ -157,6 +161,7 @@ func (m *Metrics) Merge(other *Metrics) {
 	m.TaskRetries += other.TaskRetries
 	m.SpilledPairs += other.SpilledPairs
 	m.SpillRuns += other.SpillRuns
+	m.CleanupFailures += other.CleanupFailures
 	m.CombineInputPairs += other.CombineInputPairs
 	m.CombineOutputPairs += other.CombineOutputPairs
 	m.PipelineWall += other.PipelineWall

@@ -315,7 +315,7 @@ func (e *Engine) runJob(job Job, stream <-chan []taggedRecord, snk *sink, writeO
 	if err := e.reducePhase(job, shuffle, m, snk, writeOut, jobLane); err != nil {
 		return nil, err
 	}
-	shuffle.cleanup(e.store)
+	m.CleanupFailures += shuffle.cleanup(e.store)
 	m.TotalWall = time.Since(start)
 	if jobLane != nil {
 		jobLane.End(obs.CatCycle, "cycle:"+job.Name, jobStart, job.Meta.traceArgs()...)
@@ -406,11 +406,18 @@ func (s *shuffleState) group(key int64) []string {
 
 func (s *shuffleState) spilled() bool { return s.runFiles != nil || s.leftover != nil }
 
-func (s *shuffleState) cleanup(store dfs.Store) {
+// cleanup removes the job's scratch spill files and returns how many
+// removals failed. Failures do not affect the job's result — the files are
+// scratch — but the caller records them in Metrics so leaked scratch space
+// is visible.
+func (s *shuffleState) cleanup(store dfs.Store) int {
+	failed := 0
 	for _, f := range s.runFiles {
-		// Best effort: spill files are scratch.
-		_ = store.Remove(f)
+		if err := store.Remove(f); err != nil {
+			failed++
+		}
 	}
+	return failed
 }
 
 // batchPool recycles map-input batches: the feed hands each filled batch to

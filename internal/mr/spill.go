@@ -193,7 +193,7 @@ func (rc *runCursor) advance() error {
 	return nil
 }
 
-func (rc *runCursor) close() { rc.it.Close() }
+func (rc *runCursor) close() error { return rc.it.Close() }
 
 // memCursor streams an in-memory lo-sorted emission slice as if it were a
 // run.
@@ -214,7 +214,7 @@ func (mc *memCursor) headEmission() (emission, bool) {
 type cursor interface {
 	peek() (emission, bool)
 	next() error
-	close()
+	close() error
 }
 
 func (rc *runCursor) peek() (emission, bool) { return rc.head, !rc.done }
@@ -222,7 +222,7 @@ func (rc *runCursor) next() error            { return rc.advance() }
 
 func (mc *memCursor) peek() (emission, bool) { return mc.headEmission() }
 func (mc *memCursor) next() error            { mc.pos++; return nil }
-func (mc *memCursor) close()                 {}
+func (mc *memCursor) close() error           { return nil }
 
 // heapEntry caches a cursor's head emission so heap comparisons are a plain
 // int64 compare instead of two interface calls per Less.

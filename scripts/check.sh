@@ -26,7 +26,12 @@ echo "== go vet =="
 go vet ./...
 
 echo "== ijlint =="
-go run ./cmd/ijlint ./...
+# -time prints the per-analyzer wall breakdown to stderr: the informal
+# budget is <10s for any single analyzer (TestModuleIsClean enforces the
+# same bound in-process). The findings JSON is kept as a CI artifact and
+# re-rendered as PR annotations by `ijlint -annotate-from`.
+mkdir -p artifacts
+go run ./cmd/ijlint -time -json artifacts/lint.json ./...
 
 echo "== go build =="
 go build ./...
