@@ -531,7 +531,16 @@ func main() {
 	skewgate := flag.Float64("skewgate", 0, "with -skew, fail if the new report's reducer pair imbalance exceeds this absolute ceiling")
 	cacheArg := flag.String("cache", "", "metrics.json file (or old,new pair) whose semantic-cache table to print")
 	cachegate := flag.Float64("cachegate", 0, "with -cache, fail if the new report's span hit ratio falls below this absolute floor")
+	serveStats := flag.String("serve-stats", "", "scraped /metrics text file (ijoind) whose service health table to print")
 	flag.Parse()
+
+	if *serveStats != "" {
+		if err := serveStatsTable(os.Stdout, *serveStats); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsummary:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cmp {
 		if flag.NArg() != 2 {

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"text/tabwriter"
+
+	"intervaljoin/internal/obs/live"
+)
+
+// serveStatsTable renders a scraped /metrics snapshot (the Prometheus
+// text file ijoind -selfcheck or `curl /metrics` writes) as the service
+// health table: latency quantiles recovered from the cumulative
+// histogram buckets, requests by status code, cache hit ratio, and the
+// admission-control counters.
+func serveStatsTable(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	samples, err := live.Parse(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+
+	value := func(name string) (float64, bool) {
+		for _, s := range samples {
+			if s.Name == name {
+				return s.Value, true
+			}
+		}
+		return 0, false
+	}
+
+	// Reassemble the latency histogram from its _bucket series.
+	type bucket struct{ le, cum float64 }
+	var buckets []bucket
+	for _, s := range samples {
+		if s.Name != "ij_query_latency_seconds_bucket" {
+			continue
+		}
+		le, err := parseLE(s.Label("le"))
+		if err != nil {
+			return fmt.Errorf("%s: bad le %q: %w", path, s.Label("le"), err)
+		}
+		buckets = append(buckets, bucket{le: le, cum: s.Value})
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	count, _ := value("ij_query_latency_seconds_count")
+	sum, _ := value("ij_query_latency_seconds_sum")
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "service stats from %s\n", path)
+	fmt.Fprintf(tw, "queries\t%d\n", int64(count))
+	if count > 0 {
+		les := make([]float64, len(buckets))
+		cums := make([]float64, len(buckets))
+		for i, b := range buckets {
+			les[i], cums[i] = b.le, b.cum
+		}
+		fmt.Fprintf(tw, "latency mean\t%s\n", fmtSeconds(sum/count))
+		for _, q := range []struct {
+			name string
+			q    float64
+		}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+			fmt.Fprintf(tw, "latency %s\t%s\n", q.name, fmtSeconds(live.CumulativeQuantile(les, cums, count, q.q)))
+		}
+	}
+	type codeCount struct {
+		code string
+		n    float64
+	}
+	var codes []codeCount
+	for _, s := range samples {
+		if s.Name == "ij_requests_total" && s.Value > 0 {
+			codes = append(codes, codeCount{code: s.Label("code"), n: s.Value})
+		}
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i].code < codes[j].code })
+	for _, c := range codes {
+		fmt.Fprintf(tw, "requests %s\t%d\n", c.code, int64(c.n))
+	}
+	for _, row := range []struct {
+		label, metric string
+		ratio         bool
+	}{
+		{"cache hit ratio", "ij_cache_hit_ratio", true},
+		{"admission rejected", "ij_admission_rejected_total", false},
+		{"in flight", "ij_inflight", false},
+		{"slow queries", "ij_slow_queries_total", false},
+		{"engine runs", "ij_engine_runs_total", false},
+		{"traces written", "ij_query_traces_written_total", false},
+	} {
+		v, ok := value(row.metric)
+		if !ok {
+			continue
+		}
+		if row.ratio {
+			fmt.Fprintf(tw, "%s\t%.3f\n", row.label, v)
+		} else {
+			fmt.Fprintf(tw, "%s\t%d\n", row.label, int64(v))
+		}
+	}
+	return tw.Flush()
+}
+
+// parseLE decodes a histogram bucket bound, accepting the +Inf spelling.
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return strconv.ParseFloat("Inf", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// fmtSeconds prints a duration-in-seconds at a readable scale.
+func fmtSeconds(s float64) string {
+	switch {
+	case s < 0.001:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
+}

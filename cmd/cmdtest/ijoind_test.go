@@ -13,6 +13,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"intervaljoin/internal/obs/live"
 )
 
 // startIjoind launches the server on an OS-assigned port and returns its
@@ -95,20 +97,53 @@ func rowSet(t *testing.T, raw json.RawMessage) map[string]bool {
 	return set
 }
 
-// TestIjoindServesCachedQueries boots the server on real relation files,
-// issues overlapping windowed queries (so the second is served at least
-// partly from the segment cache), and checks the whole-range answer is
-// exactly the batch ijoin output. Then it exercises graceful shutdown:
-// SIGTERM must drain, flush -metrics, and exit cleanly.
+// scrapeMetrics fetches /metrics, validates the exposition text, and
+// returns the parsed samples.
+func scrapeMetrics(t *testing.T, base string) []live.Sample {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	samples, err := live.Parse(resp.Body)
+	if err != nil {
+		t.Fatalf("/metrics failed validation: %v", err)
+	}
+	return samples
+}
+
+// sampleValue returns the first sample with the given name.
+func sampleValue(samples []live.Sample, name string) (float64, bool) {
+	for _, s := range samples {
+		if s.Name == name {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// TestIjoindServesCachedQueries boots the server on real relation files
+// with every query traced (-trace-sample 1, so the batch-equality check
+// covers the traced path), issues overlapping windowed queries (so the
+// second is served at least partly from the segment cache), scrapes
+// /metrics mid-load, and checks the whole-range answer is exactly the
+// batch ijoin output. Then it exercises graceful shutdown: SIGTERM must
+// drain, flush -metrics, and exit cleanly.
 func TestIjoindServesCachedQueries(t *testing.T) {
 	dir := t.TempDir()
 	a := filepath.Join(dir, "a.txt")
 	b := filepath.Join(dir, "b.txt")
 	metrics := filepath.Join(dir, "metrics.json")
+	traceDir := filepath.Join(dir, "traces")
 	mustRun(t, "genintervals", "-n", "200", "-tmax", "1000", "-imax", "50", "-seed", "1", "-o", a)
 	mustRun(t, "genintervals", "-n", "200", "-tmax", "1000", "-imax", "50", "-seed", "2", "-o", b)
 
-	cmd, base := startIjoind(t, "-rel", "R1="+a, "-rel", "R2="+b, "-metrics", metrics)
+	cmd, base := startIjoind(t, "-rel", "R1="+a, "-rel", "R2="+b, "-metrics", metrics,
+		"-trace-sample", "1", "-trace-dir", traceDir)
 
 	resp, err := http.Get(base + "/healthz")
 	if err != nil {
@@ -121,6 +156,11 @@ func TestIjoindServesCachedQueries(t *testing.T) {
 
 	const q = "R1 overlaps R2"
 	postQuery(t, base, q, 0, 600)
+	mid := scrapeMetrics(t, base)
+	midCount, ok := sampleValue(mid, "ij_query_latency_seconds_count")
+	if !ok || midCount < 1 {
+		t.Fatalf("mid-load ij_query_latency_seconds_count = %v (present=%v), want >= 1", midCount, ok)
+	}
 	warm := postQuery(t, base, q, 300, 900)
 	var hitSegs int
 	if err := json.Unmarshal(warm["hit_segments"], &hitSegs); err != nil {
@@ -155,6 +195,39 @@ func TestIjoindServesCachedQueries(t *testing.T) {
 	stats, _ := readAll(resp)
 	if !strings.Contains(stats, `"cache"`) || !strings.Contains(stats, `"hit_ratio"`) {
 		t.Fatalf("stats missing cache section: %s", stats)
+	}
+
+	// The final scrape must have moved past the mid-load one and carry the
+	// gauge and cache-bridge series.
+	fin := scrapeMetrics(t, base)
+	finCount, ok := sampleValue(fin, "ij_query_latency_seconds_count")
+	if !ok || finCount <= midCount {
+		t.Fatalf("ij_query_latency_seconds_count did not move: mid %v, final %v", midCount, finCount)
+	}
+	if _, ok := sampleValue(fin, "ij_inflight"); !ok {
+		t.Error("final scrape missing ij_inflight")
+	}
+	if ratio, ok := sampleValue(fin, "ij_cache_hit_ratio"); !ok || ratio <= 0 {
+		t.Errorf("ij_cache_hit_ratio = %v (present=%v), want > 0 after overlapping windows", ratio, ok)
+	}
+	if traced, ok := sampleValue(fin, "ij_query_traces_written_total"); !ok || traced < 3 {
+		t.Errorf("ij_query_traces_written_total = %v (present=%v), want >= 3 with -trace-sample 1", traced, ok)
+	}
+
+	// Every query was sampled: the trace ring must hold Chrome-trace JSON.
+	paths, err := filepath.Glob(filepath.Join(traceDir, "query-*.trace.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no sampled traces in %s (err=%v)", traceDir, err)
+	}
+	raw, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil || len(doc.TraceEvents) == 0 {
+		t.Fatalf("%s is not a Chrome trace with events (err=%v)", paths[0], err)
 	}
 
 	// Graceful shutdown: SIGTERM drains in-flight work, flushes metrics,

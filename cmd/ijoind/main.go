@@ -9,14 +9,23 @@
 //	ijoind -rel R1=a.txt -rel R2=b.txt [-addr :7077] [-cache-mb 64]
 //	       [-max-inflight 4] [-workers N] [-partitions 16] [-per-dim 6]
 //	       [-algorithm name] [-metrics metrics.json]
+//	       [-log-level info] [-slow-query 2s]
+//	       [-trace-dir DIR] [-trace-sample N] [-trace-keep 16]
 //
-//	POST /query   {"query":"R1 overlaps R2","lo":0,"hi":5000}
-//	              → {"rows":[[3,7],...],"hit_segments":1,"delta_windows":[...],...}
-//	GET  /stats   → cache accounting JSON
-//	GET  /healthz → 200 "ok" (503 while draining)
+//	POST /query         {"query":"R1 overlaps R2","lo":0,"hi":5000}
+//	                    → {"rows":[[3,7],...],"hit_segments":1,...}
+//	GET  /metrics       → Prometheus text-format telemetry (docs/OBSERVABILITY.md)
+//	GET  /stats         → cache accounting JSON (back-compat)
+//	GET  /healthz       → 200 "ok" (503 while draining)
+//	GET  /debug/pprof/  → runtime profiles
 //
 // Admission control holds at most -max-inflight queries in the join path;
-// excess requests get 429. SIGINT/SIGTERM drains in-flight queries,
+// excess requests get 429. Requests are logged as structured JSON
+// (log/slog) with a per-request id; queries slower than -slow-query get a
+// warning line. With -trace-dir set, every -trace-sample'th query — plus
+// the query after any slow one — runs under a fresh tracer and dumps a
+// Perfetto-loadable Chrome trace into a bounded ring of files.
+// SIGINT/SIGTERM drains in-flight queries via http.Server.Shutdown,
 // answers new ones with 503, flushes -metrics, and exits.
 //
 // Bench mode (-bench) runs the zipfian query-mix benchmark without HTTP:
@@ -24,15 +33,25 @@
 // same mix through the segment cache), verifying byte-identical row sets,
 // and writes the cache section of metrics.json that benchsummary -cache
 // reads. Without -rel bindings it generates the paper's Table 1 relations.
+//
+// Selfcheck mode (-selfcheck) boots the server on a loopback port, fires
+// the query mix at it over HTTP, scrapes and validates /metrics, verifies
+// a sampled trace appeared, writes the scrape to -scrape-out, and exits
+// non-zero on any telemetry defect — the live-scrape gate scripts/check.sh
+// runs.
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -46,6 +65,7 @@ import (
 	"intervaljoin/internal/dfs"
 	"intervaljoin/internal/mr"
 	"intervaljoin/internal/obs"
+	"intervaljoin/internal/obs/live"
 	"intervaljoin/internal/query"
 	"intervaljoin/internal/relation"
 	"intervaljoin/internal/workload"
@@ -53,6 +73,18 @@ import (
 
 type relArg struct {
 	name, path string
+}
+
+// serveConfig carries the serve-mode knobs from flag parsing to serve().
+type serveConfig struct {
+	addr        string
+	maxInflight int
+	metricsOut  string
+	logLevel    string
+	slowQuery   time.Duration
+	traceDir    string
+	traceSample int64
+	traceKeep   int
 }
 
 func main() {
@@ -66,12 +98,19 @@ func main() {
 		algorithm  = flag.String("algorithm", "", "join algorithm (default: planner choice per query)")
 		dataDir    = flag.String("data-dir", "", "store relations and intermediates on disk under this directory")
 		metricsOut = flag.String("metrics", "", "write metrics.json (with the cache section) here on shutdown / after -bench")
+		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		slowQuery  = flag.Duration("slow-query", 2*time.Second, "log queries slower than this as slow (0 disables)")
+		traceDir   = flag.String("trace-dir", "", "write sampled per-query Chrome traces into this directory (empty disables)")
+		traceN     = flag.Int64("trace-sample", 0, "with -trace-dir, trace every Nth query (0: only latency-triggered captures)")
+		traceKeep  = flag.Int("trace-keep", defaultTraceKeep, "bounded trace ring: keep at most this many trace files")
 		bench      = flag.Bool("bench", false, "run the zipfian query-mix benchmark and exit (no HTTP)")
-		benchQuery = flag.String("query", "R1 overlaps R2", "bench: the join query of the mix")
-		queries    = flag.Int("queries", 200, "bench: number of windows in the mix")
+		selfcheck  = flag.Bool("selfcheck", false, "boot on a loopback port, drive the query mix over HTTP, validate /metrics, and exit")
+		scrapeOut  = flag.String("scrape-out", "artifacts/live-metrics.prom", "selfcheck: write the validated /metrics scrape here")
+		benchQuery = flag.String("query", "R1 overlaps R2", "bench/selfcheck: the join query of the mix")
+		queries    = flag.Int("queries", 200, "bench/selfcheck: number of windows in the mix")
 		skew       = flag.Float64("skew", 1.5, "bench: zipf exponent of the hotspot popularity (>1)")
 		hotspots   = flag.Int("hotspots", 8, "bench: number of hot window centers")
-		rows       = flag.Int("rows", 20_000, "bench: generated rows per relation when no -rel is given")
+		rows       = flag.Int("rows", 20_000, "bench/selfcheck: generated rows per relation when no -rel is given")
 		seed       = flag.Int64("seed", 1, "bench: generation and mix seed")
 	)
 	var relArgs []relArg
@@ -115,7 +154,7 @@ func main() {
 		fatal(err)
 	}
 
-	rels, err := loadOrGenerate(relArgs, *bench, *rows, *seed)
+	rels, err := loadOrGenerate(relArgs, *bench || *selfcheck, *rows, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -138,16 +177,35 @@ func main() {
 		}
 		return
 	}
-	if err := serve(svc, tracer, *addr, *maxInfl, *metricsOut); err != nil {
+	cfg := serveConfig{
+		addr:        *addr,
+		maxInflight: *maxInfl,
+		metricsOut:  *metricsOut,
+		logLevel:    *logLevel,
+		slowQuery:   *slowQuery,
+		traceDir:    *traceDir,
+		traceSample: *traceN,
+		traceKeep:   *traceKeep,
+	}
+	if *selfcheck {
+		if err := runSelfcheck(svc, tracer, cfg, selfcheckSpec{
+			query: *benchQuery, queries: *queries, tmin: tmin, tmax: tmax,
+			scrapeOut: *scrapeOut,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := serve(svc, tracer, cfg); err != nil {
 		fatal(err)
 	}
 }
 
-// loadOrGenerate loads the -rel bindings, or (bench mode only) generates
-// the paper's Table 1 relations R1 and R2.
-func loadOrGenerate(relArgs []relArg, bench bool, rows int, seed int64) ([]*relation.Relation, error) {
+// loadOrGenerate loads the -rel bindings, or (bench and selfcheck modes
+// only) generates the paper's Table 1 relations R1 and R2.
+func loadOrGenerate(relArgs []relArg, generate bool, rows int, seed int64) ([]*relation.Relation, error) {
 	if len(relArgs) == 0 {
-		if !bench {
+		if !generate {
 			return nil, fmt.Errorf("no -rel bindings; serve mode needs resident relations")
 		}
 		r1, err := workload.Generate(workload.Table1Spec("R1", rows, seed))
@@ -173,11 +231,25 @@ func loadOrGenerate(relArgs []relArg, bench bool, rows int, seed int64) ([]*rela
 
 // ---- serve mode ----
 
+// drainTimeout bounds graceful shutdown: Shutdown waits this long for
+// in-flight queries before closing connections hard.
+const drainTimeout = 30 * time.Second
+
 type server struct {
 	svc      *cache.Service
 	tracer   *obs.Tracer
+	tel      *telemetry
+	log      *slog.Logger
 	inflight chan struct{}
 	draining atomic.Bool
+
+	reqSeq   atomic.Int64 // request ids, all endpoints
+	querySeq atomic.Int64 // admitted /query requests, drives sampling
+
+	slowQuery   time.Duration
+	traceSample int64
+	traces      *traceRing
+	slowArm     atomic.Bool // latency-triggered capture: trace the next query
 }
 
 type queryRequest struct {
@@ -202,85 +274,227 @@ type queryResponse struct {
 	WallNS       int64        `json:"wall_ns"`
 }
 
-func serve(svc *cache.Service, tracer *obs.Tracer, addr string, maxInflight int, metricsOut string) error {
+// parseLogLevel maps the -log-level flag onto slog levels.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", s)
+}
+
+// newServer assembles the handler state shared by serve and selfcheck.
+func newServer(svc *cache.Service, tracer *obs.Tracer, cfg serveConfig) (*server, error) {
+	level, err := parseLogLevel(cfg.logLevel)
+	if err != nil {
+		return nil, err
+	}
+	maxInflight := cfg.maxInflight
 	if maxInflight <= 0 {
 		maxInflight = 1
 	}
-	s := &server{svc: svc, tracer: tracer, inflight: make(chan struct{}, maxInflight)}
+	s := &server{
+		svc:         svc,
+		tracer:      tracer,
+		tel:         newTelemetry(svc),
+		log:         slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})),
+		inflight:    make(chan struct{}, maxInflight),
+		slowQuery:   cfg.slowQuery,
+		traceSample: cfg.traceSample,
+	}
+	if cfg.traceDir != "" {
+		ring, err := newTraceRing(cfg.traceDir, cfg.traceKeep)
+		if err != nil {
+			return nil, err
+		}
+		s.traces = ring
+	}
+	return s, nil
+}
+
+// mux builds the server's route table.
+func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealth)
-	ln, err := net.Listen("tcp", addr)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func serve(svc *cache.Service, tracer *obs.Tracer, cfg serveConfig) error {
+	s, err := newServer(svc, tracer, cfg)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: mux}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler: s.mux(),
+		// A client that dribbles its headers must not pin a connection
+		// forever; body reads are bounded by the drain deadline instead.
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	// The serving line keeps its legacy plain format — cmd/cmdtest and
+	// operator scripts parse the address out of it; structured request
+	// logs follow on the same stream.
 	fmt.Fprintf(os.Stderr, "ijoind: serving %v on %s (relations: %s)\n",
 		time.Now().Format(time.RFC3339), ln.Addr(), strings.Join(svc.Relations(), ", "))
 
-	// Graceful shutdown: first signal stops accepting work — new queries
-	// see 503 — and drains the in-flight ones; then metrics flush and exit.
+	// Graceful shutdown: the first signal flips the server to draining —
+	// new queries see 503 — and http.Server.Shutdown waits (bounded by
+	// drainTimeout) for in-flight handlers before closing connections;
+	// then metrics flush and exit.
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() {
 		<-sigc
-		s.draining.Store(true)
-		fmt.Fprintln(os.Stderr, "ijoind: draining in-flight queries")
-		// Take every admission slot: all in-flight queries have finished
-		// once the channel fills.
-		for i := 0; i < cap(s.inflight); i++ {
-			s.inflight <- struct{}{}
-		}
-		done <- httpSrv.Close()
+		s.startDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		done <- httpSrv.Shutdown(ctx)
 	}()
 	err = httpSrv.Serve(ln)
 	if err == http.ErrServerClosed {
 		err = <-done
 	}
-	if metricsOut != "" {
-		if werr := writeFileWith(metricsOut, func(w io.Writer) error {
+	if cfg.metricsOut != "" {
+		if werr := writeFileWith(cfg.metricsOut, func(w io.Writer) error {
 			return cacheReportJSON(w, svc, tracer, 0, 0)
 		}); werr != nil && err == nil {
 			err = werr
 		}
-		fmt.Fprintf(os.Stderr, "ijoind: metrics flushed to %s\n", metricsOut)
+		s.log.Info("metrics flushed", "path", cfg.metricsOut)
 	}
 	return err
 }
 
+// startDrain flips the server into drain state (idempotently safe).
+func (s *server) startDrain() {
+	s.draining.Store(true)
+	s.tel.draining.Set(1)
+	s.log.Info("draining in-flight queries")
+}
+
+// fail rejects a request: counts the status code, logs, and writes the
+// error response.
+func (s *server) fail(w http.ResponseWriter, lg *slog.Logger, code int, msg string) {
+	s.tel.countRequest(code)
+	if code == http.StatusTooManyRequests {
+		s.tel.rejected.Inc()
+	}
+	lg.Warn("request rejected", "status", code, "error", msg)
+	http.Error(w, msg, code)
+}
+
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	id := s.reqSeq.Add(1)
+	lg := s.log.With("req", id)
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		s.fail(w, lg, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		s.fail(w, lg, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	select {
 	case s.inflight <- struct{}{}:
-		defer func() { <-s.inflight }()
+		s.tel.inflight.Inc()
+		defer func() {
+			s.tel.inflight.Dec()
+			<-s.inflight
+		}()
 	default:
-		http.Error(w, "too many in-flight queries", http.StatusTooManyRequests)
+		s.fail(w, lg, http.StatusTooManyRequests, "too many in-flight queries")
 		return
 	}
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.fail(w, lg, http.StatusBadRequest, err.Error())
 		return
 	}
 	q, err := query.Parse(req.Query)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.fail(w, lg, http.StatusBadRequest, err.Error())
 		return
 	}
-	ans, err := s.svc.Query(q, cache.Window{Lo: req.Lo, Hi: req.Hi})
+	lg = lg.With("query", req.Query, "lo", req.Lo, "hi", req.Hi)
+
+	// Sampling: every traceSample'th admitted query runs under a fresh
+	// tracer, as does the first query after a slow one (the
+	// latency-triggered capture) — traced runs return byte-identical rows,
+	// only the recording differs.
+	qid := s.querySeq.Add(1)
+	var tr *obs.Tracer
+	if s.traces != nil {
+		if s.traceSample > 0 && qid%s.traceSample == 0 {
+			tr = obs.New(obs.Options{})
+		} else if s.slowArm.CompareAndSwap(true, false) {
+			tr = obs.New(obs.Options{})
+		}
+	}
+	var ans *cache.Answer
+	if tr != nil {
+		ans, err = s.svc.QueryTraced(q, cache.Window{Lo: req.Lo, Hi: req.Hi}, tr)
+	} else {
+		ans, err = s.svc.Query(q, cache.Window{Lo: req.Lo, Hi: req.Hi})
+	}
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		s.fail(w, lg, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
+	s.tel.countRequest(http.StatusOK)
+	s.tel.observeAnswer(ans.Wall, req.Hi-req.Lo+1, ans.HitSegments, len(ans.DeltaWindows), len(ans.Rows), ans.Engine)
+
+	var tracePath string
+	if tr != nil {
+		if tracePath, err = s.traces.write(qid, tr.Snapshot()); err != nil {
+			lg.Warn("query trace not written", "error", err.Error())
+			tracePath = ""
+		} else {
+			s.tel.traces.Inc()
+		}
+	}
+	slow := s.slowQuery > 0 && ans.Wall > s.slowQuery
+	if slow {
+		s.tel.slowQueries.Inc()
+		if s.traces != nil && tracePath == "" {
+			// Arm the latency-triggered capture: the next query runs traced.
+			s.slowArm.Store(true)
+		}
+	}
+	attrs := []any{
+		"status", http.StatusOK,
+		"rows", len(ans.Rows),
+		"hit_segments", ans.HitSegments,
+		"delta_windows", len(ans.DeltaWindows),
+		"algorithm", ans.Algorithm,
+		"wall", ans.Wall.String(),
+	}
+	if tracePath != "" {
+		attrs = append(attrs, "trace", tracePath)
+	}
+	if slow {
+		lg.Warn("slow query", attrs...)
+	} else {
+		lg.Info("query", attrs...)
+	}
+
 	resp := queryResponse{
 		Rows:        make([][]int64, len(ans.Rows)),
 		Window:      windowJSON{Lo: int64(ans.Window.Lo), Hi: int64(ans.Window.Hi)},
@@ -297,19 +511,42 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.DeltaWindows = append(resp.DeltaWindows, windowJSON{Lo: int64(d.Lo), Hi: int64(d.Hi)})
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		lg.Debug("response write failed", "error", err.Error())
+	}
+}
+
+// handleMetrics serves the live registry in the Prometheus text format.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.tel.countRequest(http.StatusOK)
+	w.Header().Set("Content-Type", live.ContentType)
+	if err := live.WriteText(w, s.tel.reg.Snapshot()); err != nil {
+		s.log.Debug("metrics write failed", "error", err.Error())
+	}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	// Render into a buffer first so a report error can still become a
+	// clean 500 instead of a truncated 200 body.
+	var buf bytes.Buffer
+	if err := cacheReportJSON(&buf, s.svc, s.tracer, 0, 0); err != nil {
+		s.fail(w, s.log, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.tel.countRequest(http.StatusOK)
 	w.Header().Set("Content-Type", "application/json")
-	cacheReportJSON(w, s.svc, s.tracer, 0, 0)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		s.log.Debug("stats write failed", "error", err.Error())
+	}
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
+		s.tel.countRequest(http.StatusServiceUnavailable)
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
+	s.tel.countRequest(http.StatusOK)
 	fmt.Fprintln(w, "ok")
 }
 

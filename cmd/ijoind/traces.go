@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"intervaljoin/internal/obs"
+)
+
+// traceRing writes per-query Chrome trace files into a directory and
+// keeps only the newest keep files: sampled tracing on a long-running
+// service must have bounded disk use, so old traces age out as new
+// sampled queries arrive.
+type traceRing struct {
+	dir  string
+	keep int
+
+	mu    sync.Mutex
+	files []string
+}
+
+const defaultTraceKeep = 16
+
+// newTraceRing creates the directory and the ring. keep <= 0 selects the
+// default of 16 files.
+func newTraceRing(dir string, keep int) (*traceRing, error) {
+	if keep <= 0 {
+		keep = defaultTraceKeep
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &traceRing{dir: dir, keep: keep}, nil
+}
+
+// write dumps the snapshot as query-<id>.trace.json (Perfetto-loadable
+// Chrome trace_event JSON) and evicts the oldest file beyond the ring
+// size. Returns the written path.
+func (r *traceRing) write(id int64, snap *obs.Snapshot) (string, error) {
+	path := filepath.Join(r.dir, fmt.Sprintf("query-%06d.trace.json", id))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := obs.WriteChromeTrace(f, snap); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	var evict string
+	r.mu.Lock()
+	r.files = append(r.files, path)
+	if len(r.files) > r.keep {
+		evict = r.files[0]
+		r.files = r.files[1:]
+	}
+	r.mu.Unlock()
+	if evict != "" {
+		// Best effort: a missing old trace is not worth failing a query.
+		os.Remove(evict)
+	}
+	return path, nil
+}

@@ -1,0 +1,42 @@
+package cache
+
+import "intervaljoin/internal/obs/live"
+
+// RegisterLive bridges the service's cache accounting into a live
+// telemetry registry: it registers the ij_cache_* gauges and hooks a
+// collector that refreshes them from Service.Stats right before every
+// scrape, so /metrics always shows current accounting without the query
+// path paying for a second set of counters. No-op on a nil registry or
+// service.
+func RegisterLive(r *live.Registry, s *Service) {
+	if r == nil || s == nil {
+		return
+	}
+	lookups := r.Gauge("ij_cache_lookups", "cumulative cache lookups")
+	fullHits := r.Gauge("ij_cache_full_hits", "lookups fully covered by cached segments")
+	partialHits := r.Gauge("ij_cache_partial_hits", "lookups partially covered by cached segments")
+	misses := r.Gauge("ij_cache_misses", "lookups with no covering segment")
+	hitSegments := r.Gauge("ij_cache_hit_segments", "segments handed to queries for merging")
+	cachedRows := r.Gauge("ij_cache_cached_rows", "rows served from cached segments")
+	deltaRows := r.Gauge("ij_cache_delta_rows", "rows inserted from delta-window joins")
+	insertions := r.Gauge("ij_cache_insertions", "segments inserted")
+	evictions := r.Gauge("ij_cache_evictions", "segments evicted by the byte budget")
+	bytesInUse := r.Gauge("ij_cache_bytes_in_use", "resident segment bytes")
+	bytesBudget := r.Gauge("ij_cache_bytes_budget", "segment cache byte budget")
+	hitRatio := r.FloatGauge("ij_cache_hit_ratio", "fraction of requested window span served from cache")
+	r.OnCollect(func() {
+		st := s.Stats()
+		lookups.Set(st.Lookups)
+		fullHits.Set(st.FullHits)
+		partialHits.Set(st.PartialHits)
+		misses.Set(st.Misses)
+		hitSegments.Set(st.HitSegments)
+		cachedRows.Set(st.CachedRows)
+		deltaRows.Set(st.DeltaRows)
+		insertions.Set(st.Insertions)
+		evictions.Set(st.Evictions)
+		bytesInUse.Set(st.BytesInUse)
+		bytesBudget.Set(st.BytesBudget)
+		hitRatio.Set(st.HitRatio())
+	})
+}

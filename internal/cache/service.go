@@ -135,6 +135,10 @@ type Answer struct {
 	CachedRows, DeltaRows int64
 	// Algorithm is the driver that ran the delta joins ("" on a full hit).
 	Algorithm string
+	// Engine aggregates the engine metrics of the query's delta runs (one
+	// Merge per gap window). Nil when the cache covered the whole window —
+	// the telemetry bridge in cmd/ijoind publishes it after each query.
+	Engine *mr.Metrics
 	// Wall is the query's service-side latency.
 	Wall time.Duration
 }
@@ -145,6 +149,19 @@ type Answer struct {
 // run as delta-window joins over the resident files and populate the cache
 // for the next query.
 func (s *Service) Query(q *query.Query, w Window) (*Answer, error) {
+	return s.queryOn(s.engine, q, w)
+}
+
+// QueryTraced answers exactly like Query but runs the query's delta joins
+// on an engine derived with tr, so a sampled request's execution spans
+// land in a tracer of their own (dumped as a per-query Chrome trace by
+// cmd/ijoind). Rows are byte-identical to an untraced Query — tracing
+// never changes results, only what gets recorded.
+func (s *Service) QueryTraced(q *query.Query, w Window, tr *obs.Tracer) (*Answer, error) {
+	return s.queryOn(s.engine.WithTracer(tr), q, w)
+}
+
+func (s *Service) queryOn(engine *mr.Engine, q *query.Query, w Window) (*Answer, error) {
 	start := time.Now()
 	if w.Hi < w.Lo {
 		return nil, fmt.Errorf("cache: window [%d,%d] is empty", w.Lo, w.Hi)
@@ -189,11 +206,12 @@ func (s *Service) Query(q *query.Query, w Window) (*Answer, error) {
 		ans.CachedRows += int64(len(seg.Rows))
 	}
 	for _, gap := range gaps {
-		rows, algName, err := s.runDelta(q, rels, files, gap)
+		rows, algName, em, err := s.runDelta(engine, q, rels, files, gap)
 		if err != nil {
 			return nil, err
 		}
 		ans.Algorithm = algName
+		ans.mergeEngine(em)
 		ans.DeltaRows += int64(len(rows))
 		cached := make([]Row, len(rows))
 		for i, t := range rows {
@@ -237,12 +255,13 @@ func (s *Service) RunCold(q *query.Query, w Window) (*Answer, error) {
 		ans.Wall = time.Since(start)
 		return ans, nil
 	}
-	rows, algName, err := s.runDelta(q, rels, files, w)
+	rows, algName, em, err := s.runDelta(s.engine, q, rels, files, w)
 	if err != nil {
 		return nil, err
 	}
 	ans.Rows = rows
 	ans.Algorithm = algName
+	ans.mergeEngine(em)
 	ans.DeltaWindows = []Window{w}
 	ans.DeltaRows = int64(len(rows))
 	slices.SortFunc(ans.Rows, compareTuples)
@@ -335,25 +354,39 @@ func (s *Service) bind(q *query.Query) ([]*relation.Relation, []string, string, 
 }
 
 // runDelta executes the join restricted to the gap window over the
-// resident files. Engine runs serialize on runMu; the result is exactly
-// the rows whose anchor intersects the gap, including whole (unclipped)
-// straddling anchors — the halo the merge dedups.
-func (s *Service) runDelta(q *query.Query, rels []*relation.Relation, files []string, gap Window) ([]core.OutputTuple, string, error) {
+// resident files, on the given engine (the shared one, or a per-query
+// traced derivation). Engine runs serialize on runMu; the result is
+// exactly the rows whose anchor intersects the gap, including whole
+// (unclipped) straddling anchors — the halo the merge dedups — plus the
+// run's engine metrics for the telemetry bridge.
+func (s *Service) runDelta(engine *mr.Engine, q *query.Query, rels []*relation.Relation, files []string, gap Window) ([]core.OutputTuple, string, *mr.Metrics, error) {
 	opts := s.opts
 	opts.Window = &[2]interval.Point{gap.Lo, gap.Hi}
 	opts.WindowRel = 0
 	opts.ResidentInputs = files
 	opts.Scratch = "" // per-run unique scratch namespace
-	ctx, err := core.NewContext(s.engine, q, rels, opts)
+	ctx, err := core.NewContext(engine, q, rels, opts)
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	alg := s.algorithm(q)
 	s.runMu.Lock()
 	res, err := alg.Run(ctx)
 	s.runMu.Unlock()
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
-	return res.Tuples, res.Algorithm, nil
+	return res.Tuples, res.Algorithm, res.Metrics, nil
+}
+
+// mergeEngine folds one delta run's engine metrics into the answer.
+func (a *Answer) mergeEngine(m *mr.Metrics) {
+	if m == nil {
+		return
+	}
+	if a.Engine == nil {
+		a.Engine = mr.NewMetrics("query")
+		a.Engine.Cycles = 0
+	}
+	a.Engine.Merge(m)
 }

@@ -1,0 +1,73 @@
+package cache
+
+import (
+	"testing"
+
+	"intervaljoin/internal/interval"
+	"intervaljoin/internal/obs"
+)
+
+// TestQueryTracedMatchesUntraced pins the telemetry non-interference
+// contract the service instrumentation rides on: running a query under a
+// per-query tracer (the sampled-tracing path ijoind takes) must return the
+// exact same answer — same rows in the same canonical order, same cache
+// provenance — as the plain path on an identically warmed twin service.
+// It also pins the engine-metrics bridge: delta-running queries must carry
+// aggregated engine counters on the Answer, full hits must not, and a
+// sampled tracer must actually have recorded spans.
+func TestQueryTracedMatchesUntraced(t *testing.T) {
+	r1a, r2a := adversarialRelation("R1", 31), adversarialRelation("R2", 37)
+	r1b, r2b := adversarialRelation("R1", 31), adversarialRelation("R2", 37)
+	plain := newTestService(t, r1a, r2a)
+	traced := newTestService(t, r1b, r2b)
+	q := predQuery(t, interval.Overlaps)
+
+	sawDelta, sawFullHit := false, false
+	for i, w := range windowMix {
+		want, err := plain.Query(q, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := obs.New(obs.Options{})
+		got, err := traced.QueryTraced(q, w, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Rows) != len(want.Rows) {
+			t.Fatalf("query %d window [%d,%d]: traced %d rows, untraced %d",
+				i, w.Lo, w.Hi, len(got.Rows), len(want.Rows))
+		}
+		for j := range want.Rows {
+			if got.Rows[j].Key() != want.Rows[j].Key() {
+				t.Fatalf("query %d window [%d,%d] row %d: traced %s, untraced %s",
+					i, w.Lo, w.Hi, j, got.Rows[j].Key(), want.Rows[j].Key())
+			}
+		}
+		if got.HitSegments != want.HitSegments || len(got.DeltaWindows) != len(want.DeltaWindows) {
+			t.Fatalf("query %d: traced provenance (%d segments, %d deltas) != untraced (%d, %d)",
+				i, got.HitSegments, len(got.DeltaWindows), want.HitSegments, len(want.DeltaWindows))
+		}
+		if len(got.DeltaWindows) > 0 {
+			sawDelta = true
+			if got.Engine == nil {
+				t.Fatalf("query %d ran %d delta joins but Answer.Engine is nil", i, len(got.DeltaWindows))
+			}
+			if got.Engine.OutputRecords != got.DeltaRows {
+				t.Fatalf("query %d: engine bridge reports %d output records, answer has %d delta rows",
+					i, got.Engine.OutputRecords, got.DeltaRows)
+			}
+			if snap := tr.Snapshot(); len(snap.Spans) == 0 {
+				t.Fatalf("query %d ran delta joins under a tracer but recorded no spans", i)
+			}
+		} else {
+			sawFullHit = true
+			if got.Engine != nil {
+				t.Fatalf("query %d was a full hit but carries engine metrics", i)
+			}
+		}
+	}
+	// Anti-vacuity: the mix must have exercised both paths.
+	if !sawDelta || !sawFullHit {
+		t.Fatalf("window mix exercised delta=%v fullHit=%v; want both", sawDelta, sawFullHit)
+	}
+}

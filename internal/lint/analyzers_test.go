@@ -173,6 +173,24 @@ func TestErrorFlow(t *testing.T) {
 	runFixture(t, "errorflow", "intervaljoin/internal/core/errfixture")
 }
 
+func TestMetricName(t *testing.T) {
+	runFixture(t, "metricname", "intervaljoin/lintfixture/metricname")
+}
+
+// TestMetricNameSkipsLivePackage reloads the fixture under the registry's
+// own import path: the live package (and its fixtures) exercises invalid
+// names on purpose, so the analyzer must stay silent there.
+func TestMetricNameSkipsLivePackage(t *testing.T) {
+	pkg, err := fixtureLoader(t).LoadDir(filepath.Join("testdata", "metricname"), "intervaljoin/internal/obs/live/lintfixture")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := RunAnalyzers(pkg, []*Analyzer{MetricName})
+	for _, d := range diags {
+		t.Errorf("diagnostic inside the live package scope: %s", d)
+	}
+}
+
 // TestErrorFlowScope reloads the fixture under a neutral import path:
 // outside the engine packages the discipline is not enforced.
 func TestErrorFlowScope(t *testing.T) {

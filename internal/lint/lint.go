@@ -1,11 +1,12 @@
-// Package lint is ijlint's analysis framework plus the twelve
+// Package lint is ijlint's analysis framework plus the thirteen
 // domain-specific analyzers that mechanically enforce the engine's
 // invariants (exhaustive Allen-predicate switches, emitter escape
 // discipline, sync.Pool hygiene, shard-lock guarding, the hot-path
 // forbid-list, the per-pair-loop clock-read ban, the columnar-kernel
 // purity rule, checked partition-boundary construction, complete
 // semantic-cache key construction, canonical lock ordering, provable
-// goroutine joins, and error-flow discipline).
+// goroutine joins, error-flow discipline, and literal validated
+// telemetry registrations).
 //
 // Since the interprocedural layer landed, analyzers also get flow facts:
 // a module-wide call graph, per-function CFGs, and a forward dataflow
@@ -87,7 +88,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the twelve ijlint analyzers in their canonical order.
+// All returns the thirteen ijlint analyzers in their canonical order.
 func All() []*Analyzer {
 	return []*Analyzer{
 		AllenExhaustive,
@@ -102,6 +103,7 @@ func All() []*Analyzer {
 		LockOrder,
 		GoroutineLeak,
 		ErrorFlow,
+		MetricName,
 	}
 }
 

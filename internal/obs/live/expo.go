@@ -1,0 +1,149 @@
+package live
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the HTTP Content-Type of the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders the snapshot in the Prometheus text exposition format
+// (v0.0.4): a # HELP and # TYPE line per family, then its series, with
+// histograms expanded into cumulative _bucket{le=...} series plus _sum
+// and _count. Output is deterministic (families by name, series by label
+// values, buckets by bound) so golden tests can diff it. A nil snapshot
+// writes nothing.
+func WriteText(w io.Writer, s *Snapshot) error {
+	bw := bufio.NewWriter(w)
+	if s != nil {
+		for _, f := range s.Families {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.Help))
+			bw.WriteByte('\n')
+			bw.WriteString("# TYPE ")
+			bw.WriteString(f.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(f.Type)
+			bw.WriteByte('\n')
+			for _, sr := range f.Series {
+				if sr.Hist != nil {
+					writeHistSeries(bw, f.Name, sr)
+					continue
+				}
+				writeSample(bw, f.Name, sr.Labels, "", "", sr.Value)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistSeries expands one histogram series into its exposition form.
+func writeHistSeries(bw *bufio.Writer, name string, sr Series) {
+	h := sr.Hist
+	var cum int64
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		writeSample(bw, name+"_bucket", sr.Labels, "le", formatFloat(b), float64(cum))
+	}
+	// The +Inf bucket equals _count by construction.
+	if len(h.Counts) > len(h.Bounds) {
+		cum += h.Counts[len(h.Bounds)]
+	}
+	writeSample(bw, name+"_bucket", sr.Labels, "le", "+Inf", float64(cum))
+	writeSample(bw, name+"_sum", sr.Labels, "", "", h.Sum)
+	writeSample(bw, name+"_count", sr.Labels, "", "", float64(h.Count))
+}
+
+// writeSample writes one sample line, appending the extra label (le)
+// when set.
+func writeSample(bw *bufio.Writer, name string, labels []Label, extraName, extraVal string, v float64) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		bw.WriteByte('{')
+		first := true
+		for _, l := range labels {
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			bw.WriteString(l.Name)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabelValue(l.Value))
+			bw.WriteByte('"')
+		}
+		if extraName != "" {
+			if !first {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraName)
+			bw.WriteString(`="`)
+			bw.WriteString(extraVal)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: integral values print without a
+// fraction, specials per the exposition format.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline in a HELP text.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double quote and newline in a label
+// value.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

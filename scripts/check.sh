@@ -6,13 +6,18 @@
 #                      exhaustive Allen switches, emitter escapes, sync.Pool
 #                      hygiene, shard-lock discipline, hot-path ban list
 #   3. go build      — the whole module compiles
-#   4. obs smoke     — disabled-tracer zero-cost contract (nil tracer =
-#                      nil check + zero allocs; docs/OBSERVABILITY.md)
+#   4. obs smoke     — disabled-tracer and disabled-telemetry zero-cost
+#                      contracts (nil tracer/registry = nil check + zero
+#                      allocs; docs/OBSERVABILITY.md)
 #   5. go test -race — full suite (unit, integration, property, oracle
 #                      cross-validation) under the race detector; the MR
 #                      engine is deliberately concurrent, so -race is part
 #                      of the gate, not an optional extra
-#   6. bench emitter — regenerates the benchmark baseline so perf-sensitive
+#   6. live scrape   — ijoind -selfcheck boots the real server, drives the
+#                      query mix over HTTP, strictly validates the /metrics
+#                      exposition text, and archives the scrape plus a
+#                      sampled query trace (docs/OBSERVABILITY.md)
+#   7. bench emitter — regenerates the benchmark baseline so perf-sensitive
 #                      changes ship with fresh numbers, plus the traced
 #                      chain-run artifacts (scripts/bench.sh)
 #
@@ -39,13 +44,26 @@ go build ./...
 echo "== disabled-tracer overhead smoke =="
 # The obs layer's contract is that a nil tracer costs a nil check and
 # zero allocations on every instrumentation point (docs/OBSERVABILITY.md);
-# TestDisabledTracerZeroCost pins that with testing.AllocsPerRun. Run it
-# by name so a contract break fails fast with an unambiguous message
-# before the full -race suite.
+# TestDisabledTracerZeroCost pins that with testing.AllocsPerRun, and
+# TestLiveDisabledZeroCost pins the same contract for the live metrics
+# registry. Run them by name so a contract break fails fast with an
+# unambiguous message before the full -race suite.
 go test -run 'TestDisabledTracer' ./internal/obs/
+go test -run 'TestLiveDisabledZeroCost' ./internal/obs/live/
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== live /metrics scrape =="
+# Boot the real ijoind on a loopback port, fire the query mix at it over
+# HTTP, and strictly validate the /metrics exposition (duplicate series,
+# bad names, broken histogram invariants all fail). The validated scrape
+# and a sampled per-query Chrome trace land in artifacts/ for CI to
+# archive; -serve-stats renders the scrape as the service health table.
+go run ./cmd/ijoind -selfcheck -rows 2000 -queries 8 -log-level warn \
+    -scrape-out artifacts/live-metrics.prom \
+    -trace-dir artifacts/query-traces -trace-sample 3 -trace-keep 4
+go run ./cmd/benchsummary -serve-stats artifacts/live-metrics.prom
 
 if [ "${SKIP_BENCH:-0}" != "1" ]; then
     echo "== benchmark baseline =="
